@@ -1,0 +1,30 @@
+//! Benchmark regenerating Figure 2 (µ calibration of WPS-work) on a reduced
+//! workload. The full-scale figure is produced by
+//! `cargo run --release -p mcsched-exp --bin fig2_mu_sweep -- --full`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcsched_exp::{report, run_mu_sweep, MuSweepConfig};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let config = MuSweepConfig {
+        mu_values: vec![0.0, 0.7, 1.0],
+        ptg_counts: vec![2],
+        combinations: 1,
+        ..MuSweepConfig::quick()
+    };
+
+    // Emit one reduced-scale rendition of the figure alongside the timings.
+    let points = run_mu_sweep(&config);
+    eprintln!("{}", report::table_mu_sweep(&points));
+
+    let mut group = c.benchmark_group("fig2_mu_sweep");
+    group.sample_size(10);
+    group.bench_function("wps_work_mu_{0,0.7,1}_2ptgs", |b| {
+        b.iter(|| black_box(run_mu_sweep(&config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Benchmark regenerating Figure 3 (eight strategies on random PTGs) on a
+//! reduced workload. The full-scale figure is produced by
+//! `cargo run --release -p mcsched-exp --bin fig3_random -- --full`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcsched_exp::{report, run_campaign, CampaignConfig};
+use mcsched_ptg::gen::PtgClass;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let config = CampaignConfig {
+        ptg_counts: vec![2],
+        combinations: 1,
+        ..CampaignConfig::quick(PtgClass::Random)
+    };
+
+    let result = run_campaign(&config);
+    eprintln!("{}", report::table_campaign(&result));
+
+    let mut group = c.benchmark_group("fig3_random");
+    group.sample_size(10);
+    group.bench_function("8_strategies_2ptgs_4platforms", |b| {
+        b.iter(|| black_box(run_campaign(&config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Benchmark regenerating Figure 4 (eight strategies on FFT PTGs) on a
+//! reduced workload. The full-scale figure is produced by
+//! `cargo run --release -p mcsched-exp --bin fig4_fft -- --full`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcsched_exp::{report, run_campaign, CampaignConfig};
+use mcsched_ptg::gen::PtgClass;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let config = CampaignConfig {
+        ptg_counts: vec![2],
+        combinations: 1,
+        ..CampaignConfig::quick(PtgClass::Fft)
+    };
+
+    let result = run_campaign(&config);
+    eprintln!("{}", report::table_campaign(&result));
+
+    let mut group = c.benchmark_group("fig4_fft");
+    group.sample_size(10);
+    group.bench_function("8_strategies_2ptgs_4platforms", |b| {
+        b.iter(|| black_box(run_campaign(&config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Benchmark regenerating Figure 5 (six strategies on Strassen PTGs) on a
+//! reduced workload. The full-scale figure is produced by
+//! `cargo run --release -p mcsched-exp --bin fig5_strassen -- --full`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcsched_exp::{report, run_campaign, CampaignConfig};
+use mcsched_ptg::gen::PtgClass;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let config = CampaignConfig {
+        ptg_counts: vec![2],
+        combinations: 1,
+        ..CampaignConfig::quick(PtgClass::Strassen)
+    };
+
+    let result = run_campaign(&config);
+    eprintln!("{}", report::table_campaign(&result));
+
+    let mut group = c.benchmark_group("fig5_strassen");
+    group.sample_size(10);
+    group.bench_function("6_strategies_2ptgs_4platforms", |b| {
+        b.iter(|| black_box(run_campaign(&config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

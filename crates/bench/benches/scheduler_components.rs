@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the scheduler pipeline stages: allocation, concurrent
+//! mapping, simulated execution and the end-to-end evaluation, on a fixed
+//! 4-application scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcsched_core::mapping::{map_concurrent, MappingConfig};
+use mcsched_core::{ConcurrentScheduler, ConstraintStrategy};
+use mcsched_platform::grid5000;
+use mcsched_ptg::gen::random::{random_ptg, RandomPtgConfig};
+use mcsched_ptg::Ptg;
+use mcsched_simx::Engine;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_components(c: &mut Criterion) {
+    let platform = grid5000::lille();
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let ptgs: Vec<Ptg> = (0..4)
+        .map(|i| {
+            let cfg = RandomPtgConfig {
+                num_tasks: 20,
+                ..RandomPtgConfig::default_config()
+            };
+            random_ptg(&cfg, &mut rng, format!("app{i}"))
+        })
+        .collect();
+    let scheduler = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare);
+    let allocations = scheduler.allocate(&platform, &ptgs);
+    let releases = vec![0.0; ptgs.len()];
+    let schedule = map_concurrent(&platform, &ptgs, &allocations, &releases, &MappingConfig::default());
+
+    let mut group = c.benchmark_group("components");
+    group.sample_size(20);
+    group.bench_function("allocate_4x20_tasks", |b| {
+        b.iter(|| black_box(scheduler.allocate(&platform, &ptgs)))
+    });
+    group.bench_function("map_concurrent_4x20_tasks", |b| {
+        b.iter(|| {
+            black_box(map_concurrent(
+                &platform,
+                &ptgs,
+                &allocations,
+                &releases,
+                &MappingConfig::default(),
+            ))
+        })
+    });
+    group.bench_function("simulate_80_jobs", |b| {
+        let engine = Engine::new(&platform);
+        b.iter(|| black_box(engine.execute(&schedule.workload).unwrap()))
+    });
+    group.bench_function("end_to_end_schedule", |b| {
+        b.iter(|| black_box(scheduler.schedule(&platform, &ptgs).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

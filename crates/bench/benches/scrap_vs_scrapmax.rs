@@ -1,0 +1,48 @@
+//! Ablation benchmark: SCRAP versus SCRAP-MAX allocation cost and resulting
+//! allocation sizes (Section 4 of the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcsched_core::allocation::{scrap_allocate, scrap_max_allocate};
+use mcsched_core::ReferencePlatform;
+use mcsched_platform::grid5000;
+use mcsched_ptg::gen::random::{random_ptg, RandomPtgConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_scrap(c: &mut Criterion) {
+    let platform = grid5000::rennes();
+    let reference = ReferencePlatform::new(&platform);
+    let cfg = RandomPtgConfig {
+        num_tasks: 50,
+        width: 0.5,
+        ..RandomPtgConfig::default_config()
+    };
+    let ptg = random_ptg(&cfg, &mut ChaCha8Rng::seed_from_u64(7), "bench");
+
+    for beta in [0.25, 1.0] {
+        let a = scrap_allocate(&reference, &ptg, beta);
+        let b = scrap_max_allocate(&reference, &ptg, beta);
+        eprintln!(
+            "beta={beta}: SCRAP total {} procs (max {}), SCRAP-MAX total {} procs (max {})",
+            a.total(),
+            a.max(),
+            b.total(),
+            b.max()
+        );
+    }
+
+    let mut group = c.benchmark_group("allocation");
+    for beta in [0.25, 1.0] {
+        group.bench_function(format!("scrap/beta_{beta}"), |b| {
+            b.iter(|| black_box(scrap_allocate(&reference, &ptg, beta)))
+        });
+        group.bench_function(format!("scrap_max/beta_{beta}"), |b| {
+            b.iter(|| black_box(scrap_max_allocate(&reference, &ptg, beta)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scrap);
+criterion_main!(benches);

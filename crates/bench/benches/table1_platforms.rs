@@ -1,0 +1,43 @@
+//! Benchmark regenerating Table 1: construction of the four Grid'5000
+//! subsets and of their reference-cluster views, plus the derived
+//! heterogeneity figures reported in the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcsched_core::ReferencePlatform;
+use mcsched_platform::grid5000;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the regenerated table once so `cargo bench` output contains the
+    // actual Table 1 numbers.
+    for site in grid5000::all_sites() {
+        eprintln!(
+            "table1: {:<7} {:>3} clusters {:>4} procs  heterogeneity {:>5.1}%  power {:>7.1} GFlop/s",
+            site.name(),
+            site.num_clusters(),
+            site.total_procs(),
+            site.heterogeneity() * 100.0,
+            site.total_power() / 1e9
+        );
+    }
+
+    c.bench_function("table1/build_all_sites", |b| {
+        b.iter(|| {
+            let sites = grid5000::all_sites();
+            let total: usize = sites.iter().map(|s| s.total_procs()).sum();
+            black_box(total)
+        })
+    });
+
+    c.bench_function("table1/reference_platforms", |b| {
+        let sites = grid5000::all_sites();
+        b.iter(|| {
+            let refs: Vec<ReferencePlatform> =
+                sites.iter().map(ReferencePlatform::new).collect();
+            black_box(refs.iter().map(|r| r.procs()).sum::<usize>())
+        })
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

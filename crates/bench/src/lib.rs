@@ -1,0 +1,20 @@
+//! # mcsched-bench
+//!
+//! This crate only hosts the Criterion benchmarks (under `benches/`) that
+//! regenerate reduced-scale versions of every table and figure of the paper's
+//! evaluation and time the scheduler's components:
+//!
+//! * `table1_platforms` — Table 1 (platform construction and reference view);
+//! * `fig2_mu_sweep` — Figure 2 (µ calibration of WPS-work);
+//! * `fig3_random`, `fig4_fft`, `fig5_strassen` — Figures 3–5 (strategy
+//!   comparison per application class);
+//! * `scrap_vs_scrapmax` — allocation-procedure ablation;
+//! * `scheduler_components` — allocation / mapping / simulation
+//!   micro-benchmarks.
+//!
+//! The paper-scale data is produced by the `mcsched-exp` binaries; the
+//! benchmarks keep the workloads small so `cargo bench --workspace` finishes
+//! in minutes while still printing the regenerated (reduced) tables.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]

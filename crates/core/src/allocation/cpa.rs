@@ -1,0 +1,154 @@
+//! CPA-style unconstrained allocation, used as a baseline.
+//!
+//! The Critical Path and Area-based (CPA) algorithm of Radulescu & van Gemund
+//! — extended to heterogeneous platforms as HCPA by the paper's authors —
+//! grows allocations along the critical path until the critical path length
+//! `T_CP` no longer dominates the average area `T_A = Σ area / P` (the time
+//! the whole platform would need to execute all the work of the PTG). At that
+//! point adding processors to the critical path shortens it less than it
+//! inflates everyone's wait for resources, so the procedure stops.
+//!
+//! CPA ignores resource constraints entirely; within this crate it plays the
+//! role of the "heuristic designed for a dedicated platform" that the selfish
+//! `S` strategy emulates.
+
+use super::{RefAllocation, ReferencePlatform};
+use mcsched_ptg::analysis::analyze;
+use mcsched_ptg::Ptg;
+
+/// Runs the CPA allocation procedure on `ptg` (no resource constraint).
+pub fn cpa_allocate(reference: &ReferencePlatform, ptg: &Ptg) -> RefAllocation {
+    let n = ptg.num_tasks();
+    let mut alloc = RefAllocation::one_per_task(n);
+    if n == 0 {
+        return alloc;
+    }
+    let platform_procs = reference.procs() as f64;
+    let max_per_task = reference.max_task_procs();
+
+    let average_area = |alloc: &RefAllocation| -> f64 {
+        let total: f64 = ptg
+            .task_ids()
+            .map(|t| reference.task_area(ptg, t, alloc.procs_of(t)))
+            .sum();
+        total / reference.speed() / platform_procs
+    };
+
+    let max_iters = n * max_per_task + 1;
+    for _ in 0..max_iters {
+        let analysis = analyze(
+            ptg,
+            |t| reference.task_time(ptg, t, alloc.procs_of(t)),
+            |_| 0.0,
+        );
+        // CPA stopping criterion: the critical path no longer dominates the
+        // average area.
+        if analysis.critical_path_length <= average_area(&alloc) {
+            break;
+        }
+        // Give one processor to the critical-path task with the best ratio
+        // of execution time to allocation (the classical CPA choice).
+        let candidate = analysis
+            .critical_path
+            .iter()
+            .copied()
+            .filter(|&t| alloc.procs_of(t) < max_per_task)
+            .filter(|&t| {
+                reference.task_time(ptg, t, alloc.procs_of(t))
+                    > reference.task_time(ptg, t, alloc.procs_of(t) + 1)
+            })
+            .max_by(|&a, &b| {
+                let ga = reference.task_time(ptg, a, alloc.procs_of(a))
+                    - reference.task_time(ptg, a, alloc.procs_of(a) + 1);
+                let gb = reference.task_time(ptg, b, alloc.procs_of(b))
+                    - reference.task_time(ptg, b, alloc.procs_of(b) + 1);
+                ga.total_cmp(&gb).then(b.cmp(&a))
+            });
+        match candidate {
+            Some(t) => alloc.add_proc(t),
+            None => break,
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsched_ptg::{CostModel, DataParallelTask, PtgBuilder};
+
+    fn reference(procs: usize) -> ReferencePlatform {
+        ReferencePlatform::from_parts(1.0e9, procs, procs)
+    }
+
+    fn task(name: &str, d: f64) -> DataParallelTask {
+        DataParallelTask::new(name, d, CostModel::MatrixProduct, 0.05)
+    }
+
+    fn chain(n: usize) -> Ptg {
+        let mut b = PtgBuilder::new("chain");
+        for i in 0..n {
+            b.add_task(task(&format!("t{i}"), 80.0e6));
+        }
+        for i in 1..n {
+            b.add_data_edge(i - 1, i);
+        }
+        b.build().unwrap()
+    }
+
+    fn wide(width: usize) -> Ptg {
+        let mut b = PtgBuilder::new("wide");
+        for i in 0..width {
+            b.add_task(task(&format!("t{i}"), 80.0e6));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_gets_generous_allocations() {
+        // For a pure chain the average area grows slowly (only one task per
+        // level), so CPA pushes allocations up.
+        let r = reference(32);
+        let g = chain(4);
+        let a = cpa_allocate(&r, &g);
+        assert!(a.max() > 4);
+    }
+
+    #[test]
+    fn wide_graph_stays_frugal() {
+        // With 32 independent identical tasks on 32 processors the average
+        // area already matches the critical path at 1 processor per task, so
+        // CPA should barely grow the allocation.
+        let r = reference(32);
+        let g = wide(32);
+        let a = cpa_allocate(&r, &g);
+        assert!(a.max() <= 2, "CPA should not inflate wide graphs");
+    }
+
+    #[test]
+    fn allocation_bounded_by_max_task_procs() {
+        let r = ReferencePlatform::from_parts(1.0e9, 64, 8);
+        let g = chain(2);
+        let a = cpa_allocate(&r, &g);
+        for t in g.task_ids() {
+            assert!(a.procs_of(t) <= 8);
+        }
+    }
+
+    #[test]
+    fn cpa_shrinks_critical_path_relative_to_sequential() {
+        let r = reference(16);
+        let g = chain(3);
+        let a = cpa_allocate(&r, &g);
+        let before = analyze(&g, |t| r.task_time(&g, t, 1), |_| 0.0).critical_path_length;
+        let after = analyze(&g, |t| r.task_time(&g, t, a.procs_of(t)), |_| 0.0).critical_path_length;
+        assert!(after < before);
+    }
+
+    #[test]
+    fn deterministic() {
+        let r = reference(16);
+        let g = chain(5);
+        assert_eq!(cpa_allocate(&r, &g), cpa_allocate(&r, &g));
+    }
+}

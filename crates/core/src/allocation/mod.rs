@@ -1,0 +1,377 @@
+//! Allocation step: deciding how many processors each task gets.
+//!
+//! Allocations are expressed in *reference processors*, following the HCPA
+//! approach recalled in the paper's related work: the heterogeneous platform
+//! is abstracted as a homogeneous *reference cluster* whose per-processor
+//! speed is the speed of the slowest processor of the platform and whose
+//! size matches the platform's total processing power. The allocation
+//! procedures reason on this cluster; the mapping step then translates a
+//! reference allocation into an equivalent number of processors of the
+//! concrete cluster a task is placed on.
+
+pub mod cpa;
+pub mod scrap;
+
+pub use cpa::cpa_allocate;
+pub use scrap::{scrap_allocate, scrap_max_allocate, ScrapVariant};
+
+use mcsched_platform::Platform;
+use mcsched_ptg::{Ptg, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Which allocation procedure the scheduler uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AllocationProcedure {
+    /// SCRAP: the resource constraint bounds the *global* average power
+    /// usage of the schedule (sum of task areas over the critical path).
+    Scrap,
+    /// SCRAP-MAX: the resource constraint is applied independently to every
+    /// precedence level (the variant the paper retains).
+    ScrapMax,
+    /// CPA-style allocation (no resource constraint; stops when the critical
+    /// path balances the average area). Used as an unconstrained baseline.
+    Cpa,
+    /// Every task keeps a single processor (degenerate baseline).
+    OneEach,
+}
+
+impl AllocationProcedure {
+    /// Human readable label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AllocationProcedure::Scrap => "SCRAP",
+            AllocationProcedure::ScrapMax => "SCRAP-MAX",
+            AllocationProcedure::Cpa => "CPA",
+            AllocationProcedure::OneEach => "1-proc",
+        }
+    }
+
+    /// Runs the procedure on one PTG under resource constraint `beta`.
+    pub fn allocate(&self, reference: &ReferencePlatform, ptg: &Ptg, beta: f64) -> RefAllocation {
+        match self {
+            AllocationProcedure::Scrap => scrap_allocate(reference, ptg, beta),
+            AllocationProcedure::ScrapMax => scrap_max_allocate(reference, ptg, beta),
+            AllocationProcedure::Cpa => cpa_allocate(reference, ptg),
+            AllocationProcedure::OneEach => RefAllocation::one_per_task(ptg.num_tasks()),
+        }
+    }
+}
+
+/// The homogeneous reference cluster abstracting a heterogeneous platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferencePlatform {
+    ref_speed: f64,
+    ref_procs: usize,
+    max_task_procs: usize,
+    total_power: f64,
+}
+
+impl ReferencePlatform {
+    /// Builds the reference view of a platform.
+    pub fn new(platform: &Platform) -> Self {
+        let ref_speed = platform.reference_speed();
+        let ref_procs = platform.reference_procs().max(1);
+        // A task is always mapped inside a single cluster, so its allocation
+        // can never exceed the power of the largest cluster (expressed in
+        // reference processors).
+        let max_task_procs = platform
+            .clusters()
+            .iter()
+            .map(|c| (c.total_power() / ref_speed).floor() as usize)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        Self {
+            ref_speed,
+            ref_procs,
+            max_task_procs,
+            total_power: platform.total_power(),
+        }
+    }
+
+    /// Builds a reference platform directly from its parameters (useful for
+    /// tests and for homogeneous platforms).
+    pub fn from_parts(ref_speed: f64, ref_procs: usize, max_task_procs: usize) -> Self {
+        Self {
+            ref_speed,
+            ref_procs: ref_procs.max(1),
+            max_task_procs: max_task_procs.clamp(1, ref_procs.max(1)),
+            total_power: ref_speed * ref_procs as f64,
+        }
+    }
+
+    /// Speed of one reference processor (flop/s).
+    pub fn speed(&self) -> f64 {
+        self.ref_speed
+    }
+
+    /// Number of reference processors (platform power / reference speed).
+    pub fn procs(&self) -> usize {
+        self.ref_procs
+    }
+
+    /// Maximum reference allocation a single task can receive (power of the
+    /// largest cluster).
+    pub fn max_task_procs(&self) -> usize {
+        self.max_task_procs
+    }
+
+    /// Total processing power of the underlying platform (flop/s).
+    pub fn total_power(&self) -> f64 {
+        self.total_power
+    }
+
+    /// Execution time of task `t` of `ptg` on `n` reference processors.
+    pub fn task_time(&self, ptg: &Ptg, t: TaskId, n: usize) -> f64 {
+        ptg.task(t).parallel_time(n, self.ref_speed)
+    }
+
+    /// Area (time × power, in flop) of task `t` on `n` reference processors.
+    pub fn task_area(&self, ptg: &Ptg, t: TaskId, n: usize) -> f64 {
+        ptg.task(t).area(n, self.ref_speed)
+    }
+
+    /// Number of processors of speed `cluster_speed` delivering at least as
+    /// much power as `n_ref` reference processors (at least 1).
+    pub fn translate(&self, n_ref: usize, cluster_speed: f64) -> usize {
+        let exact = n_ref as f64 * self.ref_speed / cluster_speed;
+        (exact - 1e-9).ceil().max(1.0) as usize
+    }
+}
+
+/// A per-task allocation in reference processors for one PTG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RefAllocation {
+    procs: Vec<usize>,
+}
+
+impl RefAllocation {
+    /// The initial allocation of every procedure: one processor per task.
+    pub fn one_per_task(num_tasks: usize) -> Self {
+        Self {
+            procs: vec![1; num_tasks],
+        }
+    }
+
+    /// Builds an allocation from explicit per-task counts.
+    pub fn from_counts(procs: Vec<usize>) -> Self {
+        Self { procs }
+    }
+
+    /// Number of reference processors allocated to task `t`.
+    pub fn procs_of(&self, t: TaskId) -> usize {
+        self.procs[t]
+    }
+
+    /// Per-task allocation counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.procs
+    }
+
+    /// Mutable access used by the allocation procedures.
+    pub(crate) fn add_proc(&mut self, t: TaskId) {
+        self.procs[t] += 1;
+    }
+
+    /// Mutable access used by the allocation procedures.
+    pub(crate) fn remove_proc(&mut self, t: TaskId) {
+        debug_assert!(self.procs[t] > 1);
+        self.procs[t] -= 1;
+    }
+
+    /// Largest per-task allocation.
+    pub fn max(&self) -> usize {
+        self.procs.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sum of the per-task allocations.
+    pub fn total(&self) -> usize {
+        self.procs.iter().sum()
+    }
+}
+
+/// Quantities shared by the allocation procedures to check resource
+/// constraints on a PTG.
+#[derive(Debug, Clone)]
+pub(crate) struct ConstraintChecker<'a> {
+    pub reference: &'a ReferencePlatform,
+    pub ptg: &'a Ptg,
+    /// Precedence level of every task.
+    pub levels: Vec<usize>,
+    /// Number of levels.
+    #[allow(dead_code)] // read by unit tests and kept for introspection
+    pub num_levels: usize,
+}
+
+impl<'a> ConstraintChecker<'a> {
+    pub fn new(reference: &'a ReferencePlatform, ptg: &'a Ptg) -> Self {
+        let s = mcsched_ptg::analysis::structure(ptg);
+        Self {
+            reference,
+            ptg,
+            num_levels: s.level_widths.len(),
+            levels: s.levels,
+        }
+    }
+
+    /// Power budget allowed by constraint `beta`, in reference processors.
+    pub fn budget_procs(&self, beta: f64) -> f64 {
+        beta.clamp(0.0, 1.0) * self.reference.procs() as f64
+    }
+
+    /// SCRAP's global check: average power usage of the allocation over the
+    /// critical path duration, in reference processors.
+    pub fn average_usage(&self, alloc: &RefAllocation) -> f64 {
+        let total_area: f64 = self
+            .ptg
+            .task_ids()
+            .map(|t| self.reference.task_area(self.ptg, t, alloc.procs_of(t)))
+            .sum();
+        let cp = mcsched_ptg::analysis::analyze(
+            self.ptg,
+            |t| self.reference.task_time(self.ptg, t, alloc.procs_of(t)),
+            |_| 0.0,
+        )
+        .critical_path_length;
+        if cp <= 0.0 {
+            return 0.0;
+        }
+        total_area / cp / self.reference.speed()
+    }
+
+    /// SCRAP-MAX's per-level check: total allocation of one precedence
+    /// level, in reference processors.
+    pub fn level_usage(&self, alloc: &RefAllocation, level: usize) -> f64 {
+        self.ptg
+            .task_ids()
+            .filter(|&t| self.levels[t] == level)
+            .map(|t| alloc.procs_of(t) as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsched_platform::PlatformBuilder;
+    use mcsched_ptg::{CostModel, DataParallelTask, PtgBuilder};
+
+    fn platform() -> Platform {
+        PlatformBuilder::new("p")
+            .cluster("slow", 10, 1.0)
+            .cluster("fast", 10, 2.0)
+            .build()
+            .unwrap()
+    }
+
+    fn chain(n: usize) -> Ptg {
+        let mut b = PtgBuilder::new("chain");
+        for i in 0..n {
+            b.add_task(DataParallelTask::new(
+                format!("t{i}"),
+                4.0e6,
+                CostModel::MatrixProduct,
+                0.1,
+            ));
+        }
+        for i in 1..n {
+            b.add_data_edge(i - 1, i);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reference_platform_parameters() {
+        let r = ReferencePlatform::new(&platform());
+        assert_eq!(r.speed(), 1.0e9);
+        // total power = 10*1 + 10*2 = 30 GFlop/s => 30 reference procs
+        assert_eq!(r.procs(), 30);
+        // largest cluster power = 20 GFlop/s => 20 reference procs per task max
+        assert_eq!(r.max_task_procs(), 20);
+    }
+
+    #[test]
+    fn translate_rounds_up_power_equivalence() {
+        let r = ReferencePlatform::new(&platform());
+        // 5 reference procs at 1 GFlop/s = 5 GFlop/s => 3 procs at 2 GFlop/s
+        assert_eq!(r.translate(5, 2.0e9), 3);
+        // exact division
+        assert_eq!(r.translate(4, 2.0e9), 2);
+        // never zero
+        assert_eq!(r.translate(1, 2.0e9), 1);
+        // same speed: identity
+        assert_eq!(r.translate(7, 1.0e9), 7);
+    }
+
+    #[test]
+    fn one_per_task_allocation() {
+        let a = RefAllocation::one_per_task(5);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.max(), 1);
+        assert_eq!(a.procs_of(3), 1);
+    }
+
+    #[test]
+    fn add_remove_procs() {
+        let mut a = RefAllocation::one_per_task(3);
+        a.add_proc(1);
+        a.add_proc(1);
+        assert_eq!(a.procs_of(1), 3);
+        a.remove_proc(1);
+        assert_eq!(a.procs_of(1), 2);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn average_usage_of_one_proc_chain_is_one() {
+        // A chain with 1 proc per task: total area equals CP * speed, so the
+        // average usage is exactly 1 reference processor.
+        let p = platform();
+        let r = ReferencePlatform::new(&p);
+        let g = chain(4);
+        let checker = ConstraintChecker::new(&r, &g);
+        let alloc = RefAllocation::one_per_task(4);
+        assert!((checker.average_usage(&alloc) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn level_usage_sums_allocations() {
+        let p = platform();
+        let r = ReferencePlatform::new(&p);
+        let g = chain(3);
+        let checker = ConstraintChecker::new(&r, &g);
+        let mut alloc = RefAllocation::one_per_task(3);
+        alloc.add_proc(1);
+        assert_eq!(checker.level_usage(&alloc, 0), 1.0);
+        assert_eq!(checker.level_usage(&alloc, 1), 2.0);
+        assert_eq!(checker.num_levels, 3);
+    }
+
+    #[test]
+    fn budget_scales_with_beta() {
+        let p = platform();
+        let r = ReferencePlatform::new(&p);
+        let g = chain(2);
+        let checker = ConstraintChecker::new(&r, &g);
+        assert!((checker.budget_procs(1.0) - 30.0).abs() < 1e-9);
+        assert!((checker.budget_procs(0.5) - 15.0).abs() < 1e-9);
+        assert!((checker.budget_procs(2.0) - 30.0).abs() < 1e-9, "beta is clamped");
+    }
+
+    #[test]
+    fn procedure_labels() {
+        assert_eq!(AllocationProcedure::Scrap.label(), "SCRAP");
+        assert_eq!(AllocationProcedure::ScrapMax.label(), "SCRAP-MAX");
+        assert_eq!(AllocationProcedure::Cpa.label(), "CPA");
+        assert_eq!(AllocationProcedure::OneEach.label(), "1-proc");
+    }
+
+    #[test]
+    fn one_each_procedure_allocates_one() {
+        let p = platform();
+        let r = ReferencePlatform::new(&p);
+        let g = chain(5);
+        let a = AllocationProcedure::OneEach.allocate(&r, &g, 1.0);
+        assert_eq!(a.counts(), &[1, 1, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,295 @@
+//! SCRAP and SCRAP-MAX constrained allocation procedures.
+//!
+//! Both procedures (introduced in the authors' earlier PDCS'07 work and
+//! recalled in Section 4 of the paper) start from an allocation of one
+//! reference processor per task and iteratively give one more processor to
+//! the critical-path task that benefits the most from the increase. They
+//! differ in how they detect a violation of the resource constraint `β`:
+//!
+//! * **SCRAP** — violation when the *global* average power usage of the
+//!   schedule (sum of the task areas divided by the critical path length)
+//!   exceeds a `β` fraction of the platform's power. Note that for `β = 1`
+//!   this is exactly the CPA stopping criterion (`T_CP ≤ T_A`): the area/CP
+//!   balance is what keeps allocations from growing into the regime where
+//!   Amdahl overhead wastes the platform;
+//! * **SCRAP-MAX** — additionally requires that the total allocation of any
+//!   single *precedence level* never exceeds a `β` fraction of the
+//!   platform's power. The rationale is that the ready tasks that the
+//!   mapping step considers concurrently mostly belong to the same
+//!   precedence level, so bounding each level bounds the instantaneous power
+//!   the PTG can grab (and guarantees the concurrent tasks of a level are
+//!   never postponed for lack of resources within the PTG's share).
+//!
+//! When the best candidate's increment would violate the constraint the
+//! candidate is frozen and the procedure moves on to the next critical-path
+//! task; the procedure stops when every critical-path task is frozen, has
+//! reached the largest single-cluster allocation, or no longer benefits from
+//! an extra processor.
+
+use super::{ConstraintChecker, RefAllocation, ReferencePlatform};
+use mcsched_ptg::analysis::analyze;
+use mcsched_ptg::Ptg;
+
+/// Which violation test an allocation run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScrapVariant {
+    /// Global (whole-schedule) constraint only.
+    Global,
+    /// Global constraint plus the per-precedence-level cap.
+    PerLevel,
+}
+
+/// Runs the SCRAP procedure (global constraint) on `ptg` under constraint
+/// `beta`.
+pub fn scrap_allocate(reference: &ReferencePlatform, ptg: &Ptg, beta: f64) -> RefAllocation {
+    run(reference, ptg, beta, ScrapVariant::Global)
+}
+
+/// Runs the SCRAP-MAX procedure (per-level constraint) on `ptg` under
+/// constraint `beta`. This is the variant the paper retains for its
+/// evaluation.
+pub fn scrap_max_allocate(reference: &ReferencePlatform, ptg: &Ptg, beta: f64) -> RefAllocation {
+    run(reference, ptg, beta, ScrapVariant::PerLevel)
+}
+
+fn run(
+    reference: &ReferencePlatform,
+    ptg: &Ptg,
+    beta: f64,
+    variant: ScrapVariant,
+) -> RefAllocation {
+    let n = ptg.num_tasks();
+    let mut alloc = RefAllocation::one_per_task(n);
+    if n == 0 {
+        return alloc;
+    }
+    let checker = ConstraintChecker::new(reference, ptg);
+    let budget = checker.budget_procs(beta);
+    let max_per_task = reference.max_task_procs();
+    let mut frozen = vec![false; n];
+
+    // Safety bound: each task can gain at most `max_per_task - 1` processors,
+    // so the loop terminates after at most n * max_per_task iterations.
+    let max_iters = n * max_per_task + 1;
+    for _ in 0..max_iters {
+        // Critical path under the current allocation (communication costs are
+        // ignored during allocation, as in the paper).
+        let analysis = analyze(
+            ptg,
+            |t| reference.task_time(ptg, t, alloc.procs_of(t)),
+            |_| 0.0,
+        );
+        // Candidates: critical-path tasks that are not frozen, still below
+        // the single-cluster bound and that actually benefit from one more
+        // processor. Best candidate first (largest execution-time gain).
+        let mut candidates: Vec<(f64, usize)> = analysis
+            .critical_path
+            .iter()
+            .copied()
+            .filter(|&t| !frozen[t] && alloc.procs_of(t) < max_per_task)
+            .map(|t| {
+                let gain = reference.task_time(ptg, t, alloc.procs_of(t))
+                    - reference.task_time(ptg, t, alloc.procs_of(t) + 1);
+                (gain, t)
+            })
+            .filter(|&(gain, _)| gain > 0.0)
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let mut progressed = false;
+        for &(_, t) in &candidates {
+            alloc.add_proc(t);
+            let global_violated = checker.average_usage(&alloc) > budget + 1e-9;
+            let violated = match variant {
+                ScrapVariant::Global => global_violated,
+                ScrapVariant::PerLevel => {
+                    global_violated
+                        || checker.level_usage(&alloc, checker.levels[t]) > budget + 1e-9
+                }
+            };
+            if violated {
+                alloc.remove_proc(t);
+                frozen[t] = true;
+            } else {
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::ConstraintChecker;
+    use mcsched_platform::PlatformBuilder;
+    use mcsched_ptg::analysis::structure;
+    use mcsched_ptg::{CostModel, DataParallelTask, Ptg, PtgBuilder};
+
+    fn reference(procs: usize) -> ReferencePlatform {
+        ReferencePlatform::from_parts(1.0e9, procs, procs)
+    }
+
+    fn hetero_reference() -> ReferencePlatform {
+        let p = PlatformBuilder::new("p")
+            .cluster("a", 16, 1.0)
+            .cluster("b", 16, 2.0)
+            .build()
+            .unwrap();
+        ReferencePlatform::new(&p)
+    }
+
+    fn big_task(name: &str) -> DataParallelTask {
+        DataParallelTask::new(name, 100.0e6, CostModel::MatrixProduct, 0.05)
+    }
+
+    fn chain(n: usize) -> Ptg {
+        let mut b = PtgBuilder::new("chain");
+        for i in 0..n {
+            b.add_task(big_task(&format!("t{i}")));
+        }
+        for i in 1..n {
+            b.add_data_edge(i - 1, i);
+        }
+        b.build().unwrap()
+    }
+
+    fn fork(width: usize) -> Ptg {
+        // entry -> {width tasks} -> exit
+        let mut b = PtgBuilder::new("fork");
+        let entry = b.add_task(big_task("in"));
+        let mut mids = Vec::new();
+        for i in 0..width {
+            mids.push(b.add_task(big_task(&format!("m{i}"))));
+        }
+        let exit = b.add_task(big_task("out"));
+        for &m in &mids {
+            b.add_data_edge(entry, m);
+            b.add_data_edge(m, exit);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_with_loose_constraint_gets_large_allocations() {
+        let r = reference(32);
+        let g = chain(3);
+        let a = scrap_max_allocate(&r, &g, 1.0);
+        // Each level holds a single task, so each task can use up to the
+        // whole budget; Amdahl gains keep it worthwhile up to the bound.
+        assert!(a.max() > 1, "allocation should grow beyond 1 processor");
+        for t in g.task_ids() {
+            assert!(a.procs_of(t) <= 32);
+        }
+    }
+
+    #[test]
+    fn scrap_max_respects_per_level_budget() {
+        let r = reference(32);
+        let g = fork(8);
+        let beta = 0.25; // budget = 8 reference processors per level
+        let a = scrap_max_allocate(&r, &g, beta);
+        let checker = ConstraintChecker::new(&r, &g);
+        for level in 0..checker.num_levels {
+            assert!(
+                checker.level_usage(&a, level) <= 8.0 + 1e-9,
+                "level {level} exceeds its budget"
+            );
+        }
+    }
+
+    #[test]
+    fn scrap_respects_global_budget() {
+        let r = reference(32);
+        let g = fork(8);
+        let beta = 0.25;
+        let a = scrap_allocate(&r, &g, beta);
+        let checker = ConstraintChecker::new(&r, &g);
+        assert!(checker.average_usage(&a) <= checker.budget_procs(beta) + 1e-9);
+    }
+
+    #[test]
+    fn tighter_constraint_never_allocates_more() {
+        let r = reference(64);
+        let g = fork(6);
+        let loose = scrap_max_allocate(&r, &g, 1.0);
+        let tight = scrap_max_allocate(&r, &g, 0.2);
+        assert!(tight.total() <= loose.total());
+    }
+
+    #[test]
+    fn allocations_never_exceed_largest_cluster() {
+        let r = hetero_reference(); // 48 ref procs, max per task 32
+        let g = chain(2);
+        let a = scrap_max_allocate(&r, &g, 1.0);
+        for t in g.task_ids() {
+            assert!(a.procs_of(t) <= r.max_task_procs());
+        }
+    }
+
+    #[test]
+    fn beta_zero_keeps_one_proc_per_task() {
+        let r = reference(32);
+        let g = fork(4);
+        let a = scrap_max_allocate(&r, &g, 0.0);
+        assert_eq!(a.counts(), vec![1; g.num_tasks()].as_slice());
+        let a = scrap_allocate(&r, &g, 0.0);
+        assert_eq!(a.counts(), vec![1; g.num_tasks()].as_slice());
+    }
+
+    #[test]
+    fn allocation_reduces_critical_path() {
+        let r = reference(32);
+        let g = chain(4);
+        let before = analyze(&g, |t| r.task_time(&g, t, 1), |_| 0.0).critical_path_length;
+        let a = scrap_max_allocate(&r, &g, 1.0);
+        let after = analyze(&g, |t| r.task_time(&g, t, a.procs_of(t)), |_| 0.0).critical_path_length;
+        assert!(after < before);
+    }
+
+    #[test]
+    fn scrap_max_spreads_over_wide_level() {
+        let r = reference(40);
+        let g = fork(10);
+        let a = scrap_max_allocate(&r, &g, 0.5); // 20 procs per level
+        let s = structure(&g);
+        // The wide level (level 1) should not exceed 20 in total.
+        let wide_total: usize = g
+            .task_ids()
+            .filter(|&t| s.levels[t] == 1)
+            .map(|t| a.procs_of(t))
+            .sum();
+        assert!(wide_total <= 20);
+        assert!(wide_total >= 10, "every task keeps at least one processor");
+    }
+
+    #[test]
+    fn fully_parallel_tasks_grow_until_budget_under_scrap() {
+        // alpha = 0 means adding processors never increases the area, so the
+        // global constraint only stops growth at the per-task bound.
+        let mut b = PtgBuilder::new("p");
+        b.add_task(DataParallelTask::new("t", 50.0e6, CostModel::MatrixProduct, 0.0));
+        let g = b.build().unwrap();
+        let r = reference(16);
+        let a = scrap_allocate(&r, &g, 1.0);
+        assert_eq!(a.procs_of(0), 16);
+    }
+
+    #[test]
+    fn single_task_graph_single_level_budget() {
+        let mut b = PtgBuilder::new("p");
+        b.add_task(big_task("only"));
+        let g = b.build().unwrap();
+        let r = reference(20);
+        let a = scrap_max_allocate(&r, &g, 0.5);
+        assert!(a.procs_of(0) <= 10);
+        assert!(a.procs_of(0) >= 1);
+    }
+}

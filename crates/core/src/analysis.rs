@@ -1,0 +1,291 @@
+//! Post-mortem analysis of schedules and simulated traces.
+//!
+//! The paper's evaluation only reports unfairness and makespans, but when
+//! debugging a strategy (or extending the scheduler) it is useful to look at
+//! *how* a schedule occupies the platform: per-cluster utilisation, per-
+//! application resource consumption, idle time introduced by postponing, and
+//! whether the β constraints were respected by the executed schedule. This
+//! module provides those views plus a compact textual Gantt rendering.
+
+use crate::mapping::Schedule;
+use crate::scheduler::ConcurrentRun;
+use mcsched_platform::Platform;
+use mcsched_simx::ExecutionTrace;
+use serde::{Deserialize, Serialize};
+
+/// Resource-usage view of one application within a concurrent run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppUsage {
+    /// Application index (order of submission).
+    pub app: usize,
+    /// Total processor-seconds consumed by the application's tasks.
+    pub proc_seconds: f64,
+    /// Average processing power used over the application's lifetime
+    /// (flop/s): work-equivalent power = Σ(duration·procs·speed) / makespan.
+    pub average_power: f64,
+    /// The same average power expressed as a fraction of the platform's
+    /// total power — directly comparable to the β constraint the strategy
+    /// attributed to the application.
+    pub power_fraction: f64,
+    /// Observed makespan of the application.
+    pub makespan: f64,
+}
+
+/// Platform-level utilisation of a simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformUsage {
+    /// Busy processor-seconds per cluster.
+    pub busy_per_cluster: Vec<f64>,
+    /// Utilisation (busy / capacity) per cluster over the run's makespan.
+    pub utilization_per_cluster: Vec<f64>,
+    /// Overall utilisation of the platform over the run's makespan.
+    pub overall_utilization: f64,
+    /// Makespan used as the denominator.
+    pub makespan: f64,
+}
+
+/// Computes the per-cluster and overall utilisation of a simulated trace.
+pub fn platform_usage(platform: &Platform, trace: &ExecutionTrace) -> PlatformUsage {
+    let makespan = trace.makespan();
+    let mut busy = vec![0.0f64; platform.num_clusters()];
+    for record in trace.jobs.iter().flatten() {
+        busy[record.procs.cluster()] += (record.finish - record.start) * record.procs.len() as f64;
+    }
+    let utilization: Vec<f64> = busy
+        .iter()
+        .zip(platform.clusters())
+        .map(|(&b, c)| {
+            if makespan > 0.0 {
+                b / (c.num_procs() as f64 * makespan)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let total_busy: f64 = busy.iter().sum();
+    let overall = if makespan > 0.0 {
+        total_busy / (platform.total_procs() as f64 * makespan)
+    } else {
+        0.0
+    };
+    PlatformUsage {
+        busy_per_cluster: busy,
+        utilization_per_cluster: utilization,
+        overall_utilization: overall,
+        makespan,
+    }
+}
+
+/// Computes per-application resource usage for a concurrent run.
+pub fn app_usage(platform: &Platform, run: &ConcurrentRun) -> Vec<AppUsage> {
+    let total_power = platform.total_power();
+    (0..run.apps.len())
+        .map(|app| {
+            let jobs = run.schedule.app_jobs(app);
+            let mut proc_seconds = 0.0;
+            let mut flop_equivalent = 0.0;
+            for &j in &jobs {
+                if let Some(rec) = run.trace.job(j) {
+                    let dur = rec.finish - rec.start;
+                    proc_seconds += dur * rec.procs.len() as f64;
+                    let speed = platform
+                        .cluster(rec.procs.cluster())
+                        .map(|c| c.speed())
+                        .unwrap_or(0.0);
+                    flop_equivalent += dur * rec.procs.len() as f64 * speed;
+                }
+            }
+            let makespan = run.apps[app].makespan;
+            let average_power = if makespan > 0.0 {
+                flop_equivalent / makespan
+            } else {
+                0.0
+            };
+            AppUsage {
+                app,
+                proc_seconds,
+                average_power,
+                power_fraction: if total_power > 0.0 {
+                    average_power / total_power
+                } else {
+                    0.0
+                },
+                makespan,
+            }
+        })
+        .collect()
+}
+
+/// Checks, for every application of a concurrent run, whether the *observed*
+/// average power usage stays within its β constraint (with a tolerance).
+///
+/// Returns the list of applications exceeding their constraint. The paper
+/// reports that the SCRAP/SCRAP-MAX allocations respect their constraint in
+/// 99% of the scenarios; this function measures the same property on the
+/// simulated execution.
+pub fn constraint_violations(platform: &Platform, run: &ConcurrentRun, tolerance: f64) -> Vec<usize> {
+    app_usage(platform, run)
+        .iter()
+        .zip(&run.apps)
+        .filter(|(usage, report)| usage.power_fraction > report.beta * (1.0 + tolerance))
+        .map(|(usage, _)| usage.app)
+        .collect()
+}
+
+/// Total idle time introduced between the estimated schedule and the
+/// simulated execution: the sum over tasks of the extra delay between the
+/// estimated and the observed start times. Large values indicate that the
+/// mapping estimates were optimistic (e.g. because of network contention).
+pub fn schedule_slippage(schedule: &Schedule, trace: &ExecutionTrace) -> f64 {
+    let mut slip = 0.0;
+    for placements in &schedule.placements {
+        for p in placements {
+            if let Some(rec) = trace.job(p.job) {
+                slip += (rec.start - p.est_start).max(0.0);
+            }
+        }
+    }
+    slip
+}
+
+/// Renders a compact textual Gantt chart of a simulated trace: one line per
+/// cluster, time discretised into `columns` buckets, each bucket showing the
+/// number of busy processors as a digit (`.` for idle, `#` for ≥ 90% busy).
+pub fn text_gantt(platform: &Platform, trace: &ExecutionTrace, columns: usize) -> String {
+    let makespan = trace.makespan();
+    let columns = columns.max(1);
+    let mut out = String::new();
+    if makespan <= 0.0 {
+        out.push_str("(empty trace)\n");
+        return out;
+    }
+    let dt = makespan / columns as f64;
+    for (k, cluster) in platform.clusters().iter().enumerate() {
+        let mut row = vec![0usize; columns];
+        for rec in trace.jobs.iter().flatten() {
+            if rec.procs.cluster() != k {
+                continue;
+            }
+            let first = ((rec.start / dt).floor() as usize).min(columns - 1);
+            let last = (((rec.finish / dt).ceil() as usize).max(first + 1)).min(columns);
+            for slot in row.iter_mut().take(last).skip(first) {
+                *slot += rec.procs.len();
+            }
+        }
+        out.push_str(&format!("{:<10} |", cluster.name()));
+        for &busy in &row {
+            let frac = busy as f64 / cluster.num_procs() as f64;
+            let ch = if busy == 0 {
+                '.'
+            } else if frac >= 0.9 {
+                '#'
+            } else {
+                char::from_digit(((frac * 10.0).ceil() as u32).clamp(1, 9), 10).unwrap_or('?')
+            };
+            out.push(ch);
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "            0s{:>width$.1}s\n",
+        makespan,
+        width = columns.saturating_sub(2)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConcurrentScheduler, ConstraintStrategy};
+    use mcsched_platform::grid5000;
+    use mcsched_ptg::gen::PtgClass;
+    use mcsched_ptg::Ptg;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn run() -> (mcsched_platform::Platform, ConcurrentRun) {
+        let platform = grid5000::lille();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let apps: Vec<Ptg> = (0..3)
+            .map(|i| PtgClass::Random.sample(&mut rng, format!("a{i}")))
+            .collect();
+        let run = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare)
+            .schedule(&platform, &apps)
+            .unwrap();
+        (platform, run)
+    }
+
+    #[test]
+    fn utilization_is_between_zero_and_one() {
+        let (platform, run) = run();
+        let usage = platform_usage(&platform, &run.trace);
+        assert_eq!(usage.busy_per_cluster.len(), platform.num_clusters());
+        assert!(usage.overall_utilization > 0.0 && usage.overall_utilization <= 1.0);
+        for u in &usage.utilization_per_cluster {
+            assert!(*u >= 0.0 && *u <= 1.0 + 1e-9);
+        }
+        assert!((usage.makespan - run.global_makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn app_usage_covers_every_application() {
+        let (platform, run) = run();
+        let usages = app_usage(&platform, &run);
+        assert_eq!(usages.len(), run.apps.len());
+        for u in &usages {
+            assert!(u.proc_seconds > 0.0);
+            assert!(u.average_power > 0.0);
+            assert!(u.power_fraction > 0.0 && u.power_fraction <= 1.0 + 1e-9);
+            assert!((u.makespan - run.apps[u.app].makespan).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn busy_time_matches_app_proc_seconds() {
+        let (platform, run) = run();
+        let total_cluster: f64 = platform_usage(&platform, &run.trace)
+            .busy_per_cluster
+            .iter()
+            .sum();
+        let total_apps: f64 = app_usage(&platform, &run).iter().map(|u| u.proc_seconds).sum();
+        assert!((total_cluster - total_apps).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equal_share_respects_constraints_in_practice() {
+        let (platform, run) = run();
+        // Allow a generous tolerance: the observed average power can slightly
+        // exceed beta because the mapping translates allocations with a
+        // power-equivalent ceiling.
+        let violations = constraint_violations(&platform, &run, 0.5);
+        assert!(
+            violations.len() <= 1,
+            "most applications stay within their share, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn slippage_is_nonnegative_and_finite() {
+        let (_, run) = run();
+        let slip = schedule_slippage(&run.schedule, &run.trace);
+        assert!(slip >= 0.0);
+        assert!(slip.is_finite());
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_cluster() {
+        let (platform, run) = run();
+        let gantt = text_gantt(&platform, &run.trace, 60);
+        let rows = gantt.lines().count();
+        assert_eq!(rows, platform.num_clusters() + 1);
+        assert!(gantt.contains('|'));
+    }
+
+    #[test]
+    fn gantt_of_empty_trace() {
+        let platform = grid5000::nancy();
+        let gantt = text_gantt(&platform, &ExecutionTrace::default(), 40);
+        assert!(gantt.contains("empty"));
+    }
+}

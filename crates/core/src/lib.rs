@@ -1,0 +1,38 @@
+//! # mcsched-core
+//!
+//! The paper's primary contribution: concurrent two-step scheduling of
+//! parallel task graphs (PTGs) on heterogeneous multi-cluster platforms
+//! under **constrained resource allocations**.
+//!
+//! The pipeline, for a set `A` of PTGs submitted together:
+//!
+//! 1. a [`constraint::ConstraintStrategy`] computes a resource constraint
+//!    `β_i` for every PTG — the fraction of the platform's total processing
+//!    power its schedule may use (strategies `S`, `ES`, `PS-*`, `WPS-*`);
+//! 2. an [`allocation`] procedure (SCRAP or SCRAP-MAX) decides how many
+//!    *reference processors* every task gets without violating `β_i`;
+//! 3. the [`mapping`] step — a ready-task list scheduler with allocation
+//!    packing — places the allocated tasks of all PTGs onto concrete
+//!    processor sets of the platform;
+//! 4. the resulting schedule is executed by the `mcsched-simx` engine, and
+//!    [`metrics`] turns the observed per-application makespans into the
+//!    paper's **slowdown / unfairness / relative makespan** figures.
+//!
+//! The [`scheduler::ConcurrentScheduler`] type drives the whole pipeline.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod allocation;
+pub mod analysis;
+pub mod baseline;
+pub mod constraint;
+pub mod mapping;
+pub mod metrics;
+pub mod scheduler;
+
+pub use allocation::{AllocationProcedure, RefAllocation, ReferencePlatform};
+pub use constraint::{Characteristic, ConstraintStrategy};
+pub use mapping::{MappingConfig, OrderingMode, Schedule};
+pub use metrics::{average_slowdown, slowdown, unfairness};
+pub use scheduler::{ConcurrentRun, ConcurrentScheduler, SchedulerConfig};

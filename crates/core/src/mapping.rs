@@ -1,0 +1,707 @@
+//! Mapping step: placing the allocated tasks of several PTGs onto concrete
+//! processor sets (Section 5 of the paper).
+//!
+//! The mapping procedure is a list scheduler working on **ready tasks only**:
+//! a task enters the candidate list once all its predecessors have been
+//! mapped, and among the candidates the task with the highest *bottom level*
+//! (its distance to the end of its own application, computed with the
+//! execution times of the current allocation) is mapped first. Restricting
+//! the priority comparison to ready tasks prevents the entry tasks of small
+//! PTGs from being postponed behind the whole body of larger PTGs, which is
+//! what a global ordering does (Figure 1 of the paper).
+//!
+//! For the selected task the procedure evaluates, on every cluster, the
+//! processor set that yields the earliest estimated finish time, translating
+//! the task's reference allocation into an equivalent number of processors of
+//! that cluster. An **allocation packing** mechanism optionally shrinks the
+//! allocation when the task would otherwise wait for processors: the reduced
+//! allocation is accepted only if the task starts earlier and finishes no
+//! later than with its original allocation.
+
+use crate::allocation::{RefAllocation, ReferencePlatform};
+use mcsched_platform::{Platform, ProcSet};
+use mcsched_ptg::analysis::analyze;
+use mcsched_ptg::Ptg;
+use mcsched_simx::{JobId, SimJob, SimWorkload, SiteNetwork};
+use serde::{Deserialize, Serialize};
+
+/// How the candidate tasks are ordered during mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrderingMode {
+    /// Only ready tasks are ordered (the paper's proposal): a task becomes a
+    /// candidate once all its predecessors are mapped, and candidates are
+    /// ranked by bottom level.
+    ReadyTasks,
+    /// All tasks of all applications are ranked by bottom level in one global
+    /// list processed in order without backfilling: a task never starts
+    /// before the tasks that precede it in the list. This reproduces the
+    /// postponing behaviour illustrated by Figure 1 and serves as an
+    /// ablation baseline.
+    Global,
+}
+
+/// Configuration of the mapping step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MappingConfig {
+    /// Candidate ordering discipline.
+    pub ordering: OrderingMode,
+    /// Whether the allocation-packing mechanism is enabled.
+    pub packing: bool,
+    /// Whether estimated redistribution costs are included in the
+    /// earliest-finish-time evaluation (they are always simulated afterwards;
+    /// this only affects the mapping decisions).
+    pub comm_aware: bool,
+}
+
+impl Default for MappingConfig {
+    fn default() -> Self {
+        Self {
+            ordering: OrderingMode::ReadyTasks,
+            packing: true,
+            comm_aware: true,
+        }
+    }
+}
+
+/// Where one task ended up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskPlacement {
+    /// Processors reserved for the task.
+    pub procs: ProcSet,
+    /// Estimated start time used by the mapping heuristic.
+    pub est_start: f64,
+    /// Estimated finish time used by the mapping heuristic.
+    pub est_finish: f64,
+    /// Identifier of the corresponding job in the generated workload.
+    pub job: JobId,
+}
+
+/// The outcome of the mapping step: a simulable workload plus per-task
+/// placements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// The workload to hand to the simulation engine.
+    pub workload: SimWorkload,
+    /// Placements indexed by `[application][task]`.
+    pub placements: Vec<Vec<TaskPlacement>>,
+}
+
+impl Schedule {
+    /// Job identifiers belonging to one application.
+    pub fn app_jobs(&self, app: usize) -> Vec<JobId> {
+        self.placements[app].iter().map(|p| p.job).collect()
+    }
+
+    /// Estimated makespan of one application (max estimated finish).
+    pub fn estimated_app_makespan(&self, app: usize) -> f64 {
+        self.placements[app]
+            .iter()
+            .map(|p| p.est_finish)
+            .fold(0.0, f64::max)
+    }
+
+    /// Estimated global makespan (max over all applications).
+    pub fn estimated_makespan(&self) -> f64 {
+        (0..self.placements.len())
+            .map(|a| self.estimated_app_makespan(a))
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of applications in the schedule.
+    pub fn num_apps(&self) -> usize {
+        self.placements.len()
+    }
+}
+
+/// Maps the allocated tasks of `ptgs` onto `platform`.
+///
+/// * `allocations[i]` — reference allocation of `ptgs[i]` (same task
+///   indexing);
+/// * `release_times[i]` — submission time of `ptgs[i]` (0 for the paper's
+///   simultaneous-submission scenario).
+///
+/// # Panics
+///
+/// Panics if the slices have inconsistent lengths.
+pub fn map_concurrent(
+    platform: &Platform,
+    ptgs: &[Ptg],
+    allocations: &[RefAllocation],
+    release_times: &[f64],
+    config: &MappingConfig,
+) -> Schedule {
+    assert_eq!(ptgs.len(), allocations.len(), "one allocation per PTG");
+    assert_eq!(ptgs.len(), release_times.len(), "one release time per PTG");
+
+    let reference = ReferencePlatform::new(platform);
+    let network = SiteNetwork::new(platform);
+    // Bottom levels under the current allocations (communications ignored, as
+    // in the paper's priority definition).
+    let bottom_levels: Vec<Vec<f64>> = ptgs
+        .iter()
+        .zip(allocations)
+        .map(|(ptg, alloc)| {
+            analyze(
+                ptg,
+                |t| reference.task_time(ptg, t, alloc.procs_of(t)),
+                |_| 0.0,
+            )
+            .bottom_levels
+        })
+        .collect();
+
+    // Per-processor availability times.
+    let mut avail: Vec<Vec<f64>> = platform
+        .clusters()
+        .iter()
+        .map(|c| vec![0.0f64; c.num_procs()])
+        .collect();
+
+    // Placement state.
+    let mut placements: Vec<Vec<Option<TaskPlacement>>> = ptgs
+        .iter()
+        .map(|p| vec![None; p.num_tasks()])
+        .collect();
+    let mut unmapped_preds: Vec<Vec<usize>> = ptgs
+        .iter()
+        .map(|p| p.task_ids().map(|t| p.preds(t).len()).collect())
+        .collect();
+
+    let mut workload = SimWorkload::new();
+    let mut priority_counter: u64 = 0;
+
+    // The candidate pool.
+    //
+    // * In ReadyTasks mode it holds the tasks whose predecessors are all
+    //   mapped, together with the time at which they become *ready* (their
+    //   predecessors' estimated completion). A simulated clock only lets the
+    //   scheduler compare tasks that are ready at the same instant, which is
+    //   what prevents a large application's deep tasks from overtaking a
+    //   small application's entry tasks (Figure 1).
+    // * In Global mode it holds every task up front, sorted once by bottom
+    //   level, and is consumed front to back.
+    let mut candidates: Vec<(usize, usize, f64)> = Vec::new();
+    match config.ordering {
+        OrderingMode::ReadyTasks => {
+            for (app, ptg) in ptgs.iter().enumerate() {
+                for t in ptg.task_ids() {
+                    if ptg.preds(t).is_empty() {
+                        candidates.push((app, t, release_times[app]));
+                    }
+                }
+            }
+        }
+        OrderingMode::Global => {
+            for (app, ptg) in ptgs.iter().enumerate() {
+                for t in ptg.task_ids() {
+                    candidates.push((app, t, release_times[app]));
+                }
+            }
+            // Highest bottom level first; the list is then consumed front to
+            // back (respecting precedence inside each application because a
+            // predecessor's bottom level always exceeds its successors').
+            candidates.sort_by(|&(aa, at, _), &(ba, bt, _)| {
+                bottom_levels[ba][bt]
+                    .total_cmp(&bottom_levels[aa][at])
+                    .then(aa.cmp(&ba))
+                    .then(at.cmp(&bt))
+            });
+        }
+    }
+
+    // In Global mode, no task may start before the start time of the tasks
+    // mapped before it (no backfilling).
+    let mut no_backfill_floor = 0.0f64;
+    // In ReadyTasks mode, the scheduler's clock: only tasks ready at or
+    // before this instant compete on bottom level.
+    let mut clock = 0.0f64;
+
+    let total_tasks: usize = ptgs.iter().map(Ptg::num_tasks).sum();
+    for _ in 0..total_tasks {
+        // Select the next task.
+        let (app, task, _ready_at) = match config.ordering {
+            OrderingMode::ReadyTasks => {
+                // Advance the clock to the earliest ready time if nothing is
+                // ready yet.
+                let min_ready = candidates
+                    .iter()
+                    .map(|&(_, _, r)| r)
+                    .fold(f64::INFINITY, f64::min);
+                if min_ready > clock {
+                    clock = min_ready;
+                }
+                let eps = 1e-9 * clock.abs().max(1.0);
+                let best = candidates
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &(_, _, r))| r <= clock + eps)
+                    .max_by(|&(_, &(aa, at, _)), &(_, &(ba, bt, _))| {
+                        bottom_levels[aa][at]
+                            .total_cmp(&bottom_levels[ba][bt])
+                            .then(ba.cmp(&aa))
+                            .then(bt.cmp(&at))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("at least one candidate is ready at the clock");
+                candidates.swap_remove(best)
+            }
+            OrderingMode::Global => candidates.remove(0),
+        };
+
+        let ptg = &ptgs[app];
+        let alloc = &allocations[app];
+        let n_ref = alloc.procs_of(task);
+
+        // Data-ready time on each cluster: predecessors' estimated finish
+        // plus an estimated redistribution cost when crossing clusters.
+        let data_ready = |dst_cluster: usize| -> f64 {
+            let mut ready = release_times[app];
+            for &(pred, edge) in ptg.preds(task) {
+                let placement = placements[app][pred]
+                    .as_ref()
+                    .expect("predecessors are mapped before their successors");
+                let mut t = placement.est_finish;
+                if config.comm_aware {
+                    let dst = ProcSet::contiguous(dst_cluster, 0, 1);
+                    let route = network.route(&placement.procs, &dst);
+                    // Same-cluster redistribution is treated as free in the
+                    // estimate (the simulation still charges it when the
+                    // processor sets differ).
+                    if placement.procs.cluster() != dst_cluster {
+                        t += network.uncontended_time(&route, ptg.edge(edge).bytes);
+                    }
+                }
+                ready = ready.max(t);
+            }
+            ready
+        };
+
+        // Evaluate every cluster.
+        let mut best: Option<(f64, f64, usize, usize)> = None; // finish, start, cluster, nprocs
+        for (k, cluster) in platform.clusters().iter().enumerate() {
+            let full = reference
+                .translate(n_ref, cluster.speed())
+                .min(cluster.num_procs());
+            let ready = data_ready(k).max(no_backfill_floor);
+
+            // Earliest start with `q` processors on cluster k: the q-th
+            // smallest availability time.
+            let mut sorted_avail = avail[k].clone();
+            sorted_avail.sort_by(f64::total_cmp);
+            let start_with = |q: usize| -> f64 { ready.max(sorted_avail[q - 1]) };
+
+            let full_start = start_with(full);
+            let full_finish = full_start + ptg.task(task).parallel_time(full, cluster.speed());
+            let mut chosen = (full_finish, full_start, k, full);
+
+            // Allocation packing: only when the task is delayed by processor
+            // availability rather than by its input data.
+            if config.packing && full_start > ready + 1e-12 {
+                for q in (1..full).rev() {
+                    let s = start_with(q);
+                    let f = s + ptg.task(task).parallel_time(q, cluster.speed());
+                    if s < chosen.1 - 1e-12 && f <= chosen.0 + 1e-12 {
+                        chosen = (f, s, k, q);
+                    }
+                }
+            }
+
+            match best {
+                None => best = Some(chosen),
+                Some(b)
+                    if chosen.0 < b.0 - 1e-12
+                        || ((chosen.0 - b.0).abs() <= 1e-12 && chosen.1 < b.1 - 1e-12) =>
+                {
+                    best = Some(chosen)
+                }
+                _ => {}
+            }
+        }
+
+        let (finish, start, cluster_id, nprocs) =
+            best.expect("a platform always has at least one cluster");
+
+        // Reserve the `nprocs` processors of `cluster_id` with the smallest
+        // availability times.
+        let mut indexed: Vec<(f64, usize)> = avail[cluster_id]
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(p, t)| (t, p))
+            .collect();
+        indexed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let chosen_procs: Vec<usize> = indexed.iter().take(nprocs).map(|&(_, p)| p).collect();
+        for &p in &chosen_procs {
+            avail[cluster_id][p] = finish;
+        }
+        let procs = ProcSet::new(cluster_id, chosen_procs);
+
+        let duration = ptg
+            .task(task)
+            .parallel_time(nprocs, platform.clusters()[cluster_id].speed());
+        let job = workload.add_job(SimJob {
+            name: format!("{}::{}", ptg.name(), ptg.task(task).name()),
+            procs: procs.clone(),
+            duration,
+            release_time: release_times[app],
+            priority: priority_counter,
+        });
+        priority_counter += 1;
+
+        placements[app][task] = Some(TaskPlacement {
+            procs,
+            est_start: start,
+            est_finish: finish,
+            job,
+        });
+        if config.ordering == OrderingMode::Global {
+            no_backfill_floor = no_backfill_floor.max(start);
+        }
+
+        // Newly ready successors (ReadyTasks mode only). A successor becomes
+        // ready when all its predecessors have *completed* according to the
+        // current estimates, not merely when they have been mapped.
+        for &(succ, _) in ptg.succs(task) {
+            unmapped_preds[app][succ] -= 1;
+            if config.ordering == OrderingMode::ReadyTasks && unmapped_preds[app][succ] == 0 {
+                let ready_at = ptg
+                    .preds(succ)
+                    .iter()
+                    .map(|&(p, _)| {
+                        placements[app][p]
+                            .as_ref()
+                            .expect("all predecessors are mapped")
+                            .est_finish
+                    })
+                    .fold(release_times[app], f64::max);
+                candidates.push((app, succ, ready_at));
+            }
+        }
+    }
+
+    // Materialise the transfers of every application edge.
+    for (app, ptg) in ptgs.iter().enumerate() {
+        for e in ptg.edges() {
+            let from = placements[app][e.src].as_ref().expect("all tasks mapped").job;
+            let to = placements[app][e.dst].as_ref().expect("all tasks mapped").job;
+            workload.add_transfer(from, to, e.bytes);
+        }
+    }
+
+    Schedule {
+        workload,
+        placements: placements
+            .into_iter()
+            .map(|v| v.into_iter().map(|p| p.expect("all tasks mapped")).collect())
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsched_platform::PlatformBuilder;
+    use mcsched_ptg::{CostModel, DataParallelTask, PtgBuilder};
+
+    fn platform() -> Platform {
+        PlatformBuilder::new("p")
+            .cluster("a", 8, 1.0)
+            .cluster("b", 4, 2.0)
+            .build()
+            .unwrap()
+    }
+
+    fn task(name: &str, d: f64, alpha: f64) -> DataParallelTask {
+        DataParallelTask::new(name, d, CostModel::MatrixProduct, alpha)
+    }
+
+    fn chain(n: usize, d: f64) -> Ptg {
+        let mut b = PtgBuilder::new(format!("chain{n}"));
+        for i in 0..n {
+            b.add_task(task(&format!("t{i}"), d, 0.1));
+        }
+        for i in 1..n {
+            b.add_data_edge(i - 1, i);
+        }
+        b.build().unwrap()
+    }
+
+    fn fork(width: usize, d: f64) -> Ptg {
+        let mut b = PtgBuilder::new(format!("fork{width}"));
+        let entry = b.add_task(task("in", d, 0.1));
+        let exit_d = d;
+        let mut mids = Vec::new();
+        for i in 0..width {
+            mids.push(b.add_task(task(&format!("m{i}"), d, 0.1)));
+        }
+        let exit = b.add_task(task("out", exit_d, 0.1));
+        for &m in &mids {
+            b.add_data_edge(entry, m);
+            b.add_data_edge(m, exit);
+        }
+        b.build().unwrap()
+    }
+
+    fn one_alloc(ptg: &Ptg) -> RefAllocation {
+        RefAllocation::one_per_task(ptg.num_tasks())
+    }
+
+    #[test]
+    fn single_chain_produces_valid_schedule() {
+        let p = platform();
+        let g = chain(3, 8.0e6);
+        let schedule = map_concurrent(
+            &p,
+            std::slice::from_ref(&g),
+            &[one_alloc(&g)],
+            &[0.0],
+            &MappingConfig::default(),
+        );
+        assert_eq!(schedule.num_apps(), 1);
+        assert_eq!(schedule.workload.num_jobs(), 3);
+        assert_eq!(schedule.workload.transfers.len(), 2);
+        assert!(schedule.workload.validate(&p).is_ok());
+        // Chain tasks never overlap in the estimates.
+        let pl = &schedule.placements[0];
+        assert!(pl[0].est_finish <= pl[1].est_start + 1e-9);
+        assert!(pl[1].est_finish <= pl[2].est_start + 1e-9);
+    }
+
+    #[test]
+    fn estimates_respect_precedence_for_every_edge() {
+        let p = platform();
+        let g = fork(5, 16.0e6);
+        let schedule = map_concurrent(
+            &p,
+            std::slice::from_ref(&g),
+            &[RefAllocation::from_counts(vec![2; g.num_tasks()])],
+            &[0.0],
+            &MappingConfig::default(),
+        );
+        for e in g.edges() {
+            let src = &schedule.placements[0][e.src];
+            let dst = &schedule.placements[0][e.dst];
+            assert!(src.est_finish <= dst.est_start + 1e-9);
+        }
+    }
+
+    #[test]
+    fn allocation_translates_to_fewer_procs_on_fast_cluster() {
+        let p = platform();
+        let g = chain(1, 100.0e6);
+        // 4 reference processors; if placed on the 2 GFlop/s cluster the
+        // translation needs only 2 processors.
+        let schedule = map_concurrent(
+            &p,
+            std::slice::from_ref(&g),
+            &[RefAllocation::from_counts(vec![4])],
+            &[0.0],
+            &MappingConfig::default(),
+        );
+        let placement = &schedule.placements[0][0];
+        let nprocs = placement.procs.len();
+        let cluster = placement.procs.cluster();
+        if cluster == 1 {
+            assert_eq!(nprocs, 2);
+        } else {
+            assert_eq!(nprocs, 4);
+        }
+    }
+
+    #[test]
+    fn two_small_apps_run_side_by_side() {
+        let p = platform();
+        let a = chain(1, 50.0e6);
+        let b = chain(1, 50.0e6);
+        let schedule = map_concurrent(
+            &p,
+            &[a, b],
+            &[
+                RefAllocation::from_counts(vec![4]),
+                RefAllocation::from_counts(vec![4]),
+            ],
+            &[0.0, 0.0],
+            &MappingConfig::default(),
+        );
+        // Platform has 8 + 4 processors; two 4-reference-proc tasks fit
+        // concurrently, so both should start at 0.
+        assert!(schedule.placements[0][0].est_start < 1e-9);
+        assert!(schedule.placements[1][0].est_start < 1e-9);
+    }
+
+    #[test]
+    fn ready_ordering_does_not_postpone_small_app() {
+        // Reproduces the situation of Figure 1: a big chain and a small chain
+        // whose whole work fits inside the big chain's first task.
+        let p = PlatformBuilder::new("two-proc")
+            .cluster("c", 2, 1.0)
+            .build()
+            .unwrap();
+        let big = chain(3, 100.0e6);
+        let small = chain(2, 8.0e6);
+        let allocs = [one_alloc(&big), one_alloc(&small)];
+        let ready = map_concurrent(
+            &p,
+            &[big.clone(), small.clone()],
+            &allocs,
+            &[0.0, 0.0],
+            &MappingConfig {
+                ordering: OrderingMode::ReadyTasks,
+                ..MappingConfig::default()
+            },
+        );
+        let global = map_concurrent(
+            &p,
+            &[big, small],
+            &allocs,
+            &[0.0, 0.0],
+            &MappingConfig {
+                ordering: OrderingMode::Global,
+                ..MappingConfig::default()
+            },
+        );
+        // With ready ordering the small application starts immediately.
+        assert!(ready.placements[1][0].est_start < 1e-9);
+        // With the global no-backfilling ordering it is postponed behind the
+        // big application's first task.
+        assert!(global.placements[1][0].est_start > ready.placements[1][0].est_start);
+        // And the small application finishes later under the global ordering.
+        assert!(global.estimated_app_makespan(1) > ready.estimated_app_makespan(1));
+    }
+
+    #[test]
+    fn packing_shrinks_allocation_to_start_earlier() {
+        // One cluster with 4 processors; a first task occupies 3 of them for
+        // a long time. A second independent task allocated 4 processors can
+        // either wait for all 4 or shrink to the single free processor.
+        let p = PlatformBuilder::new("small")
+            .cluster("c", 4, 1.0)
+            .build()
+            .unwrap();
+        let blocker = chain(1, 121.0e6);
+        let flexible = chain(1, 8.0e6);
+        let allocs = [
+            RefAllocation::from_counts(vec![3]),
+            RefAllocation::from_counts(vec![4]),
+        ];
+        let packed = map_concurrent(
+            &p,
+            &[blocker.clone(), flexible.clone()],
+            &allocs,
+            &[0.0, 0.0],
+            &MappingConfig {
+                packing: true,
+                ..MappingConfig::default()
+            },
+        );
+        let unpacked = map_concurrent(
+            &p,
+            &[blocker, flexible],
+            &allocs,
+            &[0.0, 0.0],
+            &MappingConfig {
+                packing: false,
+                ..MappingConfig::default()
+            },
+        );
+        let packed_small = &packed.placements[1][0];
+        let unpacked_small = &unpacked.placements[1][0];
+        assert!(
+            packed_small.est_start < unpacked_small.est_start,
+            "packing should let the small task start earlier"
+        );
+        assert!(packed_small.procs.len() < 4);
+        assert!(packed_small.est_finish <= unpacked_small.est_finish + 1e-9);
+    }
+
+    #[test]
+    fn packing_never_delays_finish() {
+        let p = platform();
+        let ptgs: Vec<Ptg> = (0..4).map(|i| fork(4, 20.0e6 + i as f64 * 1.0e6)).collect();
+        let allocs: Vec<RefAllocation> = ptgs
+            .iter()
+            .map(|g| RefAllocation::from_counts(vec![3; g.num_tasks()]))
+            .collect();
+        let releases = vec![0.0; ptgs.len()];
+        let with = map_concurrent(&p, &ptgs, &allocs, &releases, &MappingConfig::default());
+        let without = map_concurrent(
+            &p,
+            &ptgs,
+            &allocs,
+            &releases,
+            &MappingConfig {
+                packing: false,
+                ..MappingConfig::default()
+            },
+        );
+        assert!(with.estimated_makespan() <= without.estimated_makespan() + 1e-6);
+    }
+
+    #[test]
+    fn release_time_shifts_start() {
+        let p = platform();
+        let g = chain(2, 8.0e6);
+        let schedule = map_concurrent(
+            &p,
+            std::slice::from_ref(&g),
+            &[one_alloc(&g)],
+            &[42.0],
+            &MappingConfig::default(),
+        );
+        assert!(schedule.placements[0][0].est_start >= 42.0);
+        assert!(schedule.workload.jobs[0].release_time == 42.0);
+    }
+
+    #[test]
+    fn priorities_follow_mapping_order() {
+        let p = platform();
+        let g = chain(3, 8.0e6);
+        let schedule = map_concurrent(
+            &p,
+            std::slice::from_ref(&g),
+            &[one_alloc(&g)],
+            &[0.0],
+            &MappingConfig::default(),
+        );
+        let priorities: Vec<u64> = schedule.workload.jobs.iter().map(|j| j.priority).collect();
+        let mut sorted = priorities.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), priorities.len(), "priorities are unique");
+    }
+
+    #[test]
+    fn workload_transfer_count_matches_edges() {
+        let p = platform();
+        let a = fork(3, 10.0e6);
+        let b = chain(4, 10.0e6);
+        let total_edges = a.num_edges() + b.num_edges();
+        let schedule = map_concurrent(
+            &p,
+            &[a.clone(), b.clone()],
+            &[one_alloc(&a), one_alloc(&b)],
+            &[0.0, 0.0],
+            &MappingConfig::default(),
+        );
+        assert_eq!(schedule.workload.transfers.len(), total_edges);
+    }
+
+    #[test]
+    fn app_jobs_partition_the_workload() {
+        let p = platform();
+        let a = chain(3, 10.0e6);
+        let b = fork(2, 10.0e6);
+        let schedule = map_concurrent(
+            &p,
+            &[a.clone(), b.clone()],
+            &[one_alloc(&a), one_alloc(&b)],
+            &[0.0, 0.0],
+            &MappingConfig::default(),
+        );
+        let mut all: Vec<JobId> = schedule.app_jobs(0);
+        all.extend(schedule.app_jobs(1));
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), schedule.workload.num_jobs());
+    }
+}

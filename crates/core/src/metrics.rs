@@ -1,0 +1,155 @@
+//! Fairness and makespan metrics (Section 7 of the paper).
+//!
+//! * the **slowdown** of application `a` is `M_own(a) / M_multi(a)` — the
+//!   makespan it achieves with the platform to itself divided by its makespan
+//!   in presence of concurrency (≤ 1 when concurrency hurts);
+//! * the **unfairness** of a schedule is `Σ_a |slowdown(a) − avg slowdown|`:
+//!   0 means every application suffered equally from sharing;
+//! * the **relative makespan** of a strategy on one experiment is its global
+//!   makespan divided by the best global makespan achieved by any strategy on
+//!   that same experiment (≥ 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Slowdown of one application: `m_own / m_multi` (the paper's Equation 3).
+///
+/// Degenerate zero makespans yield a slowdown of 1 (no observable
+/// perturbation).
+pub fn slowdown(m_own: f64, m_multi: f64) -> f64 {
+    if m_multi <= 0.0 || m_own <= 0.0 {
+        1.0
+    } else {
+        m_own / m_multi
+    }
+}
+
+/// Average slowdown of a set of applications (Equation 4).
+pub fn average_slowdown(slowdowns: &[f64]) -> f64 {
+    if slowdowns.is_empty() {
+        return 0.0;
+    }
+    slowdowns.iter().sum::<f64>() / slowdowns.len() as f64
+}
+
+/// Unfairness of a schedule (Equation 5): sum of the absolute deviations of
+/// the per-application slowdowns from their average.
+pub fn unfairness(slowdowns: &[f64]) -> f64 {
+    let avg = average_slowdown(slowdowns);
+    slowdowns.iter().map(|s| (s - avg).abs()).sum()
+}
+
+/// Relative makespans: each entry divided by the smallest entry of the slice
+/// (1.0 marks the best strategy of the experiment).
+pub fn relative_makespans(makespans: &[f64]) -> Vec<f64> {
+    let best = makespans
+        .iter()
+        .copied()
+        .filter(|m| *m > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    if !best.is_finite() {
+        return vec![1.0; makespans.len()];
+    }
+    makespans.iter().map(|&m| m / best).collect()
+}
+
+/// Aggregated fairness view of one concurrent run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FairnessReport {
+    /// Per-application slowdowns.
+    pub slowdowns: Vec<f64>,
+    /// Average slowdown (Equation 4).
+    pub average_slowdown: f64,
+    /// Unfairness (Equation 5).
+    pub unfairness: f64,
+}
+
+/// Builds a [`FairnessReport`] from per-application dedicated (`m_own`) and
+/// concurrent (`m_multi`) makespans.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn fairness_report(m_own: &[f64], m_multi: &[f64]) -> FairnessReport {
+    assert_eq!(m_own.len(), m_multi.len(), "one m_own per m_multi");
+    let slowdowns: Vec<f64> = m_own
+        .iter()
+        .zip(m_multi)
+        .map(|(&o, &m)| slowdown(o, m))
+        .collect();
+    FairnessReport {
+        average_slowdown: average_slowdown(&slowdowns),
+        unfairness: unfairness(&slowdowns),
+        slowdowns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdown_is_ratio() {
+        assert_eq!(slowdown(10.0, 20.0), 0.5);
+        assert_eq!(slowdown(10.0, 10.0), 1.0);
+    }
+
+    #[test]
+    fn slowdown_handles_degenerate_inputs() {
+        assert_eq!(slowdown(0.0, 5.0), 1.0);
+        assert_eq!(slowdown(5.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn average_of_empty_is_zero() {
+        assert_eq!(average_slowdown(&[]), 0.0);
+    }
+
+    #[test]
+    fn unfairness_zero_when_equal() {
+        assert_eq!(unfairness(&[0.5, 0.5, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn paper_example_value() {
+        // The paper's Section 7 example: 8 applications with slowdown 1 and 2
+        // with slowdown 0.2 give an average of 0.84 and an unfairness of 2.56.
+        let mut s = vec![1.0; 8];
+        s.extend_from_slice(&[0.2, 0.2]);
+        assert!((average_slowdown(&s) - 0.84).abs() < 1e-12);
+        assert!((unfairness(&s) - 2.56).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unfairness_grows_with_dispersion() {
+        let tight = unfairness(&[0.9, 1.0, 1.0, 0.95]);
+        let loose = unfairness(&[0.2, 1.0, 1.0, 0.3]);
+        assert!(loose > tight);
+    }
+
+    #[test]
+    fn relative_makespan_of_best_is_one() {
+        let rel = relative_makespans(&[20.0, 10.0, 15.0]);
+        assert_eq!(rel[1], 1.0);
+        assert_eq!(rel[0], 2.0);
+        assert_eq!(rel[2], 1.5);
+    }
+
+    #[test]
+    fn relative_makespans_of_zeros_are_one() {
+        assert_eq!(relative_makespans(&[0.0, 0.0]), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn fairness_report_combines_metrics() {
+        let r = fairness_report(&[10.0, 10.0], &[10.0, 50.0]);
+        assert_eq!(r.slowdowns, vec![1.0, 0.2]);
+        assert!((r.average_slowdown - 0.6).abs() < 1e-12);
+        assert!((r.unfairness - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one m_own per m_multi")]
+    fn fairness_report_length_mismatch_panics() {
+        fairness_report(&[1.0], &[1.0, 2.0]);
+    }
+}

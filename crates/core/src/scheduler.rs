@@ -1,0 +1,335 @@
+//! The end-to-end concurrent scheduler driving the whole pipeline.
+
+use crate::allocation::{AllocationProcedure, RefAllocation, ReferencePlatform};
+use crate::constraint::ConstraintStrategy;
+use crate::mapping::{map_concurrent, MappingConfig, Schedule};
+use crate::metrics::{fairness_report, FairnessReport};
+use mcsched_platform::Platform;
+use mcsched_ptg::Ptg;
+use mcsched_simx::{Engine, ExecutionTrace, SimError};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the concurrent scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Strategy computing the per-application resource constraints.
+    pub strategy: ConstraintStrategy,
+    /// Allocation procedure run under each constraint.
+    pub allocation: AllocationProcedure,
+    /// Mapping-step configuration.
+    pub mapping: MappingConfig,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            strategy: ConstraintStrategy::EqualShare,
+            allocation: AllocationProcedure::ScrapMax,
+            mapping: MappingConfig::default(),
+        }
+    }
+}
+
+/// Per-application outcome of a concurrent run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppReport {
+    /// Application (PTG) name.
+    pub name: String,
+    /// Resource constraint β the strategy attributed to the application.
+    pub beta: f64,
+    /// Simulated makespan in presence of concurrency (`M_multi`).
+    pub makespan: f64,
+    /// Makespan estimated by the mapping heuristic (before simulation).
+    pub estimated_makespan: f64,
+    /// Total reference processors allocated across the application's tasks.
+    pub allocated_procs: usize,
+}
+
+/// Result of scheduling and simulating a set of PTGs together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcurrentRun {
+    /// The schedule handed to the simulation engine.
+    pub schedule: Schedule,
+    /// The simulated execution trace.
+    pub trace: ExecutionTrace,
+    /// Per-application reports (same order as the submitted PTGs).
+    pub apps: Vec<AppReport>,
+    /// Completion time of the whole run (max over applications).
+    pub global_makespan: f64,
+}
+
+impl ConcurrentRun {
+    /// Concurrent makespans of all applications (`M_multi`).
+    pub fn app_makespans(&self) -> Vec<f64> {
+        self.apps.iter().map(|a| a.makespan).collect()
+    }
+}
+
+/// A complete evaluation of one scenario: the concurrent run plus the
+/// dedicated-platform makespans and fairness metrics derived from them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluatedRun {
+    /// The concurrent run.
+    pub run: ConcurrentRun,
+    /// Dedicated makespan of every application (`M_own`).
+    pub dedicated_makespans: Vec<f64>,
+    /// Slowdowns, average slowdown and unfairness.
+    pub fairness: FairnessReport,
+}
+
+/// Two-step concurrent scheduler: constraint determination, constrained
+/// allocation, concurrent mapping, simulated execution.
+#[derive(Debug, Clone, Default)]
+pub struct ConcurrentScheduler {
+    config: SchedulerConfig,
+}
+
+impl ConcurrentScheduler {
+    /// Creates a scheduler with an explicit configuration.
+    pub fn new(config: SchedulerConfig) -> Self {
+        Self { config }
+    }
+
+    /// Creates a scheduler using the default pipeline (SCRAP-MAX allocation,
+    /// ready-task mapping with packing) and the given constraint strategy.
+    pub fn with_strategy(strategy: ConstraintStrategy) -> Self {
+        Self {
+            config: SchedulerConfig {
+                strategy,
+                ..SchedulerConfig::default()
+            },
+        }
+    }
+
+    /// The scheduler's configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Computes the per-application allocations for a set of PTGs without
+    /// mapping them (exposed for inspection, ablation and tests).
+    pub fn allocate(&self, platform: &Platform, ptgs: &[Ptg]) -> Vec<RefAllocation> {
+        let reference = ReferencePlatform::new(platform);
+        let betas = self.config.strategy.betas(ptgs, &reference);
+        ptgs.iter()
+            .zip(&betas)
+            .map(|(ptg, &beta)| self.config.allocation.allocate(&reference, ptg, beta))
+            .collect()
+    }
+
+    /// Schedules the PTGs concurrently (all submitted at time 0) and
+    /// simulates the resulting schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation validation errors (which indicate a scheduler
+    /// bug rather than a user error).
+    pub fn schedule(&self, platform: &Platform, ptgs: &[Ptg]) -> Result<ConcurrentRun, SimError> {
+        self.schedule_released(platform, ptgs, &vec![0.0; ptgs.len()])
+    }
+
+    /// Schedules the PTGs with explicit per-application submission times
+    /// (the paper's future-work scenario; the evaluation uses all-zero
+    /// release times).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation validation errors.
+    pub fn schedule_released(
+        &self,
+        platform: &Platform,
+        ptgs: &[Ptg],
+        release_times: &[f64],
+    ) -> Result<ConcurrentRun, SimError> {
+        let reference = ReferencePlatform::new(platform);
+        let betas = self.config.strategy.betas(ptgs, &reference);
+        let allocations: Vec<RefAllocation> = ptgs
+            .iter()
+            .zip(&betas)
+            .map(|(ptg, &beta)| self.config.allocation.allocate(&reference, ptg, beta))
+            .collect();
+        let schedule = map_concurrent(platform, ptgs, &allocations, release_times, &self.config.mapping);
+        let outcome = Engine::new(platform).execute(&schedule.workload)?;
+
+        let apps = ptgs
+            .iter()
+            .enumerate()
+            .map(|(i, ptg)| {
+                let jobs = schedule.app_jobs(i);
+                let finish = outcome.trace.makespan_of(jobs);
+                AppReport {
+                    name: ptg.name().to_string(),
+                    beta: betas[i],
+                    makespan: (finish - release_times[i]).max(0.0),
+                    estimated_makespan: schedule.estimated_app_makespan(i) - release_times[i],
+                    allocated_procs: allocations[i].total(),
+                }
+            })
+            .collect();
+
+        Ok(ConcurrentRun {
+            global_makespan: outcome.makespan,
+            trace: outcome.trace,
+            schedule,
+            apps,
+        })
+    }
+
+    /// Makespan of one PTG scheduled alone on the dedicated platform
+    /// (`M_own`): the constraint strategy is irrelevant, β = 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation validation errors.
+    pub fn dedicated_makespan(&self, platform: &Platform, ptg: &Ptg) -> Result<f64, SimError> {
+        let dedicated = ConcurrentScheduler::new(SchedulerConfig {
+            strategy: ConstraintStrategy::Selfish,
+            ..self.config
+        });
+        let run = dedicated.schedule(platform, std::slice::from_ref(ptg))?;
+        Ok(run.apps[0].makespan)
+    }
+
+    /// Runs the full evaluation of one scenario: concurrent run, dedicated
+    /// runs of every application and the derived fairness metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation validation errors.
+    pub fn evaluate(&self, platform: &Platform, ptgs: &[Ptg]) -> Result<EvaluatedRun, SimError> {
+        let run = self.schedule(platform, ptgs)?;
+        let dedicated: Result<Vec<f64>, SimError> = ptgs
+            .iter()
+            .map(|ptg| self.dedicated_makespan(platform, ptg))
+            .collect();
+        let dedicated = dedicated?;
+        let fairness = fairness_report(&dedicated, &run.app_makespans());
+        Ok(EvaluatedRun {
+            run,
+            dedicated_makespans: dedicated,
+            fairness,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Characteristic;
+    use mcsched_platform::grid5000;
+    use mcsched_ptg::gen::{random::RandomPtgConfig, random_ptg};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ptgs(n: usize, seed: u64) -> Vec<Ptg> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let cfg = RandomPtgConfig {
+                    num_tasks: 10,
+                    ..RandomPtgConfig::default_config()
+                };
+                random_ptg(&cfg, &mut rng, format!("app{i}"))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn schedules_concurrent_ptgs_end_to_end() {
+        let platform = grid5000::lille();
+        let apps = ptgs(3, 1);
+        let scheduler = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare);
+        let run = scheduler.schedule(&platform, &apps).unwrap();
+        assert_eq!(run.apps.len(), 3);
+        assert!(run.global_makespan > 0.0);
+        for app in &run.apps {
+            assert!(app.makespan > 0.0);
+            assert!(app.makespan <= run.global_makespan + 1e-9);
+            assert!((app.beta - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn selfish_betas_are_one() {
+        let platform = grid5000::nancy();
+        let apps = ptgs(2, 2);
+        let run = ConcurrentScheduler::with_strategy(ConstraintStrategy::Selfish)
+            .schedule(&platform, &apps)
+            .unwrap();
+        for app in &run.apps {
+            assert_eq!(app.beta, 1.0);
+        }
+    }
+
+    #[test]
+    fn dedicated_makespan_is_not_slower_than_concurrent() {
+        let platform = grid5000::lille();
+        let apps = ptgs(4, 3);
+        let scheduler = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare);
+        let run = scheduler.schedule(&platform, &apps).unwrap();
+        for (i, app) in apps.iter().enumerate() {
+            let own = scheduler.dedicated_makespan(&platform, app).unwrap();
+            // Dedicated access can only help (within a small numeric margin
+            // coming from heuristic tie-breaking).
+            assert!(
+                own <= run.apps[i].makespan * 1.05 + 1e-6,
+                "app {i}: own {own} should not exceed concurrent {}",
+                run.apps[i].makespan
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_produces_consistent_fairness_report() {
+        let platform = grid5000::sophia();
+        let apps = ptgs(3, 4);
+        let eval = ConcurrentScheduler::with_strategy(ConstraintStrategy::Weighted(
+            Characteristic::Work,
+            0.7,
+        ))
+        .evaluate(&platform, &apps)
+        .unwrap();
+        assert_eq!(eval.dedicated_makespans.len(), 3);
+        assert_eq!(eval.fairness.slowdowns.len(), 3);
+        for s in &eval.fairness.slowdowns {
+            assert!(*s > 0.0 && *s <= 1.05, "slowdown {s} out of expected range");
+        }
+        assert!(eval.fairness.unfairness >= 0.0);
+    }
+
+    #[test]
+    fn allocations_are_exposed_for_inspection() {
+        let platform = grid5000::rennes();
+        let apps = ptgs(2, 5);
+        let scheduler = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare);
+        let allocs = scheduler.allocate(&platform, &apps);
+        assert_eq!(allocs.len(), 2);
+        for (ptg, alloc) in apps.iter().zip(&allocs) {
+            assert_eq!(alloc.counts().len(), ptg.num_tasks());
+            assert!(alloc.counts().iter().all(|&c| c >= 1));
+        }
+    }
+
+    #[test]
+    fn release_times_shift_application_makespans() {
+        let platform = grid5000::lille();
+        let apps = ptgs(2, 6);
+        let scheduler = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare);
+        let together = scheduler.schedule(&platform, &apps).unwrap();
+        let staggered = scheduler
+            .schedule_released(&platform, &apps, &[0.0, 1000.0])
+            .unwrap();
+        // The second application is released after the first one finished, so
+        // its makespan should not be worse than in the simultaneous case.
+        assert!(staggered.apps[1].makespan <= together.apps[1].makespan * 1.05 + 1e-6);
+        assert!(staggered.global_makespan >= 1000.0);
+    }
+
+    #[test]
+    fn default_config_uses_scrap_max_and_ready_ordering() {
+        let cfg = SchedulerConfig::default();
+        assert_eq!(cfg.allocation, AllocationProcedure::ScrapMax);
+        assert_eq!(cfg.mapping.ordering, crate::mapping::OrderingMode::ReadyTasks);
+        assert!(cfg.mapping.packing);
+    }
+}

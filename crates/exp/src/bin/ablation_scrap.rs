@@ -1,0 +1,36 @@
+//! Ablation: SCRAP (global constraint) versus SCRAP-MAX (per-level
+//! constraint) as the allocation procedure of the concurrent scheduler
+//! (Section 4 of the paper keeps only SCRAP-MAX; this binary quantifies the
+//! difference).
+
+use mcsched_core::AllocationProcedure;
+use mcsched_exp::{report, CampaignConfig, CliOptions};
+use mcsched_ptg::gen::PtgClass;
+
+fn main() {
+    let opts = CliOptions::from_env();
+    for procedure in [AllocationProcedure::Scrap, AllocationProcedure::ScrapMax] {
+        let base = if opts.full {
+            CampaignConfig::paper(PtgClass::Random)
+        } else {
+            CampaignConfig::quick(PtgClass::Random)
+        };
+        let mut config = opts.configure_campaign(base);
+        config.base.allocation = procedure;
+        eprintln!(
+            "Ablation ({}): {} combinations x 4 platforms, PTG counts {:?}",
+            procedure.label(),
+            config.combinations,
+            config.ptg_counts
+        );
+        let result = mcsched_exp::run_campaign(&config);
+        println!("#### allocation procedure: {} ####", procedure.label());
+        println!("{}", report::table_campaign(&result));
+    }
+    println!(
+        "Expected shape (paper, Section 4): both procedures respect their constraint, but\n\
+         SCRAP can concentrate large allocations on a few tasks, postponing them at mapping\n\
+         time; SCRAP-MAX's per-level constraint avoids this and yields shorter schedules\n\
+         when the constraint is loose."
+    );
+}

@@ -1,0 +1,29 @@
+//! Reproduces Figure 2: evolution of the unfairness and of the average
+//! makespan as the µ parameter of the WPS-work strategy varies from 0 to 1,
+//! for random PTGs and 2-10 concurrent applications.
+//!
+//! Run with `--full` for the paper-scale configuration (25 combinations × 4
+//! platforms per point); the default is a reduced quick run.
+
+use mcsched_exp::{report, CliOptions, MuSweepConfig};
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let base = if opts.full {
+        MuSweepConfig::paper()
+    } else {
+        MuSweepConfig::quick()
+    };
+    let config = opts.configure_mu_sweep(base);
+    eprintln!(
+        "Figure 2: WPS-work mu sweep, {} combinations x 4 platforms, PTG counts {:?}, mu {:?}",
+        config.combinations, config.ptg_counts, config.mu_values
+    );
+    let points = mcsched_exp::run_mu_sweep(&config);
+    println!("{}", report::table_mu_sweep(&points));
+    println!(
+        "Expected shape (paper): unfairness decreases as mu -> 1 while the average makespan\n\
+         increases; mu = 0.7 offers the balance the paper selects for WPS-work."
+    );
+    opts.maybe_write_csv(&report::csv_mu_sweep(&points));
+}

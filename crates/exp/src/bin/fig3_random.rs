@@ -1,0 +1,32 @@
+//! Reproduces Figure 3: unfairness and average relative makespan of the
+//! eight resource-constraint determination strategies for randomly generated
+//! PTGs (2-10 concurrent applications on the four Grid'5000 subsets).
+//!
+//! Run with `--full` for the paper-scale configuration.
+
+use mcsched_exp::{report, CampaignConfig, CliOptions};
+use mcsched_ptg::gen::PtgClass;
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let base = if opts.full {
+        CampaignConfig::paper(PtgClass::Random)
+    } else {
+        CampaignConfig::quick(PtgClass::Random)
+    };
+    let config = opts.configure_campaign(base);
+    eprintln!(
+        "Figure 3: random PTGs, {} combinations x 4 platforms, PTG counts {:?}, {} strategies",
+        config.combinations,
+        config.ptg_counts,
+        config.strategies.len()
+    );
+    let result = mcsched_exp::run_campaign(&config);
+    println!("{}", report::table_campaign(&result));
+    println!(
+        "Expected shape (paper): ES, WPS-* and PS-width are fairer than the selfish S;\n\
+         WPS-width is the fairest (about 2x better than S); PS-cp and PS-work are the least\n\
+         fair but achieve the best makespans."
+    );
+    opts.maybe_write_csv(&report::csv_campaign(&result));
+}

@@ -1,0 +1,31 @@
+//! Reproduces Figure 5: unfairness and average relative makespan for
+//! Strassen PTGs. All Strassen graphs share the same shape and maximal
+//! width, so the width-based strategies degenerate to ES and only the six
+//! remaining strategies are compared. Run with `--full` for the paper-scale
+//! configuration.
+
+use mcsched_exp::{report, CampaignConfig, CliOptions};
+use mcsched_ptg::gen::PtgClass;
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let base = if opts.full {
+        CampaignConfig::paper(PtgClass::Strassen)
+    } else {
+        CampaignConfig::quick(PtgClass::Strassen)
+    };
+    let config = opts.configure_campaign(base);
+    eprintln!(
+        "Figure 5: Strassen PTGs, {} combinations x 4 platforms, PTG counts {:?}, {} strategies",
+        config.combinations,
+        config.ptg_counts,
+        config.strategies.len()
+    );
+    let result = mcsched_exp::run_campaign(&config);
+    println!("{}", report::table_campaign(&result));
+    println!(
+        "Expected shape (paper): WPS-work is ~25% less fair than ES but ~35% better on\n\
+         makespan; PS-work remains the least fair / shortest-schedule strategy."
+    );
+    opts.maybe_write_csv(&report::csv_campaign(&result));
+}

@@ -1,0 +1,285 @@
+//! Strategy-comparison campaigns (Figures 3, 4 and 5).
+
+use crate::scenario::{generate_scenarios, Scenario};
+use mcsched_core::{ConstraintStrategy, SchedulerConfig};
+use mcsched_ptg::gen::PtgClass;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Configuration of a strategy-comparison campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Application class (random, FFT, Strassen).
+    pub class: PtgClass,
+    /// Numbers of concurrent PTGs to evaluate (the paper uses 2, 4, 6, 8, 10).
+    pub ptg_counts: Vec<usize>,
+    /// Number of random application combinations per data point (25 in the
+    /// paper, i.e. 100 runs per point once multiplied by the 4 platforms).
+    pub combinations: usize,
+    /// The strategies to compare.
+    pub strategies: Vec<ConstraintStrategy>,
+    /// Base scheduler configuration shared by all strategies.
+    pub base: SchedulerConfig,
+    /// Base random seed.
+    pub seed: u64,
+    /// Number of worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl CampaignConfig {
+    /// The paper's full configuration for one application class.
+    pub fn paper(class: PtgClass) -> Self {
+        let strategies = match class {
+            PtgClass::Strassen => ConstraintStrategy::strassen_set(),
+            PtgClass::Fft => ConstraintStrategy::paper_set_fft(),
+            PtgClass::Random => ConstraintStrategy::paper_set(),
+        };
+        Self {
+            class,
+            ptg_counts: vec![2, 4, 6, 8, 10],
+            combinations: 25,
+            strategies,
+            base: SchedulerConfig::default(),
+            seed: 0x5EED,
+            threads: 0,
+        }
+    }
+
+    /// A reduced configuration for quick runs, CI and benchmarks: fewer
+    /// combinations and PTG counts but the same strategies.
+    pub fn quick(class: PtgClass) -> Self {
+        Self {
+            ptg_counts: vec![2, 4],
+            combinations: 2,
+            ..Self::paper(class)
+        }
+    }
+}
+
+/// Aggregated result for one (number of PTGs, strategy) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyPoint {
+    /// Number of concurrent PTGs.
+    pub num_ptgs: usize,
+    /// Strategy name.
+    pub strategy: String,
+    /// Unfairness averaged over all runs of the cell.
+    pub unfairness: f64,
+    /// Plain average makespan over all runs (seconds).
+    pub makespan: f64,
+    /// Makespan divided by the best strategy's makespan of the same run,
+    /// averaged over all runs.
+    pub relative_makespan: f64,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+/// Result of a campaign: one [`StrategyPoint`] per (PTG count, strategy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Application class label.
+    pub class: String,
+    /// The aggregated points, ordered by PTG count then strategy.
+    pub points: Vec<StrategyPoint>,
+}
+
+impl CampaignResult {
+    /// Looks up one cell.
+    pub fn point(&self, num_ptgs: usize, strategy: &str) -> Option<&StrategyPoint> {
+        self.points
+            .iter()
+            .find(|p| p.num_ptgs == num_ptgs && p.strategy == strategy)
+    }
+
+    /// The distinct strategy names, in campaign order.
+    pub fn strategies(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for p in &self.points {
+            if !seen.contains(&p.strategy) {
+                seen.push(p.strategy.clone());
+            }
+        }
+        seen
+    }
+
+    /// The distinct PTG counts, ascending.
+    pub fn ptg_counts(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.points.iter().map(|p| p.num_ptgs).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Raw per-run measurements for one cell before aggregation.
+#[derive(Debug, Default, Clone)]
+struct CellAccumulator {
+    unfairness: f64,
+    makespan: f64,
+    relative: f64,
+    runs: usize,
+}
+
+/// Runs a campaign: for every PTG count, every combination and every
+/// platform, evaluates all strategies and aggregates unfairness and
+/// (relative) makespans.
+///
+/// Scenarios are processed in parallel by `threads` worker threads (scoped,
+/// no unsafe code); results are deterministic because aggregation does not
+/// depend on completion order.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        config.threads
+    };
+
+    // (num_ptgs, strategy index) -> accumulator. Per-scenario results are
+    // collected into slots indexed by scenario and aggregated sequentially
+    // afterwards, so the result does not depend on thread completion order.
+    let mut cells: BTreeMap<(usize, usize), CellAccumulator> = BTreeMap::new();
+
+    for &num_ptgs in &config.ptg_counts {
+        let scenarios = generate_scenarios(config.class, num_ptgs, config.combinations, config.seed);
+        let slots: Mutex<Vec<Option<Vec<crate::scenario::ScenarioOutcome>>>> =
+            Mutex::new(vec![None; scenarios.len()]);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let worker = |_: usize| {
+            loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= scenarios.len() {
+                    break;
+                }
+                let scenario: &Scenario = &scenarios[i];
+                let dedicated = scenario.dedicated_makespans(&config.base);
+                let outcomes: Vec<_> = config
+                    .strategies
+                    .iter()
+                    .map(|&s| scenario.evaluate_strategy(s, &config.base, &dedicated))
+                    .collect();
+                slots.lock()[i] = Some(outcomes);
+            }
+        };
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads.max(1))
+                .map(|w| scope.spawn(move || worker(w)))
+                .collect();
+            for h in handles {
+                h.join().expect("campaign worker panicked");
+            }
+        });
+
+        for outcomes in slots.into_inner().into_iter().flatten() {
+            let best = outcomes
+                .iter()
+                .map(|o| o.makespan)
+                .filter(|m| *m > 0.0)
+                .fold(f64::INFINITY, f64::min);
+            for (si, outcome) in outcomes.iter().enumerate() {
+                let cell = cells.entry((num_ptgs, si)).or_default();
+                cell.unfairness += outcome.unfairness;
+                cell.makespan += outcome.makespan;
+                cell.relative += if best.is_finite() && best > 0.0 {
+                    outcome.makespan / best
+                } else {
+                    1.0
+                };
+                cell.runs += 1;
+            }
+        }
+    }
+
+    let points = cells
+        .into_iter()
+        .map(|((num_ptgs, si), cell)| {
+            let runs = cell.runs.max(1) as f64;
+            StrategyPoint {
+                num_ptgs,
+                strategy: config.strategies[si].name(),
+                unfairness: cell.unfairness / runs,
+                makespan: cell.makespan / runs,
+                relative_makespan: cell.relative / runs,
+                runs: cell.runs,
+            }
+        })
+        .collect();
+
+    CampaignResult {
+        class: config.class.label().to_string(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> CampaignConfig {
+        CampaignConfig {
+            ptg_counts: vec![2],
+            combinations: 1,
+            strategies: vec![ConstraintStrategy::Selfish, ConstraintStrategy::EqualShare],
+            threads: 2,
+            ..CampaignConfig::paper(PtgClass::Strassen)
+        }
+    }
+
+    #[test]
+    fn campaign_produces_one_point_per_cell() {
+        let result = run_campaign(&tiny_config());
+        assert_eq!(result.points.len(), 2);
+        assert_eq!(result.strategies(), vec!["S".to_string(), "ES".to_string()]);
+        assert_eq!(result.ptg_counts(), vec![2]);
+        for p in &result.points {
+            // 1 combination × 4 platforms
+            assert_eq!(p.runs, 4);
+            assert!(p.makespan > 0.0);
+            assert!(p.relative_makespan >= 1.0 - 1e-9);
+            assert!(p.unfairness >= 0.0);
+        }
+    }
+
+    #[test]
+    fn relative_makespan_best_strategy_close_to_one() {
+        let result = run_campaign(&tiny_config());
+        let best: f64 = result
+            .points
+            .iter()
+            .map(|p| p.relative_makespan)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best >= 1.0 - 1e-9);
+        assert!(best < 1.5, "some strategy should be near the per-run optimum");
+    }
+
+    #[test]
+    fn campaign_is_deterministic_regardless_of_threads() {
+        let mut cfg = tiny_config();
+        cfg.threads = 1;
+        let a = run_campaign(&cfg);
+        cfg.threads = 4;
+        let b = run_campaign(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_and_quick_configs_expose_expected_shape() {
+        let paper = CampaignConfig::paper(PtgClass::Random);
+        assert_eq!(paper.ptg_counts, vec![2, 4, 6, 8, 10]);
+        assert_eq!(paper.combinations, 25);
+        assert_eq!(paper.strategies.len(), 8);
+        let quick = CampaignConfig::quick(PtgClass::Strassen);
+        assert!(quick.combinations < paper.combinations);
+        assert_eq!(quick.strategies.len(), 6);
+    }
+
+    #[test]
+    fn point_lookup() {
+        let result = run_campaign(&tiny_config());
+        assert!(result.point(2, "S").is_some());
+        assert!(result.point(2, "WPS-width").is_none());
+        assert!(result.point(4, "S").is_none());
+    }
+}

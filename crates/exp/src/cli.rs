@@ -1,0 +1,181 @@
+//! Minimal command-line option handling shared by the experiment binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--full` — run the paper's full configuration (25 combinations,
+//!   2/4/6/8/10 PTGs); without it a reduced "quick" configuration is used so
+//!   that the binaries finish in seconds;
+//! * `--combinations N` — override the number of random combinations;
+//! * `--ptgs a,b,c` — override the list of concurrent-PTG counts;
+//! * `--threads N` — number of worker threads (0 = all cores);
+//! * `--seed S` — base random seed;
+//! * `--csv PATH` — also write the raw results as CSV to `PATH`.
+
+use crate::campaign::CampaignConfig;
+use crate::mu_sweep::MuSweepConfig;
+use std::path::PathBuf;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CliOptions {
+    /// Run the paper-scale configuration.
+    pub full: bool,
+    /// Override for the number of combinations.
+    pub combinations: Option<usize>,
+    /// Override for the PTG counts.
+    pub ptg_counts: Option<Vec<usize>>,
+    /// Worker threads (0 = all cores).
+    pub threads: Option<usize>,
+    /// Base random seed override.
+    pub seed: Option<u64>,
+    /// Optional CSV output path.
+    pub csv: Option<PathBuf>,
+}
+
+impl CliOptions {
+    /// Parses options from an iterator of argument strings (without the
+    /// program name). Unknown flags are ignored with a warning on stderr.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = CliOptions::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--full" => opts.full = true,
+                "--combinations" => {
+                    opts.combinations = it.next().and_then(|v| v.parse().ok());
+                }
+                "--ptgs" => {
+                    opts.ptg_counts = it
+                        .next()
+                        .map(|v| v.split(',').filter_map(|x| x.parse().ok()).collect());
+                }
+                "--threads" => {
+                    opts.threads = it.next().and_then(|v| v.parse().ok());
+                }
+                "--seed" => {
+                    opts.seed = it.next().and_then(|v| v.parse().ok());
+                }
+                "--csv" => {
+                    opts.csv = it.next().map(PathBuf::from);
+                }
+                other => eprintln!("warning: ignoring unknown argument `{other}`"),
+            }
+        }
+        opts
+    }
+
+    /// Parses the current process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Applies the options to a campaign configuration built from
+    /// `paper`/`quick` defaults.
+    pub fn configure_campaign(&self, mut config: CampaignConfig) -> CampaignConfig {
+        if let Some(c) = self.combinations {
+            config.combinations = c;
+        }
+        if let Some(p) = &self.ptg_counts {
+            config.ptg_counts = p.clone();
+        }
+        if let Some(t) = self.threads {
+            config.threads = t;
+        }
+        if let Some(s) = self.seed {
+            config.seed = s;
+        }
+        config
+    }
+
+    /// Applies the options to a µ-sweep configuration.
+    pub fn configure_mu_sweep(&self, mut config: MuSweepConfig) -> MuSweepConfig {
+        if let Some(c) = self.combinations {
+            config.combinations = c;
+        }
+        if let Some(p) = &self.ptg_counts {
+            config.ptg_counts = p.clone();
+        }
+        if let Some(t) = self.threads {
+            config.threads = t;
+        }
+        if let Some(s) = self.seed {
+            config.seed = s;
+        }
+        config
+    }
+
+    /// Writes `csv` to the configured path, if any, reporting errors on
+    /// stderr rather than panicking.
+    pub fn maybe_write_csv(&self, csv: &str) {
+        if let Some(path) = &self.csv {
+            if let Err(e) = std::fs::write(path, csv) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("CSV written to {}", path.display());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsched_ptg::gen::PtgClass;
+
+    fn parse(args: &[&str]) -> CliOptions {
+        CliOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse(&[
+            "--full",
+            "--combinations",
+            "7",
+            "--ptgs",
+            "2,6",
+            "--threads",
+            "3",
+            "--seed",
+            "11",
+            "--csv",
+            "/tmp/out.csv",
+        ]);
+        assert!(o.full);
+        assert_eq!(o.combinations, Some(7));
+        assert_eq!(o.ptg_counts, Some(vec![2, 6]));
+        assert_eq!(o.threads, Some(3));
+        assert_eq!(o.seed, Some(11));
+        assert_eq!(o.csv, Some(PathBuf::from("/tmp/out.csv")));
+    }
+
+    #[test]
+    fn defaults_are_quick() {
+        let o = parse(&[]);
+        assert!(!o.full);
+        assert_eq!(o.combinations, None);
+    }
+
+    #[test]
+    fn unknown_flags_are_ignored() {
+        let o = parse(&["--bogus", "--full"]);
+        assert!(o.full);
+    }
+
+    #[test]
+    fn configure_campaign_applies_overrides() {
+        let o = parse(&["--combinations", "3", "--ptgs", "4", "--seed", "9"]);
+        let cfg = o.configure_campaign(CampaignConfig::quick(PtgClass::Random));
+        assert_eq!(cfg.combinations, 3);
+        assert_eq!(cfg.ptg_counts, vec![4]);
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn configure_mu_sweep_applies_overrides() {
+        let o = parse(&["--combinations", "2", "--threads", "1"]);
+        let cfg = o.configure_mu_sweep(MuSweepConfig::quick());
+        assert_eq!(cfg.combinations, 2);
+        assert_eq!(cfg.threads, 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # mcsched-exp
+//!
+//! Experiment harness reproducing the evaluation of the paper (Section 7).
+//!
+//! The evaluation methodology is:
+//!
+//! * three application classes — random workflow-like PTGs, FFT PTGs and
+//!   Strassen PTGs;
+//! * for every number of concurrent PTGs in {2, 4, 6, 8, 10}, 25 random
+//!   combinations of applications are drawn and scheduled on each of the four
+//!   Grid'5000 subsets of Table 1, i.e. **100 runs per data point**;
+//! * for every run and every strategy the harness records the *unfairness*
+//!   (from the per-application slowdowns) and the *global makespan*; the
+//!   makespan of each strategy is normalised by the best makespan achieved on
+//!   the same run (average **relative** makespan);
+//! * dedicated-platform makespans (`M_own`) are computed once per run and
+//!   shared by all strategies.
+//!
+//! The [`campaign`] module runs such sweeps (in parallel across scenarios),
+//! [`mu_sweep`] reproduces the µ-calibration of Figure 2, and [`report`]
+//! renders the aggregated numbers as aligned text tables and CSV suitable
+//! for regenerating every figure of the paper.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod campaign;
+pub mod cli;
+pub mod mu_sweep;
+pub mod report;
+pub mod scenario;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignResult, StrategyPoint};
+pub use cli::CliOptions;
+pub use mu_sweep::{run_mu_sweep, MuSweepConfig, MuSweepPoint};
+pub use report::{csv_campaign, csv_mu_sweep, table_campaign, table_mu_sweep};
+pub use scenario::{generate_scenarios, Scenario, ScenarioOutcome};

@@ -1,0 +1,209 @@
+//! µ-parameter calibration sweep (Figure 2).
+//!
+//! The WPS strategies interpolate between PS (µ = 0) and ES (µ = 1). Figure 2
+//! of the paper plots, for the `WPS-work` variant on random PTGs, the
+//! unfairness and the plain average makespan as µ spans
+//! {0, 0.3, 0.5, 0.7, 0.8, 0.9, 1}: unfairness decreases with µ while the
+//! makespan increases, and µ = 0.7 is chosen as the sweet spot.
+
+use crate::scenario::generate_scenarios;
+use mcsched_core::{Characteristic, ConstraintStrategy, SchedulerConfig};
+use mcsched_ptg::gen::PtgClass;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Configuration of a µ sweep.
+#[derive(Debug, Clone)]
+pub struct MuSweepConfig {
+    /// Application class (Figure 2 uses random PTGs).
+    pub class: PtgClass,
+    /// Characteristic of the WPS variant being calibrated.
+    pub characteristic: Characteristic,
+    /// µ values to evaluate.
+    pub mu_values: Vec<f64>,
+    /// Numbers of concurrent PTGs (2, 4, 6, 8, 10 in the paper).
+    pub ptg_counts: Vec<usize>,
+    /// Random application combinations per data point.
+    pub combinations: usize,
+    /// Base scheduler configuration.
+    pub base: SchedulerConfig,
+    /// Base random seed.
+    pub seed: u64,
+    /// Worker threads (0 = one per core).
+    pub threads: usize,
+}
+
+impl MuSweepConfig {
+    /// The paper's Figure 2 configuration (WPS-work, random PTGs).
+    pub fn paper() -> Self {
+        Self {
+            class: PtgClass::Random,
+            characteristic: Characteristic::Work,
+            mu_values: vec![0.0, 0.3, 0.5, 0.7, 0.8, 0.9, 1.0],
+            ptg_counts: vec![2, 4, 6, 8, 10],
+            combinations: 25,
+            base: SchedulerConfig::default(),
+            seed: 0x5EED,
+            threads: 0,
+        }
+    }
+
+    /// A reduced configuration for quick runs and benchmarks.
+    pub fn quick() -> Self {
+        Self {
+            mu_values: vec![0.0, 0.5, 1.0],
+            ptg_counts: vec![2, 4],
+            combinations: 2,
+            ..Self::paper()
+        }
+    }
+}
+
+/// One aggregated point of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MuSweepPoint {
+    /// µ value.
+    pub mu: f64,
+    /// Number of concurrent PTGs.
+    pub num_ptgs: usize,
+    /// Average unfairness over the runs.
+    pub unfairness: f64,
+    /// Plain average makespan over the runs (seconds), as in Figure 2.
+    pub makespan: f64,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+/// Runs the µ sweep and returns one point per (µ, PTG count).
+pub fn run_mu_sweep(config: &MuSweepConfig) -> Vec<MuSweepPoint> {
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        config.threads
+    };
+
+    #[derive(Default, Clone)]
+    struct Acc {
+        unfairness: f64,
+        makespan: f64,
+        runs: usize,
+    }
+    // Per-scenario results are collected into slots and aggregated in order
+    // afterwards, so the result does not depend on thread completion order.
+    let mut cells: BTreeMap<(usize, usize), Acc> = BTreeMap::new();
+
+    for &num_ptgs in &config.ptg_counts {
+        let scenarios = generate_scenarios(config.class, num_ptgs, config.combinations, config.seed);
+        let slots: Mutex<Vec<Option<Vec<crate::scenario::ScenarioOutcome>>>> =
+            Mutex::new(vec![None; scenarios.len()]);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let worker = |_w: usize| loop {
+            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if i >= scenarios.len() {
+                break;
+            }
+            let scenario = &scenarios[i];
+            let dedicated = scenario.dedicated_makespans(&config.base);
+            let outcomes: Vec<_> = config
+                .mu_values
+                .iter()
+                .map(|&mu| {
+                    let strategy = ConstraintStrategy::Weighted(config.characteristic, mu);
+                    scenario.evaluate_strategy(strategy, &config.base, &dedicated)
+                })
+                .collect();
+            slots.lock()[i] = Some(outcomes);
+        };
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads.max(1))
+                .map(|w| scope.spawn(move || worker(w)))
+                .collect();
+            for h in handles {
+                h.join().expect("mu sweep worker panicked");
+            }
+        });
+
+        for outcomes in slots.into_inner().into_iter().flatten() {
+            for (mi, outcome) in outcomes.iter().enumerate() {
+                let acc = cells.entry((mi, num_ptgs)).or_default();
+                acc.unfairness += outcome.unfairness;
+                acc.makespan += outcome.makespan;
+                acc.runs += 1;
+            }
+        }
+    }
+
+    cells
+        .into_iter()
+        .map(|((mi, num_ptgs), acc)| {
+            let runs = acc.runs.max(1) as f64;
+            MuSweepPoint {
+                mu: config.mu_values[mi],
+                num_ptgs,
+                unfairness: acc.unfairness / runs,
+                makespan: acc.makespan / runs,
+                runs: acc.runs,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MuSweepConfig {
+        MuSweepConfig {
+            mu_values: vec![0.0, 1.0],
+            ptg_counts: vec![2],
+            combinations: 1,
+            threads: 2,
+            class: PtgClass::Random,
+            ..MuSweepConfig::quick()
+        }
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_mu_and_count() {
+        let points = run_mu_sweep(&tiny());
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert_eq!(p.runs, 4);
+            assert!(p.makespan > 0.0);
+            assert!(p.unfairness >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mu_one_is_no_less_fair_than_mu_zero_on_average() {
+        // µ = 1 is the equal share, which the paper shows to be fairer than
+        // the pure proportional share (µ = 0). With a single combination this
+        // should already hold or at least not be dramatically reversed.
+        let points = run_mu_sweep(&tiny());
+        let at = |mu: f64| {
+            points
+                .iter()
+                .find(|p| (p.mu - mu).abs() < 1e-9)
+                .unwrap()
+                .clone()
+        };
+        assert!(at(1.0).unfairness <= at(0.0).unfairness + 0.5);
+    }
+
+    #[test]
+    fn paper_config_matches_figure2_grid() {
+        let cfg = MuSweepConfig::paper();
+        assert_eq!(cfg.mu_values, vec![0.0, 0.3, 0.5, 0.7, 0.8, 0.9, 1.0]);
+        assert_eq!(cfg.ptg_counts, vec![2, 4, 6, 8, 10]);
+        assert_eq!(cfg.combinations, 25);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = run_mu_sweep(&tiny());
+        let b = run_mu_sweep(&tiny());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,211 @@
+//! Text-table and CSV rendering of campaign results.
+
+use crate::campaign::CampaignResult;
+use crate::mu_sweep::MuSweepPoint;
+use std::fmt::Write as _;
+
+/// Renders a campaign result as two aligned text tables (unfairness and
+/// average relative makespan), with one row per strategy and one column per
+/// number of concurrent PTGs — the layout of Figures 3, 4 and 5.
+pub fn table_campaign(result: &CampaignResult) -> String {
+    let counts = result.ptg_counts();
+    let strategies = result.strategies();
+    let mut out = String::new();
+
+    for (title, pick) in [
+        (
+            "Unfairness",
+            Box::new(|p: &crate::campaign::StrategyPoint| p.unfairness)
+                as Box<dyn Fn(&crate::campaign::StrategyPoint) -> f64>,
+        ),
+        (
+            "Average relative makespan",
+            Box::new(|p: &crate::campaign::StrategyPoint| p.relative_makespan),
+        ),
+    ] {
+        let _ = writeln!(out, "== {} ({} PTGs) ==", title, result.class);
+        let _ = write!(out, "{:<12}", "strategy");
+        for c in &counts {
+            let _ = write!(out, "{:>10}", format!("{c} PTGs"));
+        }
+        let _ = writeln!(out);
+        for s in &strategies {
+            let _ = write!(out, "{s:<12}");
+            for &c in &counts {
+                match result.point(c, s) {
+                    Some(p) => {
+                        let _ = write!(out, "{:>10.3}", pick(p));
+                    }
+                    None => {
+                        let _ = write!(out, "{:>10}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a campaign result as CSV
+/// (`class,num_ptgs,strategy,unfairness,makespan,relative_makespan,runs`).
+pub fn csv_campaign(result: &CampaignResult) -> String {
+    let mut out = String::from("class,num_ptgs,strategy,unfairness,makespan,relative_makespan,runs\n");
+    for p in &result.points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.6},{:.3},{:.6},{}",
+            result.class, p.num_ptgs, p.strategy, p.unfairness, p.makespan, p.relative_makespan, p.runs
+        );
+    }
+    out
+}
+
+/// Renders a µ sweep as two aligned text tables (unfairness and average
+/// makespan), one row per µ and one column per number of PTGs — the layout
+/// of Figure 2.
+pub fn table_mu_sweep(points: &[MuSweepPoint]) -> String {
+    let mut mus: Vec<f64> = points.iter().map(|p| p.mu).collect();
+    mus.sort_by(f64::total_cmp);
+    mus.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    let mut counts: Vec<usize> = points.iter().map(|p| p.num_ptgs).collect();
+    counts.sort_unstable();
+    counts.dedup();
+
+    let lookup = |mu: f64, n: usize| {
+        points
+            .iter()
+            .find(|p| (p.mu - mu).abs() < 1e-12 && p.num_ptgs == n)
+    };
+
+    let mut out = String::new();
+    for (title, pick) in [
+        (
+            "Unfairness",
+            Box::new(|p: &MuSweepPoint| p.unfairness) as Box<dyn Fn(&MuSweepPoint) -> f64>,
+        ),
+        ("Average makespan (s)", Box::new(|p: &MuSweepPoint| p.makespan)),
+    ] {
+        let _ = writeln!(out, "== {title} vs mu ==");
+        let _ = write!(out, "{:<8}", "mu");
+        for c in &counts {
+            let _ = write!(out, "{:>12}", format!("{c} PTGs"));
+        }
+        let _ = writeln!(out);
+        for &mu in &mus {
+            let _ = write!(out, "{mu:<8.2}");
+            for &c in &counts {
+                match lookup(mu, c) {
+                    Some(p) => {
+                        let _ = write!(out, "{:>12.3}", pick(p));
+                    }
+                    None => {
+                        let _ = write!(out, "{:>12}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a µ sweep as CSV (`mu,num_ptgs,unfairness,makespan,runs`).
+pub fn csv_mu_sweep(points: &[MuSweepPoint]) -> String {
+    let mut out = String::from("mu,num_ptgs,unfairness,makespan,runs\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:.2},{},{:.6},{:.3},{}",
+            p.mu, p.num_ptgs, p.unfairness, p.makespan, p.runs
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::StrategyPoint;
+
+    fn sample_campaign() -> CampaignResult {
+        CampaignResult {
+            class: "random".into(),
+            points: vec![
+                StrategyPoint {
+                    num_ptgs: 2,
+                    strategy: "S".into(),
+                    unfairness: 0.5,
+                    makespan: 100.0,
+                    relative_makespan: 1.2,
+                    runs: 4,
+                },
+                StrategyPoint {
+                    num_ptgs: 2,
+                    strategy: "ES".into(),
+                    unfairness: 0.3,
+                    makespan: 120.0,
+                    relative_makespan: 1.4,
+                    runs: 4,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn campaign_table_contains_strategies_and_counts() {
+        let t = table_campaign(&sample_campaign());
+        assert!(t.contains("Unfairness"));
+        assert!(t.contains("relative makespan"));
+        assert!(t.contains("S"));
+        assert!(t.contains("ES"));
+        assert!(t.contains("2 PTGs"));
+        assert!(t.contains("0.500"));
+    }
+
+    #[test]
+    fn campaign_csv_has_header_and_rows() {
+        let c = csv_campaign(&sample_campaign());
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("class,num_ptgs,strategy"));
+        assert!(lines[1].contains("random,2,S"));
+    }
+
+    fn sample_sweep() -> Vec<MuSweepPoint> {
+        vec![
+            MuSweepPoint {
+                mu: 0.0,
+                num_ptgs: 2,
+                unfairness: 0.8,
+                makespan: 200.0,
+                runs: 4,
+            },
+            MuSweepPoint {
+                mu: 1.0,
+                num_ptgs: 2,
+                unfairness: 0.2,
+                makespan: 260.0,
+                runs: 4,
+            },
+        ]
+    }
+
+    #[test]
+    fn mu_table_lists_all_mu_values() {
+        let t = table_mu_sweep(&sample_sweep());
+        assert!(t.contains("0.00"));
+        assert!(t.contains("1.00"));
+        assert!(t.contains("Average makespan"));
+    }
+
+    #[test]
+    fn mu_csv_round_trip() {
+        let c = csv_mu_sweep(&sample_sweep());
+        assert!(c.starts_with("mu,num_ptgs"));
+        assert_eq!(c.lines().count(), 3);
+        assert!(c.contains("0.00,2,0.800000,200.000,4"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Scenario generation and per-scenario evaluation.
+
+use mcsched_core::{ConcurrentScheduler, ConstraintStrategy, SchedulerConfig};
+use mcsched_platform::{grid5000, Platform};
+use mcsched_ptg::gen::PtgClass;
+use mcsched_ptg::Ptg;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One experimental scenario: a platform and a set of PTGs submitted
+/// together.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human readable identifier (class, combination index, platform).
+    pub name: String,
+    /// The target platform.
+    pub platform: Platform,
+    /// The concurrent applications.
+    pub ptgs: Vec<Ptg>,
+    /// Seed used to draw the applications (for reproducibility).
+    pub seed: u64,
+}
+
+/// Evaluation of one scenario under one strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Strategy name (`S`, `ES`, ...).
+    pub strategy: String,
+    /// Unfairness of the produced schedule (Equation 5).
+    pub unfairness: f64,
+    /// Global makespan of the run (seconds).
+    pub makespan: f64,
+    /// Average slowdown across applications.
+    pub average_slowdown: f64,
+}
+
+/// Generates the scenarios of one data point of the paper's evaluation:
+/// `combinations` random draws of `num_ptgs` applications of class `class`,
+/// each paired with every one of the four Grid'5000 subsets
+/// (`combinations × 4` scenarios in total).
+pub fn generate_scenarios(
+    class: PtgClass,
+    num_ptgs: usize,
+    combinations: usize,
+    base_seed: u64,
+) -> Vec<Scenario> {
+    let platforms = grid5000::all_sites();
+    let mut scenarios = Vec::with_capacity(combinations * platforms.len());
+    for combo in 0..combinations {
+        let seed = base_seed
+            .wrapping_mul(1_000_003)
+            .wrapping_add((num_ptgs as u64) << 32)
+            .wrapping_add(combo as u64);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ptgs: Vec<Ptg> = (0..num_ptgs)
+            .map(|i| class.sample(&mut rng, format!("{}-{}-{}", class.label(), combo, i)))
+            .collect();
+        for platform in &platforms {
+            scenarios.push(Scenario {
+                name: format!(
+                    "{}-n{}-c{}-{}",
+                    class.label(),
+                    num_ptgs,
+                    combo,
+                    platform.name()
+                ),
+                platform: platform.clone(),
+                ptgs: ptgs.clone(),
+                seed,
+            });
+        }
+    }
+    scenarios
+}
+
+impl Scenario {
+    /// Dedicated-platform makespans of every application of the scenario
+    /// (`M_own`), shared by every strategy evaluation.
+    pub fn dedicated_makespans(&self, base: &SchedulerConfig) -> Vec<f64> {
+        let scheduler = ConcurrentScheduler::new(*base);
+        self.ptgs
+            .iter()
+            .map(|ptg| {
+                scheduler
+                    .dedicated_makespan(&self.platform, ptg)
+                    .expect("scheduler produces valid workloads")
+            })
+            .collect()
+    }
+
+    /// Evaluates one strategy on the scenario given precomputed dedicated
+    /// makespans.
+    pub fn evaluate_strategy(
+        &self,
+        strategy: ConstraintStrategy,
+        base: &SchedulerConfig,
+        dedicated: &[f64],
+    ) -> ScenarioOutcome {
+        let config = SchedulerConfig {
+            strategy,
+            ..*base
+        };
+        let run = ConcurrentScheduler::new(config)
+            .schedule(&self.platform, &self.ptgs)
+            .expect("scheduler produces valid workloads");
+        let fairness = mcsched_core::metrics::fairness_report(dedicated, &run.app_makespans());
+        ScenarioOutcome {
+            strategy: strategy.name(),
+            unfairness: fairness.unfairness,
+            makespan: run.global_makespan,
+            average_slowdown: fairness.average_slowdown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_combinations_times_platforms() {
+        let s = generate_scenarios(PtgClass::Strassen, 2, 3, 42);
+        assert_eq!(s.len(), 12);
+        assert_eq!(s[0].ptgs.len(), 2);
+    }
+
+    #[test]
+    fn same_combination_shares_ptgs_across_platforms() {
+        let s = generate_scenarios(PtgClass::Strassen, 2, 1, 7);
+        assert_eq!(s.len(), 4);
+        for w in s.windows(2) {
+            assert_eq!(w[0].seed, w[1].seed);
+            assert_eq!(w[0].ptgs.len(), w[1].ptgs.len());
+            assert!((w[0].ptgs[0].total_work() - w[1].ptgs[0].total_work()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_scenarios(PtgClass::Fft, 3, 2, 99);
+        let b = generate_scenarios(PtgClass::Fft, 3, 2, 99);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.ptgs, y.ptgs);
+        }
+    }
+
+    #[test]
+    fn evaluate_strategy_produces_finite_metrics() {
+        let scenarios = generate_scenarios(PtgClass::Strassen, 2, 1, 5);
+        let scenario = &scenarios[0];
+        let base = SchedulerConfig::default();
+        let dedicated = scenario.dedicated_makespans(&base);
+        assert_eq!(dedicated.len(), 2);
+        let out = scenario.evaluate_strategy(ConstraintStrategy::EqualShare, &base, &dedicated);
+        assert!(out.unfairness.is_finite() && out.unfairness >= 0.0);
+        assert!(out.makespan > 0.0);
+        assert!(out.average_slowdown > 0.0);
+        assert_eq!(out.strategy, "ES");
+    }
+}

@@ -1,0 +1,134 @@
+//! Error types for platform construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating a [`crate::Platform`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// A platform must contain at least one cluster.
+    NoClusters,
+    /// A cluster must contain at least one processor.
+    EmptyCluster {
+        /// Name of the offending cluster.
+        name: String,
+    },
+    /// Processor speed must be strictly positive.
+    NonPositiveSpeed {
+        /// Name of the offending cluster.
+        name: String,
+        /// The offending speed value (flop/s).
+        speed: f64,
+    },
+    /// Link bandwidth must be strictly positive.
+    NonPositiveBandwidth {
+        /// Name of the offending cluster.
+        name: String,
+        /// The offending bandwidth value (bytes/s).
+        bandwidth: f64,
+    },
+    /// Link latency must be non-negative and finite.
+    InvalidLatency {
+        /// Name of the offending cluster.
+        name: String,
+        /// The offending latency value (seconds).
+        latency: f64,
+    },
+    /// Two clusters share the same name.
+    DuplicateClusterName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A cluster index is out of bounds for this platform.
+    UnknownCluster {
+        /// The offending index.
+        index: usize,
+        /// Number of clusters in the platform.
+        clusters: usize,
+    },
+    /// A processor index is out of bounds for its cluster.
+    UnknownProcessor {
+        /// The cluster index.
+        cluster: usize,
+        /// The offending processor index.
+        proc: usize,
+        /// Number of processors in that cluster.
+        procs: usize,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::NoClusters => write!(f, "a platform must contain at least one cluster"),
+            PlatformError::EmptyCluster { name } => {
+                write!(f, "cluster `{name}` has no processors")
+            }
+            PlatformError::NonPositiveSpeed { name, speed } => {
+                write!(f, "cluster `{name}` has non-positive speed {speed} flop/s")
+            }
+            PlatformError::NonPositiveBandwidth { name, bandwidth } => {
+                write!(
+                    f,
+                    "cluster `{name}` has non-positive link bandwidth {bandwidth} B/s"
+                )
+            }
+            PlatformError::InvalidLatency { name, latency } => {
+                write!(f, "cluster `{name}` has invalid link latency {latency} s")
+            }
+            PlatformError::DuplicateClusterName { name } => {
+                write!(f, "cluster name `{name}` is used more than once")
+            }
+            PlatformError::UnknownCluster { index, clusters } => {
+                write!(
+                    f,
+                    "cluster index {index} out of bounds (platform has {clusters} clusters)"
+                )
+            }
+            PlatformError::UnknownProcessor {
+                cluster,
+                proc,
+                procs,
+            } => write!(
+                f,
+                "processor index {proc} out of bounds for cluster {cluster} ({procs} processors)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cluster_name() {
+        let err = PlatformError::EmptyCluster {
+            name: "grelon".into(),
+        };
+        assert!(err.to_string().contains("grelon"));
+    }
+
+    #[test]
+    fn display_no_clusters() {
+        assert!(PlatformError::NoClusters.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn display_unknown_processor() {
+        let err = PlatformError::UnknownProcessor {
+            cluster: 1,
+            proc: 99,
+            procs: 20,
+        };
+        let s = err.to_string();
+        assert!(s.contains("99") && s.contains("20"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<PlatformError>();
+    }
+}

@@ -1,0 +1,149 @@
+//! The four Grid'5000 multi-cluster subsets of Table 1 of the paper.
+//!
+//! | Site   | Cluster  | #proc | GFlop/s | Topology            |
+//! |--------|----------|-------|---------|---------------------|
+//! | Lille  | Chuque   | 53    | 3.647   | shared switch       |
+//! | Lille  | Chti     | 20    | 4.311   |                     |
+//! | Lille  | Chicon   | 26    | 4.384   |                     |
+//! | Nancy  | Grillon  | 47    | 3.379   | per-cluster switch  |
+//! | Nancy  | Grelon   | 120   | 3.185   |                     |
+//! | Rennes | Parasol  | 64    | 3.573   | shared switch       |
+//! | Rennes | Paravent | 99    | 3.364   |                     |
+//! | Rennes | Paraquad | 66    | 4.603   |                     |
+//! | Sophia | Azur     | 74    | 3.258   | per-cluster switch  |
+//! | Sophia | Helios   | 56    | 3.675   |                     |
+//! | Sophia | Sol      | 50    | 4.389   |                     |
+//!
+//! The paper reports total sizes 99, 167, 229 and 180 processors and
+//! heterogeneities 20.2%, 6.1%, 36.8% and 34.7% respectively; both are
+//! asserted by the tests of this module. Clusters of Rennes and Lille are
+//! connected to the same switch while each cluster of Nancy and Sophia has
+//! its own switch.
+
+use crate::network::NetworkTopology;
+use crate::platform::Platform;
+use crate::PlatformBuilder;
+
+/// The Lille subset (Chuque, Chti, Chicon): 99 processors, 20.2% heterogeneity,
+/// shared switch.
+pub fn lille() -> Platform {
+    PlatformBuilder::new("Lille")
+        .topology(NetworkTopology::shared_gigabit())
+        .cluster("chuque", 53, 3.647)
+        .cluster("chti", 20, 4.311)
+        .cluster("chicon", 26, 4.384)
+        .build()
+        .expect("Table 1 parameters are valid")
+}
+
+/// The Nancy subset (Grillon, Grelon): 167 processors, 6.1% heterogeneity,
+/// per-cluster switches.
+pub fn nancy() -> Platform {
+    PlatformBuilder::new("Nancy")
+        .topology(NetworkTopology::per_cluster_ten_gigabit())
+        .cluster("grillon", 47, 3.379)
+        .cluster("grelon", 120, 3.185)
+        .build()
+        .expect("Table 1 parameters are valid")
+}
+
+/// The Rennes subset (Parasol, Paravent, Paraquad): 229 processors, 36.8%
+/// heterogeneity, shared switch.
+pub fn rennes() -> Platform {
+    PlatformBuilder::new("Rennes")
+        .topology(NetworkTopology::shared_gigabit())
+        .cluster("parasol", 64, 3.573)
+        .cluster("paravent", 99, 3.364)
+        .cluster("paraquad", 66, 4.603)
+        .build()
+        .expect("Table 1 parameters are valid")
+}
+
+/// The Sophia subset (Azur, Helios, Sol): 180 processors, 34.7% heterogeneity,
+/// per-cluster switches.
+pub fn sophia() -> Platform {
+    PlatformBuilder::new("Sophia")
+        .topology(NetworkTopology::per_cluster_ten_gigabit())
+        .cluster("azur", 74, 3.258)
+        .cluster("helios", 56, 3.675)
+        .cluster("sol", 50, 4.389)
+        .build()
+        .expect("Table 1 parameters are valid")
+}
+
+/// The four sites used in the paper's evaluation, in the order of Table 1
+/// (Lille, Nancy, Rennes, Sophia).
+pub fn all_sites() -> Vec<Platform> {
+    vec![lille(), nancy(), rennes(), sophia()]
+}
+
+/// Looks a site up by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<Platform> {
+    match name.to_ascii_lowercase().as_str() {
+        "lille" => Some(lille()),
+        "nancy" => Some(nancy()),
+        "rennes" => Some(rennes()),
+        "sophia" => Some(sophia()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_total_processors() {
+        assert_eq!(lille().total_procs(), 99);
+        assert_eq!(nancy().total_procs(), 167);
+        assert_eq!(rennes().total_procs(), 229);
+        assert_eq!(sophia().total_procs(), 180);
+    }
+
+    #[test]
+    fn table1_heterogeneity_percentages() {
+        // Paper: 20.2%, 6.1%, 36.8%, 34.7%.
+        assert!((lille().heterogeneity() * 100.0 - 20.2).abs() < 0.15);
+        assert!((nancy().heterogeneity() * 100.0 - 6.1).abs() < 0.15);
+        assert!((rennes().heterogeneity() * 100.0 - 36.8).abs() < 0.15);
+        assert!((sophia().heterogeneity() * 100.0 - 34.7).abs() < 0.15);
+    }
+
+    #[test]
+    fn table1_topologies() {
+        assert!(lille().topology().is_shared());
+        assert!(rennes().topology().is_shared());
+        assert!(!nancy().topology().is_shared());
+        assert!(!sophia().topology().is_shared());
+    }
+
+    #[test]
+    fn all_sites_order_and_count() {
+        let sites = all_sites();
+        assert_eq!(sites.len(), 4);
+        assert_eq!(sites[0].name(), "Lille");
+        assert_eq!(sites[3].name(), "Sophia");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("Rennes").unwrap().total_procs(), 229);
+        assert_eq!(by_name("SOPHIA").unwrap().total_procs(), 180);
+        assert!(by_name("grenoble").is_none());
+    }
+
+    #[test]
+    fn cluster_counts_match_table1() {
+        assert_eq!(lille().num_clusters(), 3);
+        assert_eq!(nancy().num_clusters(), 2);
+        assert_eq!(rennes().num_clusters(), 3);
+        assert_eq!(sophia().num_clusters(), 3);
+    }
+
+    #[test]
+    fn total_power_is_consistent() {
+        // Nancy: 47*3.379 + 120*3.185 GFlop/s
+        let expected = (47.0 * 3.379 + 120.0 * 3.185) * 1.0e9;
+        assert!((nancy().total_power() - expected).abs() < 1.0e3);
+    }
+}

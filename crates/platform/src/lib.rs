@@ -1,0 +1,45 @@
+//! # mcsched-platform
+//!
+//! Heterogeneous multi-cluster platform model used by the concurrent PTG
+//! scheduler. A [`Platform`] is a federation of [`Cluster`]s located in a
+//! single site (LAN latencies), each cluster being a homogeneous set of
+//! processors characterised by a per-processor speed in GFlop/s.
+//!
+//! The model follows Section 2 of N'Takpé & Suter, *Concurrent Scheduling of
+//! Parallel Task Graphs on Multi-Clusters Using Constrained Resource
+//! Allocations* (INRIA RR-6774 / IPDPS 2009):
+//!
+//! * each platform consists of `c` clusters, cluster `C_k` containing `p_k`
+//!   identical processors of speed `s_k` (flop/s);
+//! * clusters are interconnected either through one **shared switch**
+//!   (Rennes, Lille) or through **per-cluster switches** joined by a backbone
+//!   (Nancy, Sophia), which yields different contention conditions;
+//! * the heterogeneity of a platform is the ratio between the speeds of its
+//!   fastest and slowest processors.
+//!
+//! The exact Grid'5000 subsets of Table 1 of the paper are available from the
+//! [`grid5000`] module.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod builder;
+pub mod cluster;
+pub mod error;
+pub mod grid5000;
+pub mod network;
+pub mod platform;
+pub mod procset;
+
+pub use builder::PlatformBuilder;
+pub use cluster::{Cluster, ClusterId, ProcId};
+pub use error::PlatformError;
+pub use network::{LinkSpec, NetworkTopology};
+pub use platform::Platform;
+pub use procset::ProcSet;
+
+/// One gigaflop per second, expressed in flop/s.
+pub const GFLOPS: f64 = 1.0e9;
+
+/// One gigabit per second expressed in bytes/s (network bandwidth unit).
+pub const GBIT_PER_S: f64 = 1.0e9 / 8.0;

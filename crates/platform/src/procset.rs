@@ -1,0 +1,168 @@
+//! Sets of processors within a single cluster.
+//!
+//! Data-parallel tasks are always mapped onto processors belonging to a
+//! single cluster (mixing clusters inside one data-parallel task would expose
+//! it to WAN-ish heterogeneity the moldable-task model does not capture).
+//! A [`ProcSet`] therefore records the cluster and the indices of the
+//! processors reserved inside that cluster.
+
+use crate::cluster::{ClusterId, ProcId};
+use serde::{Deserialize, Serialize};
+
+/// A set of processors inside a single cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcSet {
+    cluster: ClusterId,
+    procs: Vec<ProcId>,
+}
+
+impl ProcSet {
+    /// Builds a processor set from a cluster index and explicit processor
+    /// indices. The indices are sorted and deduplicated.
+    pub fn new(cluster: ClusterId, mut procs: Vec<ProcId>) -> Self {
+        procs.sort_unstable();
+        procs.dedup();
+        Self { cluster, procs }
+    }
+
+    /// Builds a processor set covering `count` processors starting at index
+    /// `first` in cluster `cluster`.
+    pub fn contiguous(cluster: ClusterId, first: ProcId, count: usize) -> Self {
+        Self {
+            cluster,
+            procs: (first..first + count).collect(),
+        }
+    }
+
+    /// The empty processor set on a given cluster.
+    pub fn empty(cluster: ClusterId) -> Self {
+        Self {
+            cluster,
+            procs: Vec::new(),
+        }
+    }
+
+    /// Cluster the processors belong to.
+    pub fn cluster(&self) -> ClusterId {
+        self.cluster
+    }
+
+    /// Number of processors in the set.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Iterates over the processor indices (sorted ascending).
+    pub fn iter(&self) -> impl Iterator<Item = ProcId> + '_ {
+        self.procs.iter().copied()
+    }
+
+    /// Slice view of the processor indices (sorted ascending).
+    pub fn procs(&self) -> &[ProcId] {
+        &self.procs
+    }
+
+    /// Whether the set contains processor `p`.
+    pub fn contains(&self, p: ProcId) -> bool {
+        self.procs.binary_search(&p).is_ok()
+    }
+
+    /// Number of processors shared with another set (0 when on different
+    /// clusters).
+    pub fn overlap(&self, other: &ProcSet) -> usize {
+        if self.cluster != other.cluster {
+            return 0;
+        }
+        // Both are sorted: linear merge.
+        let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+        while i < self.procs.len() && j < other.procs.len() {
+            match self.procs[i].cmp(&other.procs[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Whether the two sets share at least one processor.
+    pub fn intersects(&self, other: &ProcSet) -> bool {
+        self.overlap(other) > 0
+    }
+
+    /// Keeps only the first `count` processors of the set (used by the
+    /// allocation-packing mechanism when shrinking an allocation).
+    pub fn truncated(&self, count: usize) -> Self {
+        Self {
+            cluster: self.cluster,
+            procs: self.procs.iter().copied().take(count).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_covers_range() {
+        let s = ProcSet::contiguous(2, 5, 4);
+        assert_eq!(s.cluster(), 2);
+        assert_eq!(s.procs(), &[5, 6, 7, 8]);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let s = ProcSet::new(0, vec![3, 1, 3, 2]);
+        assert_eq!(s.procs(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn overlap_counts_common_procs() {
+        let a = ProcSet::new(0, vec![0, 1, 2, 3]);
+        let b = ProcSet::new(0, vec![2, 3, 4]);
+        assert_eq!(a.overlap(&b), 2);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn overlap_across_clusters_is_zero() {
+        let a = ProcSet::new(0, vec![0, 1]);
+        let b = ProcSet::new(1, vec![0, 1]);
+        assert_eq!(a.overlap(&b), 0);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let a = ProcSet::new(0, vec![4, 7, 9, 12]);
+        let t = a.truncated(2);
+        assert_eq!(t.procs(), &[4, 7]);
+        assert_eq!(a.len(), 4, "original is untouched");
+    }
+
+    #[test]
+    fn contains_uses_sorted_search() {
+        let a = ProcSet::new(1, vec![10, 20, 30]);
+        assert!(a.contains(20));
+        assert!(!a.contains(25));
+    }
+
+    #[test]
+    fn empty_set() {
+        let e = ProcSet::empty(3);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.cluster(), 3);
+    }
+}

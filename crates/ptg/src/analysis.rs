@@ -1,0 +1,319 @@
+//! Structural and temporal analysis of parallel task graphs.
+//!
+//! Two families of quantities are needed by the scheduler and by the
+//! resource-constraint strategies:
+//!
+//! * **structural** quantities that only depend on the graph shape:
+//!   precedence levels (as defined in Section 4 of the paper), the number of
+//!   tasks per level, the maximal width;
+//! * **temporal** quantities that depend on the execution time attributed to
+//!   each task under the current allocation: top levels, bottom levels and
+//!   the critical path.
+//!
+//! Temporal analysis is parameterised by closures giving the execution time
+//! of each task and the communication cost of each edge, so that the same
+//! code serves the allocation procedures (times under the current reference
+//! allocation, zero communication) and the mapping step (times under the
+//! final allocation, redistribution costs included).
+
+use crate::graph::{EdgeId, Ptg, TaskId};
+
+/// Structural (cost-independent) information about a PTG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructuralInfo {
+    /// Precedence level of each task: a task with no predecessor is at level
+    /// 0; otherwise its level is one more than the maximum level of its
+    /// predecessors.
+    pub levels: Vec<usize>,
+    /// Number of tasks in each precedence level.
+    pub level_widths: Vec<usize>,
+    /// Tasks grouped by precedence level.
+    pub tasks_by_level: Vec<Vec<TaskId>>,
+}
+
+impl StructuralInfo {
+    /// Number of precedence levels.
+    pub fn num_levels(&self) -> usize {
+        self.level_widths.len()
+    }
+
+    /// The maximal width of the PTG, i.e. the size of the precedence level
+    /// comprising the most tasks (the `width` characteristic of the
+    /// PS-width / WPS-width strategies).
+    pub fn max_width(&self) -> usize {
+        self.level_widths.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Temporal analysis results for a given assignment of execution times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphAnalysis {
+    /// Top level of each task: longest path (in seconds) from an entry task
+    /// to the task, *excluding* the task's own execution time.
+    pub top_levels: Vec<f64>,
+    /// Bottom level of each task: longest path (in seconds) from the start of
+    /// the task to the end of an exit task, *including* the task's own
+    /// execution time.
+    pub bottom_levels: Vec<f64>,
+    /// Length of the critical path in seconds (max over tasks of
+    /// `top_level + bottom_level`).
+    pub critical_path_length: f64,
+    /// The tasks of one critical path, ordered from entry to exit.
+    pub critical_path: Vec<TaskId>,
+}
+
+/// Computes the precedence levels and level widths of a PTG.
+pub fn structure(ptg: &Ptg) -> StructuralInfo {
+    let n = ptg.num_tasks();
+    let mut levels = vec![0usize; n];
+    for &t in ptg.topological_order() {
+        let lvl = ptg
+            .preds(t)
+            .iter()
+            .map(|&(p, _)| levels[p] + 1)
+            .max()
+            .unwrap_or(0);
+        levels[t] = lvl;
+    }
+    let num_levels = levels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut level_widths = vec![0usize; num_levels];
+    let mut tasks_by_level = vec![Vec::new(); num_levels];
+    for (t, &l) in levels.iter().enumerate() {
+        level_widths[l] += 1;
+        tasks_by_level[l].push(t);
+    }
+    StructuralInfo {
+        levels,
+        level_widths,
+        tasks_by_level,
+    }
+}
+
+/// Computes top/bottom levels and the critical path of a PTG for the given
+/// task execution times and edge communication costs.
+///
+/// * `task_time(t)` — execution time (seconds) of task `t` under the current
+///   allocation;
+/// * `edge_cost(e)` — communication/redistribution time (seconds) attributed
+///   to edge `e` (pass `|_| 0.0` to ignore communications, as the allocation
+///   procedures of the paper do).
+pub fn analyze(
+    ptg: &Ptg,
+    mut task_time: impl FnMut(TaskId) -> f64,
+    mut edge_cost: impl FnMut(EdgeId) -> f64,
+) -> GraphAnalysis {
+    let n = ptg.num_tasks();
+    let times: Vec<f64> = (0..n).map(&mut task_time).collect();
+    let ecosts: Vec<f64> = (0..ptg.num_edges()).map(&mut edge_cost).collect();
+
+    // Top levels: forward pass in topological order.
+    let mut top = vec![0.0f64; n];
+    for &t in ptg.topological_order() {
+        let mut best: f64 = 0.0;
+        for &(p, e) in ptg.preds(t) {
+            best = best.max(top[p] + times[p] + ecosts[e]);
+        }
+        top[t] = best;
+    }
+
+    // Bottom levels: backward pass in reverse topological order.
+    let mut bottom = vec![0.0f64; n];
+    for &t in ptg.topological_order().iter().rev() {
+        let mut best: f64 = 0.0;
+        for &(s, e) in ptg.succs(t) {
+            best = best.max(ecosts[e] + bottom[s]);
+        }
+        bottom[t] = times[t] + best;
+    }
+
+    // Critical path length and one witness path.
+    let mut cp_len: f64 = 0.0;
+    let mut cp_entry = 0usize;
+    for t in 0..n {
+        let l = top[t] + bottom[t];
+        if l > cp_len {
+            cp_len = l;
+            cp_entry = t;
+        }
+    }
+    // Walk back to the entry of the critical path.
+    let mut start = cp_entry;
+    loop {
+        let mut better = None;
+        for &(p, e) in ptg.preds(start) {
+            if (top[p] + times[p] + ecosts[e] - top[start]).abs() <= 1e-9 * top[start].max(1.0) {
+                better = Some(p);
+                break;
+            }
+        }
+        match better {
+            Some(p) if top[start] > 0.0 => start = p,
+            _ => break,
+        }
+    }
+    // Walk forward following the bottom levels.
+    let mut path = vec![start];
+    let mut cur = start;
+    loop {
+        let mut next = None;
+        for &(s, e) in ptg.succs(cur) {
+            if (ecosts[e] + bottom[s] - (bottom[cur] - times[cur])).abs()
+                <= 1e-9 * bottom[cur].max(1.0)
+            {
+                next = Some(s);
+                break;
+            }
+        }
+        match next {
+            Some(s) => {
+                path.push(s);
+                cur = s;
+            }
+            None => break,
+        }
+    }
+
+    GraphAnalysis {
+        top_levels: top,
+        bottom_levels: bottom,
+        critical_path_length: cp_len,
+        critical_path: path,
+    }
+}
+
+/// Convenience wrapper: critical path length using one-processor execution
+/// times at the given reference speed and ignoring communication costs.
+/// This is the `cp` characteristic used by the PS-cp / WPS-cp strategies.
+pub fn sequential_critical_path(ptg: &Ptg, reference_speed: f64) -> f64 {
+    analyze(
+        ptg,
+        |t| ptg.task(t).sequential_time(reference_speed),
+        |_| 0.0,
+    )
+    .critical_path_length
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PtgBuilder;
+    use crate::task::{CostModel, DataParallelTask};
+
+    const GF: f64 = 1.0e9;
+
+    fn task_with_flops(name: &str, gflop: f64) -> DataParallelTask {
+        // Linear model with d = 1e6 and a = gflop * 1e3 gives `gflop` GFlop.
+        DataParallelTask::new(name, 1.0e6, CostModel::Linear { a: gflop * 1.0e3 }, 0.0)
+    }
+
+    /// Chain 0 -> 1 -> 2 with 1, 2, 3 GFlop.
+    fn chain() -> Ptg {
+        let mut b = PtgBuilder::new("chain");
+        b.add_task(task_with_flops("t0", 1.0));
+        b.add_task(task_with_flops("t1", 2.0));
+        b.add_task(task_with_flops("t2", 3.0));
+        b.add_edge(0, 1, 0.0);
+        b.add_edge(1, 2, 0.0);
+        b.build().unwrap()
+    }
+
+    /// Fork-join: 0 -> {1,2,3} -> 4.
+    fn fork_join() -> Ptg {
+        let mut b = PtgBuilder::new("fj");
+        b.add_task(task_with_flops("in", 1.0));
+        b.add_task(task_with_flops("a", 5.0));
+        b.add_task(task_with_flops("b", 2.0));
+        b.add_task(task_with_flops("c", 3.0));
+        b.add_task(task_with_flops("out", 1.0));
+        for t in 1..=3 {
+            b.add_edge(0, t, 0.0);
+            b.add_edge(t, 4, 0.0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_levels() {
+        let g = chain();
+        let s = structure(&g);
+        assert_eq!(s.levels, vec![0, 1, 2]);
+        assert_eq!(s.level_widths, vec![1, 1, 1]);
+        assert_eq!(s.max_width(), 1);
+        assert_eq!(s.num_levels(), 3);
+    }
+
+    #[test]
+    fn fork_join_levels_and_width() {
+        let g = fork_join();
+        let s = structure(&g);
+        assert_eq!(s.levels, vec![0, 1, 1, 1, 2]);
+        assert_eq!(s.level_widths, vec![1, 3, 1]);
+        assert_eq!(s.max_width(), 3);
+        assert_eq!(s.tasks_by_level[1], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn chain_critical_path_is_total_time() {
+        let g = chain();
+        let a = analyze(&g, |t| g.task(t).sequential_time(GF), |_| 0.0);
+        assert!((a.critical_path_length - 6.0).abs() < 1e-9);
+        assert_eq!(a.critical_path, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fork_join_critical_path_goes_through_heaviest_branch() {
+        let g = fork_join();
+        let a = analyze(&g, |t| g.task(t).sequential_time(GF), |_| 0.0);
+        // 1 + 5 + 1 = 7 seconds through task 1.
+        assert!((a.critical_path_length - 7.0).abs() < 1e-9);
+        assert_eq!(a.critical_path, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn bottom_levels_decrease_along_chain() {
+        let g = chain();
+        let a = analyze(&g, |t| g.task(t).sequential_time(GF), |_| 0.0);
+        assert!((a.bottom_levels[0] - 6.0).abs() < 1e-9);
+        assert!((a.bottom_levels[1] - 5.0).abs() < 1e-9);
+        assert!((a.bottom_levels[2] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_levels_accumulate_predecessors() {
+        let g = chain();
+        let a = analyze(&g, |t| g.task(t).sequential_time(GF), |_| 0.0);
+        assert!((a.top_levels[0] - 0.0).abs() < 1e-9);
+        assert!((a.top_levels[1] - 1.0).abs() < 1e-9);
+        assert!((a.top_levels[2] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_costs_extend_the_critical_path() {
+        let g = chain();
+        let a = analyze(&g, |t| g.task(t).sequential_time(GF), |_| 0.5);
+        assert!((a.critical_path_length - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_cp_matches_manual() {
+        let g = fork_join();
+        assert!((sequential_critical_path(&g, GF) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cp_length_equals_max_top_plus_bottom() {
+        let g = fork_join();
+        let a = analyze(&g, |t| g.task(t).sequential_time(GF), |_| 0.0);
+        let m = (0..g.num_tasks())
+            .map(|t| a.top_levels[t] + a.bottom_levels[t])
+            .fold(0.0f64, f64::max);
+        assert!((a.critical_path_length - m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entry_bottom_level_equals_cp_for_single_entry() {
+        let g = fork_join();
+        let a = analyze(&g, |t| g.task(t).sequential_time(GF), |_| 0.0);
+        assert!((a.bottom_levels[0] - a.critical_path_length).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,67 @@
+//! Graphviz/DOT export of PTGs, mainly for debugging and documentation.
+
+use crate::analysis::structure;
+use crate::graph::Ptg;
+use std::fmt::Write as _;
+
+/// Renders the PTG in Graphviz DOT syntax. Tasks are labelled with their
+/// name, dataset size (in millions of elements) and cost-model label; nodes
+/// of the same precedence level are grouped on the same rank.
+pub fn to_dot(ptg: &Ptg) -> String {
+    let s = structure(ptg);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", ptg.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    for (t, task) in ptg.tasks().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  t{} [label=\"{}\\nd={:.1}M  {}\"];",
+            t,
+            task.name(),
+            task.data_elems() / 1.0e6,
+            task.cost_model().label()
+        );
+    }
+    for level_tasks in &s.tasks_by_level {
+        let names: Vec<String> = level_tasks.iter().map(|t| format!("t{t}")).collect();
+        let _ = writeln!(out, "  {{ rank=same; {}; }}", names.join("; "));
+    }
+    for e in ptg.edges() {
+        let _ = writeln!(
+            out,
+            "  t{} -> t{} [label=\"{:.1} MB\"];",
+            e.src,
+            e.dst,
+            e.bytes / 1.0e6
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::strassen::strassen_ptg;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn dot_contains_all_tasks_and_edges() {
+        let g = strassen_ptg(&mut ChaCha8Rng::seed_from_u64(1), "strassen");
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        for t in 0..g.num_tasks() {
+            assert!(dot.contains(&format!("t{t} [label=")));
+        }
+        assert_eq!(dot.matches(" -> ").count(), g.num_edges());
+    }
+
+    #[test]
+    fn dot_groups_levels_by_rank() {
+        let g = strassen_ptg(&mut ChaCha8Rng::seed_from_u64(2), "s");
+        let dot = to_dot(&g);
+        assert!(dot.contains("rank=same"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types for PTG construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating a [`crate::Ptg`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PtgError {
+    /// The graph contains a dependency cycle.
+    Cyclic,
+    /// A task index referenced by an edge does not exist.
+    UnknownTask {
+        /// The offending index.
+        index: usize,
+        /// Number of tasks in the graph.
+        tasks: usize,
+    },
+    /// A self-loop edge was added.
+    SelfLoop {
+        /// The task with the self loop.
+        task: usize,
+    },
+    /// The graph has no task at all.
+    Empty,
+    /// A task parameter is out of its valid domain.
+    InvalidTask {
+        /// Index of the offending task.
+        task: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The same edge was declared twice.
+    DuplicateEdge {
+        /// Source task.
+        src: usize,
+        /// Destination task.
+        dst: usize,
+    },
+}
+
+impl fmt::Display for PtgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtgError::Cyclic => write!(f, "the task graph contains a cycle"),
+            PtgError::UnknownTask { index, tasks } => {
+                write!(f, "task index {index} out of bounds ({tasks} tasks)")
+            }
+            PtgError::SelfLoop { task } => write!(f, "task {task} has a self-loop edge"),
+            PtgError::Empty => write!(f, "the task graph has no task"),
+            PtgError::InvalidTask { task, reason } => {
+                write!(f, "task {task} is invalid: {reason}")
+            }
+            PtgError::DuplicateEdge { src, dst } => {
+                write!(f, "edge {src} -> {dst} declared more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PtgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_cyclic() {
+        assert!(PtgError::Cyclic.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn display_unknown_task() {
+        let e = PtgError::UnknownTask { index: 9, tasks: 3 };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<PtgError>();
+    }
+}

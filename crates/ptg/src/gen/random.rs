@@ -1,0 +1,382 @@
+//! Random "workflow-like" PTG generator.
+//!
+//! Reproduces the shape and cost model of the synthetic PTGs used in the
+//! paper (Section 2), which were produced with the authors' DAG generation
+//! program:
+//!
+//! * **width** — maximum parallelism of the PTG; the expected number of
+//!   tasks per precedence level is `n^width` (a small value yields "chain"
+//!   graphs, a large value "fork-join" graphs);
+//! * **regularity** — uniformity of the number of tasks per level: each level
+//!   size is drawn uniformly in `[regularity·w̄, (2 − regularity)·w̄]`;
+//! * **density** — number of edges between two consecutive levels: each task
+//!   of level `l−1` is connected to a task of level `l` with probability
+//!   `density` (plus one mandatory incoming edge to keep every non-entry
+//!   task reachable);
+//! * **jumps** — extra edges going from level `l` to level `l + jump`,
+//!   `jump ∈ {1, 2, 4}` (`1` meaning no edge skips a level).
+//!
+//! Task costs follow the paper's model exactly: dataset size `d` uniform in
+//! `[4·10^6, 121·10^6]` elements, computational complexity `a·d`,
+//! `a·d·log d` or `d^{3/2}` with `a` uniform in `[2^6, 2^9]`, Amdahl
+//! fraction `α` uniform in `[0, 0.25]`, edge volume `8·d` bytes.
+
+use crate::graph::{Ptg, PtgBuilder, TaskId};
+use crate::task::{CostModel, DataParallelTask};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which computational complexity the tasks of a PTG use.
+///
+/// The paper considers four scenarios: three where all tasks share one of the
+/// three complexities and one where each task's complexity is drawn at
+/// random.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostScenario {
+    /// All tasks cost `a·d` flop.
+    Linear,
+    /// All tasks cost `a·d·log d` flop.
+    LogLinear,
+    /// All tasks cost `d^{3/2}` flop.
+    MatrixProduct,
+    /// Each task's complexity is chosen uniformly among the three.
+    Mixed,
+}
+
+impl CostScenario {
+    /// All four scenarios, in the order used by the paper.
+    pub fn all() -> [CostScenario; 4] {
+        [
+            CostScenario::Linear,
+            CostScenario::LogLinear,
+            CostScenario::MatrixProduct,
+            CostScenario::Mixed,
+        ]
+    }
+
+    fn draw_model<R: Rng>(&self, rng: &mut R) -> CostModel {
+        let a = rng.gen_range(64.0..=512.0);
+        match self {
+            CostScenario::Linear => CostModel::Linear { a },
+            CostScenario::LogLinear => CostModel::LogLinear { a },
+            CostScenario::MatrixProduct => CostModel::MatrixProduct,
+            CostScenario::Mixed => match rng.gen_range(0..3) {
+                0 => CostModel::Linear { a },
+                1 => CostModel::LogLinear { a },
+                _ => CostModel::MatrixProduct,
+            },
+        }
+    }
+}
+
+/// Configuration of the random PTG generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomPtgConfig {
+    /// Number of data-parallel tasks (the paper uses 10, 20 and 50).
+    pub num_tasks: usize,
+    /// Width parameter in `(0, 1]`.
+    pub width: f64,
+    /// Regularity parameter in `[0, 1]`.
+    pub regularity: f64,
+    /// Density parameter in `[0, 1]`.
+    pub density: f64,
+    /// Maximum jump length (1, 2 or 4 in the paper).
+    pub jump: usize,
+    /// Computational complexity scenario.
+    pub cost_scenario: CostScenario,
+}
+
+impl RandomPtgConfig {
+    /// A mid-range default configuration (20 tasks, width 0.5, regularity
+    /// 0.8, density 0.5, no jump, mixed costs).
+    pub fn default_config() -> Self {
+        Self {
+            num_tasks: 20,
+            width: 0.5,
+            regularity: 0.8,
+            density: 0.5,
+            jump: 1,
+            cost_scenario: CostScenario::Mixed,
+        }
+    }
+
+    /// The full parameter grid used in the paper's evaluation:
+    /// sizes {10, 20, 50} × width {0.2, 0.5, 0.8} × regularity {0.2, 0.8} ×
+    /// density {0.2, 0.8} × jump {1, 2, 4}, with mixed cost scenarios.
+    pub fn paper_grid() -> Vec<Self> {
+        let mut grid = Vec::new();
+        for &num_tasks in &[10usize, 20, 50] {
+            for &width in &[0.2, 0.5, 0.8] {
+                for &regularity in &[0.2, 0.8] {
+                    for &density in &[0.2, 0.8] {
+                        for &jump in &[1usize, 2, 4] {
+                            grid.push(Self {
+                                num_tasks,
+                                width,
+                                regularity,
+                                density,
+                                jump,
+                                cost_scenario: CostScenario::Mixed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        grid
+    }
+
+    /// Draws one configuration uniformly from the paper's parameter grid,
+    /// with the cost scenario also drawn uniformly among the four scenarios.
+    pub fn sample_paper_grid<R: Rng>(rng: &mut R) -> Self {
+        let num_tasks = [10usize, 20, 50][rng.gen_range(0..3)];
+        let width = [0.2, 0.5, 0.8][rng.gen_range(0..3)];
+        let regularity = [0.2, 0.8][rng.gen_range(0..2)];
+        let density = [0.2, 0.8][rng.gen_range(0..2)];
+        let jump = [1usize, 2, 4][rng.gen_range(0..3)];
+        let cost_scenario = CostScenario::all()[rng.gen_range(0..4)];
+        Self {
+            num_tasks,
+            width,
+            regularity,
+            density,
+            jump,
+            cost_scenario,
+        }
+    }
+}
+
+/// Generates one random PTG according to `cfg`, using `rng` for all random
+/// draws. The result is guaranteed to be a valid DAG in which every
+/// non-entry task has at least one predecessor.
+pub fn random_ptg<R: Rng>(cfg: &RandomPtgConfig, rng: &mut R, name: impl Into<String>) -> Ptg {
+    assert!(cfg.num_tasks > 0, "a PTG needs at least one task");
+    assert!(
+        cfg.width > 0.0 && cfg.width <= 1.0,
+        "width must be in (0, 1]"
+    );
+    assert!(cfg.jump >= 1, "jump must be at least 1");
+
+    // 1. Distribute tasks over precedence levels.
+    let n = cfg.num_tasks;
+    let mean_width = (n as f64).powf(cfg.width).max(1.0);
+    let mut level_sizes: Vec<usize> = Vec::new();
+    let mut assigned = 0usize;
+    while assigned < n {
+        let lo = (cfg.regularity * mean_width).max(1.0);
+        let hi = ((2.0 - cfg.regularity) * mean_width).max(lo + 1e-9);
+        let mut size = rng.gen_range(lo..=hi).round() as usize;
+        size = size.clamp(1, n - assigned);
+        level_sizes.push(size);
+        assigned += size;
+    }
+
+    // 2. Create the tasks, level by level.
+    let mut builder = PtgBuilder::new(name);
+    let mut levels: Vec<Vec<TaskId>> = Vec::with_capacity(level_sizes.len());
+    for (lvl, &size) in level_sizes.iter().enumerate() {
+        let mut ids = Vec::with_capacity(size);
+        for i in 0..size {
+            let d = rng.gen_range(crate::MIN_DATA_ELEMS..=crate::MAX_DATA_ELEMS);
+            let alpha = rng.gen_range(0.0..=0.25);
+            let model = cfg.cost_scenario.draw_model(rng);
+            let task = DataParallelTask::new(format!("t{lvl}_{i}"), d, model, alpha);
+            ids.push(builder.add_task(task));
+        }
+        levels.push(ids);
+    }
+
+    // 3. Connect consecutive levels according to the density parameter.
+    for l in 1..levels.len() {
+        let prev = levels[l - 1].clone();
+        let cur = levels[l].clone();
+        for &dst in &cur {
+            // One mandatory parent keeps the task reachable ...
+            let mandatory = prev[rng.gen_range(0..prev.len())];
+            builder.add_data_edge(mandatory, dst);
+            // ... then each other task of the previous level is a parent with
+            // probability `density`.
+            for &src in &prev {
+                if src != mandatory && rng.gen_bool(cfg.density) {
+                    builder.add_data_edge(src, dst);
+                }
+            }
+        }
+    }
+
+    // 4. Jump edges from level l to level l + jump (jump = 1 adds nothing new
+    //    beyond step 3, matching the paper's "no jumping over any level").
+    if cfg.jump > 1 {
+        for l in 0..levels.len() {
+            let target_level = l + cfg.jump;
+            if target_level >= levels.len() {
+                continue;
+            }
+            let srcs = levels[l].clone();
+            let dsts = levels[target_level].clone();
+            for &dst in &dsts {
+                if rng.gen_bool(cfg.density) {
+                    let src = srcs[rng.gen_range(0..srcs.len())];
+                    builder.add_jump_edge_if_new(src, dst);
+                }
+            }
+        }
+    }
+
+    builder
+        .build()
+        .expect("generator produces valid acyclic graphs by construction")
+}
+
+impl PtgBuilder {
+    /// Adds a data edge only if no edge between `src` and `dst` exists yet
+    /// (jump edges may collide with density edges).
+    fn add_jump_edge_if_new(&mut self, src: TaskId, dst: TaskId) {
+        let exists = self.edges_slice().iter().any(|e| e.src == src && e.dst == dst);
+        if !exists {
+            self.add_data_edge(src, dst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::structure;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn respects_task_count() {
+        for &n in &[10usize, 20, 50] {
+            let cfg = RandomPtgConfig {
+                num_tasks: n,
+                ..RandomPtgConfig::default_config()
+            };
+            let g = random_ptg(&cfg, &mut rng(n as u64), "g");
+            assert_eq!(g.num_tasks(), n);
+        }
+    }
+
+    #[test]
+    fn every_non_entry_task_has_a_predecessor() {
+        let cfg = RandomPtgConfig::default_config();
+        let g = random_ptg(&cfg, &mut rng(11), "g");
+        let s = structure(&g);
+        for t in g.task_ids() {
+            if s.levels[t] > 0 {
+                assert!(!g.preds(t).is_empty(), "task {t} at level > 0 has no parent");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_config_is_wider_than_narrow_config() {
+        let narrow = RandomPtgConfig {
+            num_tasks: 50,
+            width: 0.2,
+            ..RandomPtgConfig::default_config()
+        };
+        let wide = RandomPtgConfig {
+            num_tasks: 50,
+            width: 0.8,
+            ..RandomPtgConfig::default_config()
+        };
+        // Average over a few seeds to avoid flakiness.
+        let avg_width = |cfg: &RandomPtgConfig| -> f64 {
+            (0..8)
+                .map(|s| structure(&random_ptg(cfg, &mut rng(s), "g")).max_width() as f64)
+                .sum::<f64>()
+                / 8.0
+        };
+        assert!(avg_width(&wide) > avg_width(&narrow));
+    }
+
+    #[test]
+    fn dense_config_has_more_edges() {
+        let sparse = RandomPtgConfig {
+            num_tasks: 50,
+            density: 0.2,
+            ..RandomPtgConfig::default_config()
+        };
+        let dense = RandomPtgConfig {
+            num_tasks: 50,
+            density: 0.8,
+            ..RandomPtgConfig::default_config()
+        };
+        let avg_edges = |cfg: &RandomPtgConfig| -> f64 {
+            (0..8)
+                .map(|s| random_ptg(cfg, &mut rng(100 + s), "g").num_edges() as f64)
+                .sum::<f64>()
+                / 8.0
+        };
+        assert!(avg_edges(&dense) > avg_edges(&sparse));
+    }
+
+    #[test]
+    fn costs_are_in_paper_ranges() {
+        let cfg = RandomPtgConfig {
+            num_tasks: 50,
+            cost_scenario: CostScenario::Mixed,
+            ..RandomPtgConfig::default_config()
+        };
+        let g = random_ptg(&cfg, &mut rng(5), "g");
+        for t in g.tasks() {
+            assert!(t.data_elems() >= crate::MIN_DATA_ELEMS);
+            assert!(t.data_elems() <= crate::MAX_DATA_ELEMS);
+            assert!(t.alpha() >= 0.0 && t.alpha() <= 0.25);
+            assert!(t.flops() > 0.0);
+        }
+        for e in g.edges() {
+            let d_src = g.task(e.src).data_elems();
+            assert!((e.bytes - 8.0 * d_src).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn paper_grid_has_expected_cardinality() {
+        // 3 sizes × 3 widths × 2 regularities × 2 densities × 3 jumps = 108
+        assert_eq!(RandomPtgConfig::paper_grid().len(), 108);
+    }
+
+    #[test]
+    fn jump_config_still_acyclic_and_valid() {
+        let cfg = RandomPtgConfig {
+            num_tasks: 50,
+            jump: 4,
+            density: 0.8,
+            ..RandomPtgConfig::default_config()
+        };
+        let g = random_ptg(&cfg, &mut rng(77), "g");
+        assert_eq!(g.num_tasks(), 50);
+        // jump edges only go forward: verify via levels
+        let s = structure(&g);
+        for e in g.edges() {
+            assert!(s.levels[e.src] < s.levels[e.dst]);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = RandomPtgConfig::default_config();
+        let a = random_ptg(&cfg, &mut rng(9), "g");
+        let b = random_ptg(&cfg, &mut rng(9), "g");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scenario_all_tasks_matrix_product() {
+        let cfg = RandomPtgConfig {
+            cost_scenario: CostScenario::MatrixProduct,
+            ..RandomPtgConfig::default_config()
+        };
+        let g = random_ptg(&cfg, &mut rng(4), "g");
+        for t in g.tasks() {
+            assert_eq!(t.cost_model(), crate::task::CostModel::MatrixProduct);
+        }
+    }
+}

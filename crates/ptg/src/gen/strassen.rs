@@ -1,0 +1,202 @@
+//! Strassen matrix multiplication task graphs.
+//!
+//! One level of Strassen's algorithm computes `C = A·B` on `√d × √d`
+//! matrices using 7 quadrant multiplications and 18 quadrant
+//! additions/subtractions (10 before the products, 8 after), for a total of
+//! **25 tasks** — the fixed size reported in the paper. All Strassen PTGs
+//! share the same shape and the same maximal width (10, the pre-addition
+//! level); only the matrix size, and hence the task costs, differs between
+//! two generated instances.
+
+use crate::graph::{Ptg, PtgBuilder, TaskId};
+use crate::task::{CostModel, DataParallelTask};
+use rand::Rng;
+
+/// Number of tasks of a single-level Strassen PTG.
+pub const STRASSEN_TASKS: usize = 25;
+
+/// Generates a Strassen PTG (25 tasks: 10 pre-additions, 7 quadrant
+/// products, 8 post-additions).
+///
+/// The full matrix holds `d` elements with `d` drawn uniformly in
+/// `[4·MIN_DATA_ELEMS, MAX_DATA_ELEMS]` so that each quadrant (`d/4`
+/// elements) still satisfies the paper's minimal dataset size. Additions use
+/// the linear cost model, products the `d^{3/2}` model; each task draws its
+/// own Amdahl fraction in `[0, 0.25]`.
+pub fn strassen_ptg<R: Rng>(rng: &mut R, name: impl Into<String>) -> Ptg {
+    let full_d = rng.gen_range((4.0 * crate::MIN_DATA_ELEMS)..=crate::MAX_DATA_ELEMS);
+    let quad_d = full_d / 4.0;
+    let edge_bytes = 8.0 * quad_d;
+
+    let mut b = PtgBuilder::new(name);
+    fn add<R: Rng>(b: &mut PtgBuilder, rng: &mut R, quad_d: f64, label: &str) -> TaskId {
+        let alpha = rng.gen_range(0.0..=0.25);
+        b.add_task(DataParallelTask::new(
+            label,
+            quad_d,
+            CostModel::Linear { a: 1.0 },
+            alpha,
+        ))
+    }
+    fn mul<R: Rng>(b: &mut PtgBuilder, rng: &mut R, quad_d: f64, label: &str) -> TaskId {
+        let alpha = rng.gen_range(0.0..=0.25);
+        b.add_task(DataParallelTask::new(
+            label,
+            quad_d,
+            CostModel::MatrixProduct,
+            alpha,
+        ))
+    }
+
+    // Pre-additions (classical Strassen formulation).
+    let s1 = add(&mut b, rng, quad_d, "S1=A11+A22");
+    let s2 = add(&mut b, rng, quad_d, "S2=B11+B22");
+    let s3 = add(&mut b, rng, quad_d, "S3=A21+A22");
+    let s4 = add(&mut b, rng, quad_d, "S4=B12-B22");
+    let s5 = add(&mut b, rng, quad_d, "S5=B21-B11");
+    let s6 = add(&mut b, rng, quad_d, "S6=A11+A12");
+    let s7 = add(&mut b, rng, quad_d, "S7=A21-A11");
+    let s8 = add(&mut b, rng, quad_d, "S8=B11+B12");
+    let s9 = add(&mut b, rng, quad_d, "S9=A12-A22");
+    let s10 = add(&mut b, rng, quad_d, "S10=B21+B22");
+
+    // Quadrant products.
+    let m1 = mul(&mut b, rng, quad_d, "M1=S1*S2");
+    let m2 = mul(&mut b, rng, quad_d, "M2=S3*B11");
+    let m3 = mul(&mut b, rng, quad_d, "M3=A11*S4");
+    let m4 = mul(&mut b, rng, quad_d, "M4=A22*S5");
+    let m5 = mul(&mut b, rng, quad_d, "M5=S6*B22");
+    let m6 = mul(&mut b, rng, quad_d, "M6=S7*S8");
+    let m7 = mul(&mut b, rng, quad_d, "M7=S9*S10");
+
+    for (src, dst) in [
+        (s1, m1),
+        (s2, m1),
+        (s3, m2),
+        (s4, m3),
+        (s5, m4),
+        (s6, m5),
+        (s7, m6),
+        (s8, m6),
+        (s9, m7),
+        (s10, m7),
+    ] {
+        b.add_edge(src, dst, edge_bytes);
+    }
+
+    // Post-additions.
+    // C11 = M1 + M4 - M5 + M7   (3 chained additions)
+    let c11a = add(&mut b, rng, quad_d, "C11a=M1+M4");
+    let c11b = add(&mut b, rng, quad_d, "C11b=C11a-M5");
+    let c11 = add(&mut b, rng, quad_d, "C11=C11b+M7");
+    // C12 = M3 + M5
+    let c12 = add(&mut b, rng, quad_d, "C12=M3+M5");
+    // C21 = M2 + M4
+    let c21 = add(&mut b, rng, quad_d, "C21=M2+M4");
+    // C22 = M1 - M2 + M3 + M6   (3 chained additions)
+    let c22a = add(&mut b, rng, quad_d, "C22a=M1-M2");
+    let c22b = add(&mut b, rng, quad_d, "C22b=C22a+M3");
+    let c22 = add(&mut b, rng, quad_d, "C22=C22b+M6");
+
+    for (src, dst) in [
+        (m1, c11a),
+        (m4, c11a),
+        (c11a, c11b),
+        (m5, c11b),
+        (c11b, c11),
+        (m7, c11),
+        (m3, c12),
+        (m5, c12),
+        (m2, c21),
+        (m4, c21),
+        (m1, c22a),
+        (m2, c22a),
+        (c22a, c22b),
+        (m3, c22b),
+        (c22b, c22),
+        (m6, c22),
+    ] {
+        b.add_edge(src, dst, edge_bytes);
+    }
+
+    b.build()
+        .expect("Strassen generator produces a valid acyclic graph by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::structure;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn has_25_tasks() {
+        let g = strassen_ptg(&mut rng(1), "strassen");
+        assert_eq!(g.num_tasks(), STRASSEN_TASKS);
+    }
+
+    #[test]
+    fn fixed_shape_across_instances() {
+        let a = strassen_ptg(&mut rng(1), "a");
+        let b = strassen_ptg(&mut rng(2), "b");
+        assert_eq!(a.num_tasks(), b.num_tasks());
+        assert_eq!(a.num_edges(), b.num_edges());
+        let sa = structure(&a);
+        let sb = structure(&b);
+        assert_eq!(sa.level_widths, sb.level_widths);
+        assert_eq!(sa.max_width(), sb.max_width());
+    }
+
+    #[test]
+    fn max_width_is_the_preaddition_level() {
+        let g = strassen_ptg(&mut rng(3), "s");
+        let s = structure(&g);
+        assert_eq!(s.max_width(), 10);
+        assert_eq!(s.level_widths[0], 10);
+    }
+
+    #[test]
+    fn seven_products_present() {
+        let g = strassen_ptg(&mut rng(4), "s");
+        let products = g
+            .tasks()
+            .iter()
+            .filter(|t| t.cost_model() == CostModel::MatrixProduct)
+            .count();
+        assert_eq!(products, 7);
+    }
+
+    #[test]
+    fn costs_differ_between_instances() {
+        let a = strassen_ptg(&mut rng(5), "a");
+        let b = strassen_ptg(&mut rng(6), "b");
+        assert!((a.total_work() - b.total_work()).abs() > 1.0);
+    }
+
+    #[test]
+    fn quadrants_respect_minimum_dataset() {
+        for seed in 0..10 {
+            let g = strassen_ptg(&mut rng(seed), "s");
+            for t in g.tasks() {
+                assert!(t.data_elems() >= crate::MIN_DATA_ELEMS * 0.999);
+            }
+        }
+    }
+
+    #[test]
+    fn exits_are_the_four_quadrants() {
+        let g = strassen_ptg(&mut rng(7), "s");
+        assert_eq!(g.exits().len(), 4);
+    }
+
+    #[test]
+    fn entries_are_the_ten_preadditions() {
+        let g = strassen_ptg(&mut rng(8), "s");
+        assert_eq!(g.entries().len(), 10);
+    }
+}

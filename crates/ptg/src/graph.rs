@@ -1,0 +1,389 @@
+//! The parallel task graph (PTG) data structure.
+
+use crate::error::PtgError;
+use crate::task::DataParallelTask;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Index of a task within a [`Ptg`].
+pub type TaskId = usize;
+
+/// Index of an edge within a [`Ptg`].
+pub type EdgeId = usize;
+
+/// A precedence/communication edge between two tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Producing task.
+    pub src: TaskId,
+    /// Consuming task.
+    pub dst: TaskId,
+    /// Amount of data transferred, in bytes.
+    pub bytes: f64,
+}
+
+/// A parallel task graph: a DAG of moldable data-parallel tasks.
+///
+/// The structure is immutable once built (use [`PtgBuilder`]); the adjacency
+/// lists (`preds`/`succs`) and a topological order are precomputed at build
+/// time so that the scheduler's inner loops never re-derive them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ptg {
+    name: String,
+    tasks: Vec<DataParallelTask>,
+    edges: Vec<Edge>,
+    preds: Vec<Vec<(TaskId, EdgeId)>>,
+    succs: Vec<Vec<(TaskId, EdgeId)>>,
+    topo_order: Vec<TaskId>,
+}
+
+impl Ptg {
+    /// Name of the application.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The tasks, indexed by [`TaskId`].
+    pub fn tasks(&self) -> &[DataParallelTask] {
+        &self.tasks
+    }
+
+    /// A task by index.
+    pub fn task(&self, id: TaskId) -> &DataParallelTask {
+        &self.tasks[id]
+    }
+
+    /// The edges, indexed by [`EdgeId`].
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// An edge by index.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id]
+    }
+
+    /// Predecessors of a task, as `(task, edge)` pairs.
+    pub fn preds(&self, id: TaskId) -> &[(TaskId, EdgeId)] {
+        &self.preds[id]
+    }
+
+    /// Successors of a task, as `(task, edge)` pairs.
+    pub fn succs(&self, id: TaskId) -> &[(TaskId, EdgeId)] {
+        &self.succs[id]
+    }
+
+    /// Tasks without predecessors (entry tasks).
+    pub fn entries(&self) -> Vec<TaskId> {
+        (0..self.num_tasks())
+            .filter(|&t| self.preds[t].is_empty())
+            .collect()
+    }
+
+    /// Tasks without successors (exit tasks).
+    pub fn exits(&self) -> Vec<TaskId> {
+        (0..self.num_tasks())
+            .filter(|&t| self.succs[t].is_empty())
+            .collect()
+    }
+
+    /// A topological order of the tasks (entry tasks first).
+    pub fn topological_order(&self) -> &[TaskId] {
+        &self.topo_order
+    }
+
+    /// Total amount of work of the PTG in floating-point operations
+    /// (the `work` characteristic of the PS/WPS strategies).
+    pub fn total_work(&self) -> f64 {
+        self.tasks.iter().map(DataParallelTask::flops).sum()
+    }
+
+    /// Total number of bytes carried by the edges.
+    pub fn total_communication(&self) -> f64 {
+        self.edges.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Iterator over task identifiers.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> {
+        0..self.tasks.len()
+    }
+}
+
+/// Incremental builder for [`Ptg`] values; validates the graph on
+/// [`PtgBuilder::build`].
+#[derive(Debug, Clone, Default)]
+pub struct PtgBuilder {
+    name: String,
+    tasks: Vec<DataParallelTask>,
+    edges: Vec<Edge>,
+}
+
+impl PtgBuilder {
+    /// Starts building a PTG with the given application name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            tasks: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a task and returns its identifier.
+    pub fn add_task(&mut self, task: DataParallelTask) -> TaskId {
+        self.tasks.push(task);
+        self.tasks.len() - 1
+    }
+
+    /// Adds an edge carrying `bytes` bytes from `src` to `dst`.
+    pub fn add_edge(&mut self, src: TaskId, dst: TaskId, bytes: f64) -> &mut Self {
+        self.edges.push(Edge { src, dst, bytes });
+        self
+    }
+
+    /// Adds an edge whose volume is the producing task's output size (`8·d`
+    /// bytes), the default of the paper's model.
+    pub fn add_data_edge(&mut self, src: TaskId, dst: TaskId) -> &mut Self {
+        let bytes = self
+            .tasks
+            .get(src)
+            .map(DataParallelTask::output_bytes)
+            .unwrap_or(0.0);
+        self.add_edge(src, dst, bytes)
+    }
+
+    /// Number of tasks added so far.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The edges added so far (in insertion order).
+    pub fn edges_slice(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The tasks added so far (in insertion order).
+    pub fn tasks_slice(&self) -> &[DataParallelTask] {
+        &self.tasks
+    }
+
+    /// Validates the graph (non-empty, indices in range, no self-loop, no
+    /// duplicate edge, acyclic) and freezes it into a [`Ptg`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the corresponding [`PtgError`] when a validation rule fails.
+    pub fn build(self) -> Result<Ptg, PtgError> {
+        let n = self.tasks.len();
+        if n == 0 {
+            return Err(PtgError::Empty);
+        }
+        let mut seen = HashSet::new();
+        for e in &self.edges {
+            if e.src >= n {
+                return Err(PtgError::UnknownTask {
+                    index: e.src,
+                    tasks: n,
+                });
+            }
+            if e.dst >= n {
+                return Err(PtgError::UnknownTask {
+                    index: e.dst,
+                    tasks: n,
+                });
+            }
+            if e.src == e.dst {
+                return Err(PtgError::SelfLoop { task: e.src });
+            }
+            if !seen.insert((e.src, e.dst)) {
+                return Err(PtgError::DuplicateEdge {
+                    src: e.src,
+                    dst: e.dst,
+                });
+            }
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            if !t.data_elems().is_finite() || t.data_elems() < 0.0 {
+                return Err(PtgError::InvalidTask {
+                    task: i,
+                    reason: format!("dataset size {} is not a finite non-negative value", t.data_elems()),
+                });
+            }
+            if !(0.0..=1.0).contains(&t.alpha()) {
+                return Err(PtgError::InvalidTask {
+                    task: i,
+                    reason: format!("Amdahl fraction {} outside [0, 1]", t.alpha()),
+                });
+            }
+        }
+
+        // Adjacency lists.
+        let mut preds: Vec<Vec<(TaskId, EdgeId)>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<(TaskId, EdgeId)>> = vec![Vec::new(); n];
+        for (eid, e) in self.edges.iter().enumerate() {
+            succs[e.src].push((e.dst, eid));
+            preds[e.dst].push((e.src, eid));
+        }
+
+        // Kahn's algorithm to produce a topological order and detect cycles.
+        let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let mut queue: Vec<TaskId> = (0..n).filter(|&t| indeg[t] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let t = queue[head];
+            head += 1;
+            topo.push(t);
+            for &(s, _) in &succs[t] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(PtgError::Cyclic);
+        }
+
+        Ok(Ptg {
+            name: self.name,
+            tasks: self.tasks,
+            edges: self.edges,
+            preds,
+            succs,
+            topo_order: topo,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::CostModel;
+
+    fn task(name: &str) -> DataParallelTask {
+        DataParallelTask::new(name, 4.0e6, CostModel::MatrixProduct, 0.1)
+    }
+
+    fn diamond() -> Ptg {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut b = PtgBuilder::new("diamond");
+        for i in 0..4 {
+            b.add_task(task(&format!("t{i}")));
+        }
+        b.add_data_edge(0, 1);
+        b.add_data_edge(0, 2);
+        b.add_data_edge(1, 3);
+        b.add_data_edge(2, 3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let g = diamond();
+        assert_eq!(g.num_tasks(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.entries(), vec![0]);
+        assert_eq!(g.exits(), vec![3]);
+        assert_eq!(g.preds(3).len(), 2);
+        assert_eq!(g.succs(0).len(), 2);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = diamond();
+        let order = g.topological_order();
+        let pos: Vec<usize> = (0..4).map(|t| order.iter().position(|&x| x == t).unwrap()).collect();
+        for e in g.edges() {
+            assert!(pos[e.src] < pos[e.dst]);
+        }
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut b = PtgBuilder::new("cyc");
+        b.add_task(task("a"));
+        b.add_task(task("b"));
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 0, 1.0);
+        assert_eq!(b.build().unwrap_err(), PtgError::Cyclic);
+    }
+
+    #[test]
+    fn self_loops_are_rejected() {
+        let mut b = PtgBuilder::new("loop");
+        b.add_task(task("a"));
+        b.add_edge(0, 0, 1.0);
+        assert!(matches!(b.build(), Err(PtgError::SelfLoop { task: 0 })));
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        assert_eq!(PtgBuilder::new("e").build().unwrap_err(), PtgError::Empty);
+    }
+
+    #[test]
+    fn out_of_range_edge_is_rejected() {
+        let mut b = PtgBuilder::new("x");
+        b.add_task(task("a"));
+        b.add_edge(0, 5, 1.0);
+        assert!(matches!(b.build(), Err(PtgError::UnknownTask { index: 5, .. })));
+    }
+
+    #[test]
+    fn duplicate_edge_is_rejected() {
+        let mut b = PtgBuilder::new("x");
+        b.add_task(task("a"));
+        b.add_task(task("b"));
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 1, 2.0);
+        assert!(matches!(b.build(), Err(PtgError::DuplicateEdge { .. })));
+    }
+
+    #[test]
+    fn invalid_alpha_is_rejected() {
+        let mut b = PtgBuilder::new("x");
+        b.add_task(DataParallelTask::new("a", 4.0e6, CostModel::MatrixProduct, 1.5));
+        assert!(matches!(b.build(), Err(PtgError::InvalidTask { .. })));
+    }
+
+    #[test]
+    fn data_edge_uses_producer_output() {
+        let g = diamond();
+        let bytes = g.task(0).output_bytes();
+        assert!((g.edge(0).bytes - bytes).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_work_sums_flops() {
+        let g = diamond();
+        let expected: f64 = g.tasks().iter().map(|t| t.flops()).sum();
+        assert!((g.total_work() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn total_communication_sums_bytes() {
+        let g = diamond();
+        let expected: f64 = g.edges().iter().map(|e| e.bytes).sum();
+        assert!((g.total_communication() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_task_graph_is_valid() {
+        let mut b = PtgBuilder::new("single");
+        b.add_task(task("only"));
+        let g = b.build().unwrap();
+        assert_eq!(g.entries(), vec![0]);
+        assert_eq!(g.exits(), vec![0]);
+        assert_eq!(g.topological_order(), &[0]);
+    }
+}

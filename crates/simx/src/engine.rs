@@ -1,0 +1,420 @@
+//! The discrete-event execution engine.
+
+use crate::error::SimError;
+use crate::event::EventQueue;
+use crate::flow::FlowNetwork;
+use crate::job::{JobId, SimWorkload};
+use crate::resources::SiteNetwork;
+use crate::trace::{ExecutionTrace, JobRecord, TransferRecord};
+use mcsched_platform::Platform;
+
+/// Outcome of a simulated execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Per-job and per-transfer records.
+    pub trace: ExecutionTrace,
+    /// Completion time of the last job, in seconds.
+    pub makespan: f64,
+}
+
+/// Internal event payloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    /// A job finishes and releases its processors.
+    JobFinish(JobId),
+    /// A transfer's latency has elapsed; its flow joins the network.
+    FlowStart(usize),
+    /// A job's release time is reached.
+    JobRelease(JobId),
+}
+
+/// Discrete-event engine executing a [`SimWorkload`] on a [`Platform`].
+///
+/// Semantics:
+///
+/// * a job starts once (a) its release time is reached, (b) every incoming
+///   transfer has completed and (c) every processor of its set is idle;
+/// * when several jobs are ready and contend for processors, the one with the
+///   smallest `priority` (then smallest identifier) is served first;
+/// * a transfer starts when its producer finishes; it pays the route latency
+///   once, then shares link bandwidth with all other in-flight transfers
+///   under max-min fairness.
+#[derive(Debug)]
+pub struct Engine<'a> {
+    platform: &'a Platform,
+    network: SiteNetwork,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine for the given platform.
+    pub fn new(platform: &'a Platform) -> Self {
+        Self {
+            network: SiteNetwork::new(platform),
+            platform,
+        }
+    }
+
+    /// The flattened site network used for routing and contention.
+    pub fn network(&self) -> &SiteNetwork {
+        &self.network
+    }
+
+    /// Executes the workload and returns the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`SimWorkload::validate`]; returns
+    /// [`SimError::DependencyCycle`] if the simulation deadlocks (which
+    /// validation normally rules out).
+    pub fn execute(&self, workload: &SimWorkload) -> Result<SimOutcome, SimError> {
+        workload.validate(self.platform)?;
+        let n = workload.jobs.len();
+        let nt = workload.transfers.len();
+
+        let mut deps_left = vec![0usize; n];
+        let mut out_transfers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, t) in workload.transfers.iter().enumerate() {
+            deps_left[t.to] += 1;
+            out_transfers[t.from].push(i);
+        }
+
+        let mut released = vec![false; n];
+        let mut started = vec![false; n];
+        let mut finished = 0usize;
+
+        let mut busy: Vec<Vec<bool>> = self
+            .platform
+            .clusters()
+            .iter()
+            .map(|c| vec![false; c.num_procs()])
+            .collect();
+
+        let mut job_records: Vec<Option<JobRecord>> = vec![None; n];
+        let mut transfer_records: Vec<Option<TransferRecord>> = vec![None; nt];
+        let mut transfer_start = vec![0.0f64; nt];
+
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        for (j, job) in workload.jobs.iter().enumerate() {
+            queue.push(job.release_time.max(0.0), Ev::JobRelease(j));
+        }
+        let mut flows = FlowNetwork::new(self.network.capacities().to_vec());
+
+        let mut now = 0.0f64;
+
+        // Starts every startable job, in priority order.
+        let dispatch = |now: f64,
+                        released: &[bool],
+                        deps_left: &[usize],
+                        started: &mut [bool],
+                        busy: &mut [Vec<bool>],
+                        job_records: &mut [Option<JobRecord>],
+                        queue: &mut EventQueue<Ev>| {
+            let mut candidates: Vec<JobId> = (0..n)
+                .filter(|&j| !started[j] && released[j] && deps_left[j] == 0)
+                .collect();
+            candidates.sort_by_key(|&j| (workload.jobs[j].priority, j));
+            for j in candidates {
+                let procs = &workload.jobs[j].procs;
+                let cluster = procs.cluster();
+                if procs.iter().all(|p| !busy[cluster][p]) {
+                    for p in procs.iter() {
+                        busy[cluster][p] = true;
+                    }
+                    started[j] = true;
+                    let finish = now + workload.jobs[j].duration;
+                    job_records[j] = Some(JobRecord {
+                        job: j,
+                        start: now,
+                        finish,
+                        procs: procs.clone(),
+                    });
+                    queue.push(finish, Ev::JobFinish(j));
+                }
+            }
+        };
+
+        loop {
+            if finished == n {
+                break;
+            }
+            let next_queue = queue.peek_time();
+            let next_flow = flows.next_completion().map(|(t, _)| t);
+            let t_next = match (next_queue, next_flow) {
+                (None, None) => return Err(SimError::DependencyCycle),
+                (None, Some(t)) | (Some(t), None) => t,
+                (Some(tq), Some(tf)) => tq.min(tf),
+            };
+            now = now.max(t_next);
+            // Everything scheduled within `eps` of the chosen instant is
+            // processed before dispatching, so that simultaneous events
+            // (e.g. two application release times) cannot let a low-priority
+            // job grab processors a higher-priority one is entitled to.
+            let eps = 1e-9 * now.abs().max(1.0);
+
+            // 1. Deliver every transfer completing at this instant.
+            while let Some((tf, tid)) = flows.next_completion() {
+                if tf > now + eps {
+                    break;
+                }
+                flows.complete(now, tid);
+                let tr = &workload.transfers[tid];
+                transfer_records[tid] = Some(TransferRecord {
+                    transfer: tid,
+                    start: transfer_start[tid],
+                    finish: now,
+                    bytes: tr.bytes,
+                });
+                deps_left[tr.to] -= 1;
+            }
+
+            // 2. Process every queued event at this instant.
+            while queue.peek_time().is_some_and(|t| t <= now + eps) {
+                let ev = queue.pop().expect("peeked above");
+                match ev.payload {
+                    Ev::JobRelease(j) => {
+                        released[j] = true;
+                    }
+                    Ev::FlowStart(tid) => {
+                        let tr = &workload.transfers[tid];
+                        let route = self
+                            .network
+                            .route(&workload.jobs[tr.from].procs, &workload.jobs[tr.to].procs);
+                        flows.start(now, tid, route.links, tr.bytes);
+                    }
+                    Ev::JobFinish(j) => {
+                        finished += 1;
+                        let procs = &workload.jobs[j].procs;
+                        for p in procs.iter() {
+                            busy[procs.cluster()][p] = false;
+                        }
+                        for &tid in &out_transfers[j] {
+                            let tr = &workload.transfers[tid];
+                            let route = self
+                                .network
+                                .route(&workload.jobs[tr.from].procs, &workload.jobs[tr.to].procs);
+                            transfer_start[tid] = now;
+                            if route.is_local() || tr.bytes <= 0.0 {
+                                transfer_records[tid] = Some(TransferRecord {
+                                    transfer: tid,
+                                    start: now,
+                                    finish: now,
+                                    bytes: tr.bytes,
+                                });
+                                deps_left[tr.to] -= 1;
+                            } else {
+                                queue.push(now + route.latency, Ev::FlowStart(tid));
+                            }
+                        }
+                    }
+                }
+            }
+
+            dispatch(
+                now,
+                &released,
+                &deps_left,
+                &mut started,
+                &mut busy,
+                &mut job_records,
+                &mut queue,
+            );
+        }
+
+        let trace = ExecutionTrace {
+            jobs: job_records,
+            transfers: transfer_records,
+        };
+        let makespan = trace.makespan();
+        Ok(SimOutcome { trace, makespan })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::SimJob;
+    use mcsched_platform::{PlatformBuilder, ProcSet};
+
+    fn platform() -> Platform {
+        PlatformBuilder::new("p")
+            .cluster("a", 4, 1.0)
+            .cluster("b", 4, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    fn pset(cluster: usize, first: usize, n: usize) -> ProcSet {
+        ProcSet::contiguous(cluster, first, n)
+    }
+
+    #[test]
+    fn single_job_runs_for_its_duration() {
+        let p = platform();
+        let mut w = SimWorkload::new();
+        w.add_job(SimJob::new("j", pset(0, 0, 2), 3.5, 0));
+        let out = Engine::new(&p).execute(&w).unwrap();
+        assert!((out.makespan - 3.5).abs() < 1e-9);
+        let rec = out.trace.job(0).unwrap();
+        assert_eq!(rec.start, 0.0);
+        assert!((rec.finish - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_jobs_run_in_parallel() {
+        let p = platform();
+        let mut w = SimWorkload::new();
+        w.add_job(SimJob::new("a", pset(0, 0, 2), 3.0, 0));
+        w.add_job(SimJob::new("b", pset(0, 2, 2), 4.0, 1));
+        let out = Engine::new(&p).execute(&w).unwrap();
+        assert!((out.makespan - 4.0).abs() < 1e-9);
+        assert_eq!(out.trace.job(1).unwrap().start, 0.0);
+    }
+
+    #[test]
+    fn contending_jobs_run_sequentially_by_priority() {
+        let p = platform();
+        let mut w = SimWorkload::new();
+        // Same processors; job 1 has the better (smaller) priority.
+        w.add_job(SimJob::new("low", pset(0, 0, 4), 2.0, 10));
+        w.add_job(SimJob::new("high", pset(0, 0, 4), 3.0, 1));
+        let out = Engine::new(&p).execute(&w).unwrap();
+        let high = out.trace.job(1).unwrap();
+        let low = out.trace.job(0).unwrap();
+        assert_eq!(high.start, 0.0);
+        assert!((low.start - 3.0).abs() < 1e-9, "low priority starts after high");
+        assert!((out.makespan - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_overlap_also_serialises() {
+        let p = platform();
+        let mut w = SimWorkload::new();
+        w.add_job(SimJob::new("a", pset(0, 0, 3), 2.0, 0));
+        w.add_job(SimJob::new("b", pset(0, 2, 2), 2.0, 1)); // shares proc 2
+        let out = Engine::new(&p).execute(&w).unwrap();
+        assert!((out.trace.job(1).unwrap().start - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_with_intercluster_transfer_waits_for_data() {
+        let p = platform();
+        let mut w = SimWorkload::new();
+        let a = w.add_job(SimJob::new("a", pset(0, 0, 2), 1.0, 0));
+        let b = w.add_job(SimJob::new("b", pset(1, 0, 2), 1.0, 1));
+        // 125 MB over a gigabit bottleneck: 1 second of transfer.
+        w.add_transfer(a, b, 1.25e8);
+        let out = Engine::new(&p).execute(&w).unwrap();
+        let rec_b = out.trace.job(b).unwrap();
+        // start of b >= 1 (a) + 1 (transfer) + latency
+        assert!(rec_b.start > 2.0);
+        assert!(rec_b.start < 2.01);
+        assert!((out.makespan - (rec_b.start + 1.0)).abs() < 1e-9);
+        // The transfer record must exist and span the gap.
+        let tr = out.trace.transfers[0].as_ref().unwrap();
+        assert_eq!(tr.start, 1.0);
+        assert!((tr.finish - rec_b.start).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_transfer_is_instantaneous() {
+        let p = platform();
+        let mut w = SimWorkload::new();
+        let a = w.add_job(SimJob::new("a", pset(0, 0, 2), 1.0, 0));
+        let b = w.add_job(SimJob::new("b", pset(0, 0, 2), 1.0, 1));
+        w.add_transfer(a, b, 1.0e9);
+        let out = Engine::new(&p).execute(&w).unwrap();
+        assert!((out.trace.job(b).unwrap().start - 1.0).abs() < 1e-9);
+        assert!((out.makespan - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_transfers_share_bandwidth() {
+        let p = platform();
+        // Two producer/consumer pairs transferring simultaneously from
+        // cluster 0 to cluster 1: both cross cluster 0's uplink and the
+        // fabric, so each gets half the bandwidth.
+        let mut w = SimWorkload::new();
+        let a1 = w.add_job(SimJob::new("a1", pset(0, 0, 1), 1.0, 0));
+        let a2 = w.add_job(SimJob::new("a2", pset(0, 1, 1), 1.0, 1));
+        let b1 = w.add_job(SimJob::new("b1", pset(1, 0, 1), 1.0, 2));
+        let b2 = w.add_job(SimJob::new("b2", pset(1, 1, 1), 1.0, 3));
+        w.add_transfer(a1, b1, 1.25e8);
+        w.add_transfer(a2, b2, 1.25e8);
+        let out = Engine::new(&p).execute(&w).unwrap();
+        let t1 = out.trace.transfers[0].as_ref().unwrap();
+        // Alone the transfer would take ~1s; with sharing it takes ~2s.
+        assert!(t1.finish - t1.start > 1.9);
+        assert!(t1.finish - t1.start < 2.1);
+    }
+
+    #[test]
+    fn release_time_delays_start() {
+        let p = platform();
+        let mut w = SimWorkload::new();
+        let mut job = SimJob::new("late", pset(0, 0, 1), 1.0, 0);
+        job.release_time = 5.0;
+        w.add_job(job);
+        let out = Engine::new(&p).execute(&w).unwrap();
+        assert_eq!(out.trace.job(0).unwrap().start, 5.0);
+        assert!((out.makespan - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_workload_has_zero_makespan() {
+        let p = platform();
+        let out = Engine::new(&p).execute(&SimWorkload::new()).unwrap();
+        assert_eq!(out.makespan, 0.0);
+    }
+
+    #[test]
+    fn invalid_workload_is_rejected() {
+        let p = platform();
+        let mut w = SimWorkload::new();
+        w.add_job(SimJob::new("bad", ProcSet::empty(0), 1.0, 0));
+        assert!(Engine::new(&p).execute(&w).is_err());
+    }
+
+    #[test]
+    fn diamond_dependency_waits_for_both_parents() {
+        let p = platform();
+        let mut w = SimWorkload::new();
+        let s = w.add_job(SimJob::new("s", pset(0, 0, 1), 1.0, 0));
+        let a = w.add_job(SimJob::new("a", pset(0, 1, 1), 1.0, 1));
+        let b = w.add_job(SimJob::new("b", pset(0, 2, 1), 5.0, 2));
+        let t = w.add_job(SimJob::new("t", pset(0, 3, 1), 1.0, 3));
+        for (x, y) in [(s, a), (s, b), (a, t), (b, t)] {
+            w.add_transfer(x, y, 0.0);
+        }
+        let out = Engine::new(&p).execute(&w).unwrap();
+        // t starts after the slow branch: 1 + 5 = 6.
+        assert!((out.trace.job(t).unwrap().start - 6.0).abs() < 1e-9);
+        assert!((out.makespan - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_jobs_complete() {
+        let p = platform();
+        let mut w = SimWorkload::new();
+        let a = w.add_job(SimJob::new("a", pset(0, 0, 1), 0.0, 0));
+        let b = w.add_job(SimJob::new("b", pset(0, 0, 1), 0.0, 1));
+        w.add_transfer(a, b, 0.0);
+        let out = Engine::new(&p).execute(&w).unwrap();
+        assert_eq!(out.makespan, 0.0);
+        assert!(out.trace.job(b).is_some());
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let p = platform();
+        let mut w = SimWorkload::new();
+        for i in 0..6 {
+            w.add_job(SimJob::new(format!("j{i}"), pset(i % 2, (i / 2) % 4, 1), 1.0 + i as f64, i as u64));
+        }
+        w.add_transfer(0, 3, 2.0e7);
+        w.add_transfer(1, 4, 3.0e7);
+        let e = Engine::new(&p);
+        let a = e.execute(&w).unwrap();
+        let b = e.execute(&w).unwrap();
+        assert_eq!(a, b);
+    }
+}

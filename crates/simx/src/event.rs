@@ -1,0 +1,132 @@
+//! Simulation clock and event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation event: something happens at `time` concerning `payload`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event<T> {
+    /// Simulated time of the event, in seconds.
+    pub time: f64,
+    /// Tie-break sequence number (events scheduled earlier fire first at
+    /// equal times, keeping the simulation deterministic).
+    pub seq: u64,
+    /// Event payload.
+    pub payload: T,
+}
+
+impl<T: PartialEq> Eq for Event<T> {}
+
+impl<T: PartialEq> Ord for Event<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest event pops first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T: PartialEq> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-queue of timed events.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Event<T>>,
+    next_seq: u64,
+}
+
+impl<T: PartialEq> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: PartialEq> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at simulated time `time`.
+    pub fn push(&mut self, time: f64, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(1.0, "first");
+        q.push(1.0, "second");
+        q.push(1.0, "third");
+        assert_eq!(q.pop().unwrap().payload, "first");
+        assert_eq!(q.pop().unwrap().payload, "second");
+        assert_eq!(q.pop().unwrap().payload, "third");
+    }
+
+    #[test]
+    fn peek_time_reports_minimum() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(5.0, 1u32);
+        q.push(2.0, 2u32);
+        assert_eq!(q.peek_time(), Some(2.0));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn handles_infinite_and_zero_times() {
+        let mut q = EventQueue::new();
+        q.push(f64::INFINITY, "inf");
+        q.push(0.0, "zero");
+        assert_eq!(q.pop().unwrap().payload, "zero");
+        assert_eq!(q.pop().unwrap().payload, "inf");
+    }
+}

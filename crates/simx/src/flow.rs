@@ -1,0 +1,304 @@
+//! Max-min fair bandwidth sharing between concurrent transfers.
+//!
+//! Every active transfer (a *flow*) crosses a set of links. When the set of
+//! active flows changes, the per-flow rates are recomputed with the
+//! classical **progressive filling** algorithm: the most contended link is
+//! saturated first, the flows crossing it are frozen at the fair share of
+//! that link, its capacity is removed, and the process repeats. This is the
+//! same fluid model SimGrid uses for TCP-level simulation and is what makes
+//! the shared-switch sites exhibit more contention than the
+//! per-cluster-switch sites.
+
+use crate::resources::LinkId;
+
+/// A flow crossing a set of links with some bytes left to transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flow {
+    /// Links crossed by the flow.
+    pub links: Vec<LinkId>,
+    /// Bytes remaining to transfer.
+    pub remaining: f64,
+}
+
+/// Computes the max-min fair rate (bytes/s) of each flow given the link
+/// capacities (bytes/s).
+///
+/// Flows crossing no link (local transfers) get an infinite rate. The
+/// returned vector is indexed like `flows`.
+pub fn max_min_fair_rates(capacities: &[f64], flows: &[Flow]) -> Vec<f64> {
+    let mut rates = vec![f64::INFINITY; flows.len()];
+    if flows.is_empty() {
+        return rates;
+    }
+
+    let mut remaining_capacity: Vec<f64> = capacities.to_vec();
+    let mut frozen = vec![false; flows.len()];
+    // A flow with no links is never constrained.
+    for (i, f) in flows.iter().enumerate() {
+        if f.links.is_empty() {
+            frozen[i] = true;
+        }
+    }
+
+    loop {
+        // Count unfrozen flows per link.
+        let mut users = vec![0usize; capacities.len()];
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            for &l in &f.links {
+                users[l] += 1;
+            }
+        }
+        // Find the bottleneck link: smallest fair share among used links.
+        let mut bottleneck: Option<(LinkId, f64)> = None;
+        for (l, &u) in users.iter().enumerate() {
+            if u == 0 {
+                continue;
+            }
+            let share = remaining_capacity[l] / u as f64;
+            match bottleneck {
+                None => bottleneck = Some((l, share)),
+                Some((_, best)) if share < best => bottleneck = Some((l, share)),
+                _ => {}
+            }
+        }
+        let Some((bl, share)) = bottleneck else {
+            break; // every flow is frozen
+        };
+        // Freeze every unfrozen flow crossing the bottleneck at `share` and
+        // subtract its consumption from the other links it crosses.
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] || !f.links.contains(&bl) {
+                continue;
+            }
+            rates[i] = share;
+            frozen[i] = true;
+            for &l in &f.links {
+                remaining_capacity[l] = (remaining_capacity[l] - share).max(0.0);
+            }
+        }
+    }
+    rates
+}
+
+/// The set of in-flight transfers, advancing them in simulated time under
+/// max-min fair sharing.
+#[derive(Debug, Clone, Default)]
+pub struct FlowNetwork {
+    capacities: Vec<f64>,
+    /// (caller key, flow)
+    flows: Vec<(usize, Flow)>,
+    rates: Vec<f64>,
+    last_update: f64,
+}
+
+impl FlowNetwork {
+    /// Creates a flow network over links with the given capacities.
+    pub fn new(capacities: Vec<f64>) -> Self {
+        Self {
+            capacities,
+            flows: Vec::new(),
+            rates: Vec::new(),
+            last_update: 0.0,
+        }
+    }
+
+    /// Number of in-flight flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether no flow is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Advances all flows to time `now` and recomputes fair rates.
+    fn advance(&mut self, now: f64) {
+        let dt = now - self.last_update;
+        if dt > 0.0 {
+            for (i, (_, f)) in self.flows.iter_mut().enumerate() {
+                let rate = self.rates.get(i).copied().unwrap_or(0.0);
+                if rate.is_finite() {
+                    f.remaining = (f.remaining - rate * dt).max(0.0);
+                } else {
+                    f.remaining = 0.0;
+                }
+            }
+        }
+        self.last_update = now;
+    }
+
+    fn recompute(&mut self) {
+        let flows: Vec<Flow> = self.flows.iter().map(|(_, f)| f.clone()).collect();
+        self.rates = max_min_fair_rates(&self.capacities, &flows);
+    }
+
+    /// Starts a new flow identified by `key` at time `now`, transferring
+    /// `bytes` bytes across `links`.
+    pub fn start(&mut self, now: f64, key: usize, links: Vec<LinkId>, bytes: f64) {
+        self.advance(now);
+        self.flows.push((
+            key,
+            Flow {
+                links,
+                remaining: bytes.max(0.0),
+            },
+        ));
+        self.recompute();
+    }
+
+    /// Time at which the next flow completes, together with its key, if any
+    /// flow is in flight.
+    pub fn next_completion(&self) -> Option<(f64, usize)> {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, (key, f)) in self.flows.iter().enumerate() {
+            let rate = self.rates.get(i).copied().unwrap_or(0.0);
+            let finish = if f.remaining <= 0.0 {
+                self.last_update
+            } else if rate.is_infinite() {
+                self.last_update
+            } else if rate <= 0.0 {
+                f64::INFINITY
+            } else {
+                self.last_update + f.remaining / rate
+            };
+            match best {
+                None => best = Some((finish, *key)),
+                Some((t, _)) if finish < t => best = Some((finish, *key)),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// Completes the flow identified by `key` at time `now` (removes it and
+    /// recomputes the rates of the survivors).
+    pub fn complete(&mut self, now: f64, key: usize) {
+        self.advance(now);
+        self.flows.retain(|(k, _)| *k != key);
+        self.recompute();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let rates = max_min_fair_rates(
+            &[100.0],
+            &[Flow {
+                links: vec![0],
+                remaining: 1.0,
+            }],
+        );
+        assert_eq!(rates, vec![100.0]);
+    }
+
+    #[test]
+    fn two_flows_share_a_link_equally() {
+        let f = Flow {
+            links: vec![0],
+            remaining: 1.0,
+        };
+        let rates = max_min_fair_rates(&[100.0], &[f.clone(), f]);
+        assert_eq!(rates, vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn local_flow_is_unconstrained() {
+        let rates = max_min_fair_rates(
+            &[100.0],
+            &[Flow {
+                links: vec![],
+                remaining: 1.0,
+            }],
+        );
+        assert!(rates[0].is_infinite());
+    }
+
+    #[test]
+    fn max_min_respects_bottleneck_then_redistributes() {
+        // Flow A crosses links 0 and 1; flow B crosses only link 0; link 0 is
+        // large (200), link 1 is small (50).
+        // A is limited to 50 by link 1; B then gets the rest of link 0 (150).
+        let flows = [
+            Flow {
+                links: vec![0, 1],
+                remaining: 1.0,
+            },
+            Flow {
+                links: vec![0],
+                remaining: 1.0,
+            },
+        ];
+        let rates = max_min_fair_rates(&[200.0, 50.0], &flows);
+        assert!((rates[0] - 50.0).abs() < 1e-9);
+        assert!((rates[1] - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_flows_one_link() {
+        let f = Flow {
+            links: vec![0],
+            remaining: 1.0,
+        };
+        let rates = max_min_fair_rates(&[90.0], &[f.clone(), f.clone(), f]);
+        for r in rates {
+            assert!((r - 30.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn flow_network_completion_times_with_contention() {
+        // Two 100-byte flows on a 100 B/s link starting together: both
+        // progress at 50 B/s; the first completes at t=2; after it leaves the
+        // second would already be done too (it also finished its 100 bytes
+        // by t=2 at 50 B/s).
+        let mut net = FlowNetwork::new(vec![100.0]);
+        net.start(0.0, 1, vec![0], 100.0);
+        net.start(0.0, 2, vec![0], 100.0);
+        let (t, key) = net.next_completion().unwrap();
+        assert!((t - 2.0).abs() < 1e-9);
+        net.complete(t, key);
+        let (t2, _) = net.next_completion().unwrap();
+        assert!((t2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_arrival_slows_down_first_flow() {
+        // Flow 1 starts alone (100 B/s); at t=0.5 flow 2 arrives and both run
+        // at 50 B/s. Flow 1 has 50 bytes left => completes at 1.5.
+        let mut net = FlowNetwork::new(vec![100.0]);
+        net.start(0.0, 1, vec![0], 100.0);
+        net.start(0.5, 2, vec![0], 100.0);
+        let (t, key) = net.next_completion().unwrap();
+        assert_eq!(key, 1);
+        assert!((t - 1.5).abs() < 1e-9);
+        net.complete(t, 1);
+        // Flow 2 then finishes its remaining 50 bytes at full speed: 1.5+0.5.
+        let (t2, key2) = net.next_completion().unwrap();
+        assert_eq!(key2, 2);
+        assert!((t2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut net = FlowNetwork::new(vec![100.0]);
+        net.start(1.0, 7, vec![0], 0.0);
+        let (t, key) = net.next_completion().unwrap();
+        assert_eq!(key, 7);
+        assert!((t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_network_has_no_completion() {
+        let net = FlowNetwork::new(vec![100.0]);
+        assert!(net.next_completion().is_none());
+        assert!(net.is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: schedule a handful of random parallel task graphs on a
+//! Grid'5000 site and print fairness figures for two constraint strategies.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use mcsched::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // 1. Pick a platform: the Lille subset of Table 1 (3 clusters, 99 procs).
+    let platform = grid5000::lille();
+    println!(
+        "Platform {}: {} clusters, {} processors, {:.1} GFlop/s total, heterogeneity {:.1}%",
+        platform.name(),
+        platform.num_clusters(),
+        platform.total_procs(),
+        platform.total_power() / 1e9,
+        platform.heterogeneity() * 100.0
+    );
+
+    // 2. Draw four random mixed-parallel applications (PTGs).
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+    let apps: Vec<Ptg> = (0..4)
+        .map(|i| PtgClass::Random.sample(&mut rng, format!("workflow-{i}")))
+        .collect();
+    for app in &apps {
+        println!(
+            "  {}: {} tasks, {} edges, {:.1} GFlop of work",
+            app.name(),
+            app.num_tasks(),
+            app.num_edges(),
+            app.total_work() / 1e9
+        );
+    }
+
+    // 3. Schedule them concurrently with two strategies and compare.
+    for strategy in [
+        ConstraintStrategy::Selfish,
+        ConstraintStrategy::Weighted(Characteristic::Width, 0.5),
+    ] {
+        let scheduler = ConcurrentScheduler::with_strategy(strategy);
+        let evaluation = scheduler
+            .evaluate(&platform, &apps)
+            .expect("the scheduler always produces a simulable schedule");
+        println!("\nStrategy {}:", strategy.name());
+        for (i, app) in evaluation.run.apps.iter().enumerate() {
+            println!(
+                "  {:<12} beta {:.2}  makespan {:>8.1}s  dedicated {:>8.1}s  slowdown {:.2}",
+                app.name,
+                app.beta,
+                app.makespan,
+                evaluation.dedicated_makespans[i],
+                evaluation.fairness.slowdowns[i]
+            );
+        }
+        println!(
+            "  global makespan {:.1}s, unfairness {:.3}",
+            evaluation.run.global_makespan, evaluation.fairness.unfairness
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! # mcsched — concurrent scheduling of parallel task graphs on multi-clusters
+//!
+//! A reproduction, as a reusable Rust library, of N'Takpé & Suter,
+//! *Concurrent Scheduling of Parallel Task Graphs on Multi-Clusters Using
+//! Constrained Resource Allocations* (INRIA RR-6774, IPDPS 2009).
+//!
+//! This façade crate re-exports the workspace crates under a single name and
+//! offers a [`prelude`] with the types most programs need:
+//!
+//! * [`platform`] — heterogeneous multi-cluster platform model and the
+//!   Grid'5000 subsets of Table 1;
+//! * [`ptg`] — parallel task graph model, moldable-task cost model and the
+//!   random/FFT/Strassen generators;
+//! * [`simx`] — discrete-event simulation engine (space-shared processors,
+//!   max-min fair link sharing);
+//! * [`core`] — constrained allocation (SCRAP/SCRAP-MAX), the β-determination
+//!   strategies (S, ES, PS-*, WPS-*), the ready-task mapping procedure and
+//!   the fairness metrics;
+//! * [`exp`] — the experiment harness regenerating every table and figure of
+//!   the paper's evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mcsched::prelude::*;
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! // A Grid'5000 site and three random applications submitted together.
+//! let platform = grid5000::lille();
+//! let mut rng = ChaCha8Rng::seed_from_u64(42);
+//! let apps: Vec<Ptg> = (0..3)
+//!     .map(|i| PtgClass::Random.sample(&mut rng, format!("app{i}")))
+//!     .collect();
+//!
+//! // Schedule them with the paper's recommended WPS-width strategy.
+//! let scheduler = ConcurrentScheduler::with_strategy(
+//!     ConstraintStrategy::Weighted(Characteristic::Width, 0.5),
+//! );
+//! let evaluation = scheduler.evaluate(&platform, &apps).unwrap();
+//! assert_eq!(evaluation.fairness.slowdowns.len(), 3);
+//! assert!(evaluation.run.global_makespan > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use mcsched_core as core;
+pub use mcsched_exp as exp;
+pub use mcsched_platform as platform;
+pub use mcsched_ptg as ptg;
+pub use mcsched_simx as simx;
+
+/// The most commonly used items, re-exported for `use mcsched::prelude::*`.
+pub mod prelude {
+    pub use mcsched_core::{
+        allocation::AllocationProcedure, Characteristic, ConcurrentRun, ConcurrentScheduler,
+        ConstraintStrategy, MappingConfig, OrderingMode, RefAllocation, ReferencePlatform,
+        Schedule, SchedulerConfig,
+    };
+    pub use mcsched_exp::{CampaignConfig, MuSweepConfig};
+    pub use mcsched_platform::{grid5000, Cluster, NetworkTopology, Platform, PlatformBuilder, ProcSet};
+    pub use mcsched_ptg::gen::{fft_ptg, random_ptg, strassen_ptg, CostScenario, PtgClass, RandomPtgConfig};
+    pub use mcsched_ptg::{CostModel, DataParallelTask, Ptg, PtgBuilder};
+    pub use mcsched_simx::{Engine, ExecutionTrace, SimJob, SimWorkload};
+}

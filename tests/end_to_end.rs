@@ -1,0 +1,170 @@
+//! End-to-end integration tests across all workspace crates: platform model,
+//! PTG generators, constrained allocation, concurrent mapping, simulated
+//! execution and fairness metrics.
+
+use mcsched::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn sample_apps(class: PtgClass, n: usize, seed: u64) -> Vec<Ptg> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| class.sample(&mut rng, format!("{}-{i}", class.label())))
+        .collect()
+}
+
+#[test]
+fn every_strategy_schedules_every_class_on_every_site() {
+    for platform in grid5000::all_sites() {
+        for class in [PtgClass::Random, PtgClass::Fft, PtgClass::Strassen] {
+            let apps = sample_apps(class, 3, 0xC0FFEE);
+            for strategy in ConstraintStrategy::paper_set() {
+                let run = ConcurrentScheduler::with_strategy(strategy)
+                    .schedule(&platform, &apps)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "{} on {} ({}) failed: {e}",
+                            strategy.name(),
+                            platform.name(),
+                            class.label()
+                        )
+                    });
+                assert_eq!(run.apps.len(), 3);
+                assert!(run.global_makespan > 0.0);
+                for app in &run.apps {
+                    assert!(app.makespan > 0.0);
+                    assert!(app.makespan <= run.global_makespan + 1e-6);
+                    assert!(app.beta > 0.0 && app.beta <= 1.0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn simulated_trace_never_oversubscribes_processors() {
+    let platform = grid5000::lille();
+    let apps = sample_apps(PtgClass::Random, 4, 7);
+    let run = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare)
+        .schedule(&platform, &apps)
+        .unwrap();
+    let records: Vec<_> = run.trace.jobs.iter().flatten().collect();
+    for (i, a) in records.iter().enumerate() {
+        for b in records.iter().skip(i + 1) {
+            if a.procs.intersects(&b.procs) {
+                let overlap = a.start < b.finish - 1e-9 && b.start < a.finish - 1e-9;
+                assert!(
+                    !overlap,
+                    "jobs {} and {} share processors and overlap in time",
+                    a.job, b.job
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simulated_trace_respects_all_precedences() {
+    let platform = grid5000::nancy();
+    let apps = sample_apps(PtgClass::Fft, 3, 21);
+    let run = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare)
+        .schedule(&platform, &apps)
+        .unwrap();
+    for (app, ptg) in apps.iter().enumerate() {
+        for e in ptg.edges() {
+            let src_job = run.schedule.placements[app][e.src].job;
+            let dst_job = run.schedule.placements[app][e.dst].job;
+            let src = run.trace.job(src_job).expect("source job ran");
+            let dst = run.trace.job(dst_job).expect("destination job ran");
+            assert!(
+                src.finish <= dst.start + 1e-9,
+                "edge {}->{} of app {app} violated: {} > {}",
+                e.src,
+                e.dst,
+                src.finish,
+                dst.start
+            );
+        }
+    }
+}
+
+#[test]
+fn scrap_max_allocations_respect_their_betas() {
+    let platform = grid5000::rennes();
+    let reference = ReferencePlatform::new(&platform);
+    let apps = sample_apps(PtgClass::Random, 5, 99);
+    for strategy in [
+        ConstraintStrategy::EqualShare,
+        ConstraintStrategy::Weighted(Characteristic::Width, 0.5),
+        ConstraintStrategy::Proportional(Characteristic::Work),
+    ] {
+        let betas = strategy.betas(&apps, &reference);
+        let scheduler = ConcurrentScheduler::with_strategy(strategy);
+        let allocations = scheduler.allocate(&platform, &apps);
+        for ((app, alloc), beta) in apps.iter().zip(&allocations).zip(&betas) {
+            // Per-level usage must stay within beta * reference processors
+            // (with a one-processor-per-task floor: a level with many tasks
+            // cannot go below one processor each).
+            let structure = mcsched::ptg::analysis::structure(app);
+            let budget = beta * reference.procs() as f64;
+            for level_tasks in &structure.tasks_by_level {
+                let usage: usize = level_tasks.iter().map(|&t| alloc.procs_of(t)).sum();
+                let floor = level_tasks.len() as f64;
+                assert!(
+                    usage as f64 <= budget.max(floor) + 1e-9,
+                    "{}: level usage {usage} exceeds budget {budget:.2}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dedicated_runs_bound_concurrent_slowdowns() {
+    let platform = grid5000::sophia();
+    let apps = sample_apps(PtgClass::Random, 4, 3);
+    let evaluation = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare)
+        .evaluate(&platform, &apps)
+        .unwrap();
+    for s in &evaluation.fairness.slowdowns {
+        assert!(*s > 0.0);
+        assert!(*s <= 1.1, "slowdown {s} should not exceed 1 (plus tolerance)");
+    }
+    assert!(evaluation.fairness.unfairness < 4.0);
+}
+
+#[test]
+fn selfish_strategy_matches_dedicated_when_alone() {
+    // With a single application, every strategy gives beta = 1 and the
+    // concurrent makespan equals the dedicated makespan.
+    let platform = grid5000::lille();
+    let apps = sample_apps(PtgClass::Strassen, 1, 11);
+    for strategy in ConstraintStrategy::paper_set() {
+        let scheduler = ConcurrentScheduler::with_strategy(strategy);
+        let run = scheduler.schedule(&platform, &apps).unwrap();
+        let own = scheduler.dedicated_makespan(&platform, &apps[0]).unwrap();
+        assert!(
+            (run.apps[0].makespan - own).abs() < 1e-6,
+            "{}: single application should behave as dedicated",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn strassen_width_strategies_degenerate_to_equal_share() {
+    // All Strassen PTGs have the same maximal width, so PS-width and
+    // WPS-width produce exactly the ES betas (the reason Figure 5 omits them).
+    let platform = grid5000::nancy();
+    let reference = ReferencePlatform::new(&platform);
+    let apps = sample_apps(PtgClass::Strassen, 4, 17);
+    let es = ConstraintStrategy::EqualShare.betas(&apps, &reference);
+    let ps_width = ConstraintStrategy::Proportional(Characteristic::Width).betas(&apps, &reference);
+    let wps_width =
+        ConstraintStrategy::Weighted(Characteristic::Width, 0.5).betas(&apps, &reference);
+    for i in 0..apps.len() {
+        assert!((es[i] - ps_width[i]).abs() < 1e-12);
+        assert!((es[i] - wps_width[i]).abs() < 1e-12);
+    }
+}

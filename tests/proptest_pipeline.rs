@@ -1,0 +1,157 @@
+//! Property-based tests of the whole pipeline: whatever the (bounded) random
+//! platform and application mix, the scheduler must produce a valid,
+//! precedence-respecting, non-oversubscribed schedule whose betas lie in
+//! (0, 1].
+
+use mcsched::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy generating a small random multi-cluster platform.
+fn platform_strategy() -> impl Strategy<Value = Platform> {
+    (
+        proptest::collection::vec((2usize..24, 1.0f64..5.0), 1..4),
+        any::<bool>(),
+    )
+        .prop_map(|(clusters, shared)| {
+            let mut builder = PlatformBuilder::new("prop-platform").topology(if shared {
+                NetworkTopology::shared_gigabit()
+            } else {
+                NetworkTopology::per_cluster_ten_gigabit()
+            });
+            for (i, (procs, gflops)) in clusters.into_iter().enumerate() {
+                builder = builder.cluster(format!("c{i}"), procs, gflops);
+            }
+            builder.build().expect("generated platforms are valid")
+        })
+}
+
+/// Strategy generating a small set of applications.
+fn apps_strategy() -> impl Strategy<Value = Vec<Ptg>> {
+    (1usize..5, any::<u64>(), 0usize..3).prop_map(|(count, seed, class_idx)| {
+        let class = [PtgClass::Random, PtgClass::Fft, PtgClass::Strassen][class_idx];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..count)
+            .map(|i| {
+                // Keep random PTGs small so each proptest case stays fast.
+                if class == PtgClass::Random {
+                    let cfg = RandomPtgConfig {
+                        num_tasks: 10,
+                        ..RandomPtgConfig::default_config()
+                    };
+                    random_ptg(&cfg, &mut rng, format!("app{i}"))
+                } else {
+                    class.sample(&mut rng, format!("app{i}"))
+                }
+            })
+            .collect()
+    })
+}
+
+fn strategy_pool() -> impl Strategy<Value = ConstraintStrategy> {
+    prop_oneof![
+        Just(ConstraintStrategy::Selfish),
+        Just(ConstraintStrategy::EqualShare),
+        Just(ConstraintStrategy::Proportional(Characteristic::Work)),
+        Just(ConstraintStrategy::Proportional(Characteristic::Width)),
+        (0.0f64..=1.0).prop_map(|mu| ConstraintStrategy::Weighted(Characteristic::Work, mu)),
+        (0.0f64..=1.0).prop_map(|mu| ConstraintStrategy::Weighted(Characteristic::CriticalPath, mu)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn scheduler_always_produces_a_valid_run(
+        platform in platform_strategy(),
+        apps in apps_strategy(),
+        strategy in strategy_pool(),
+    ) {
+        let reference = ReferencePlatform::new(&platform);
+        let betas = strategy.betas(&apps, &reference);
+        prop_assert_eq!(betas.len(), apps.len());
+        for b in &betas {
+            prop_assert!(*b > 0.0 && *b <= 1.0);
+        }
+
+        let run = ConcurrentScheduler::with_strategy(strategy)
+            .schedule(&platform, &apps)
+            .expect("scheduling never fails on valid inputs");
+
+        // Every task ran, makespans are consistent.
+        prop_assert!(run.global_makespan > 0.0);
+        let total_tasks: usize = apps.iter().map(Ptg::num_tasks).sum();
+        prop_assert_eq!(run.schedule.workload.num_jobs(), total_tasks);
+        for app in &run.apps {
+            prop_assert!(app.makespan > 0.0);
+            prop_assert!(app.makespan <= run.global_makespan + 1e-6);
+        }
+
+        // Precedence constraints hold in the simulated trace.
+        for (a, ptg) in apps.iter().enumerate() {
+            for e in ptg.edges() {
+                let src = run.trace.job(run.schedule.placements[a][e.src].job).unwrap();
+                let dst = run.trace.job(run.schedule.placements[a][e.dst].job).unwrap();
+                prop_assert!(src.finish <= dst.start + 1e-9);
+            }
+        }
+
+        // No processor oversubscription in the simulated trace.
+        let records: Vec<_> = run.trace.jobs.iter().flatten().collect();
+        for (i, x) in records.iter().enumerate() {
+            for y in records.iter().skip(i + 1) {
+                if x.procs.intersects(&y.procs) {
+                    prop_assert!(
+                        x.finish <= y.start + 1e-9 || y.finish <= x.start + 1e-9,
+                        "overlapping jobs on shared processors"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allocations_stay_within_cluster_capacity(
+        platform in platform_strategy(),
+        apps in apps_strategy(),
+    ) {
+        let scheduler = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare);
+        let reference = ReferencePlatform::new(&platform);
+        let allocations = scheduler.allocate(&platform, &apps);
+        for alloc in &allocations {
+            for &n in alloc.counts() {
+                prop_assert!(n >= 1);
+                prop_assert!(n <= reference.max_task_procs());
+            }
+        }
+    }
+
+    #[test]
+    fn fairness_metrics_are_well_formed(
+        seed in any::<u64>(),
+        count in 2usize..5,
+    ) {
+        let platform = grid5000::lille();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let apps: Vec<Ptg> = (0..count)
+            .map(|i| PtgClass::Strassen.sample(&mut rng, format!("s{i}")))
+            .collect();
+        let evaluation = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare)
+            .evaluate(&platform, &apps)
+            .unwrap();
+        prop_assert_eq!(evaluation.fairness.slowdowns.len(), count);
+        for s in &evaluation.fairness.slowdowns {
+            // Slowdowns are usually <= 1 but the two-step heuristic is not
+            // monotone in beta, so a constrained run can occasionally beat the
+            // dedicated one; only require a sane, finite ratio.
+            prop_assert!(*s > 0.0 && *s <= 3.0 && s.is_finite());
+        }
+        prop_assert!(evaluation.fairness.unfairness >= 0.0);
+        prop_assert!(evaluation.fairness.unfairness <= 2.0 * count as f64);
+    }
+}
