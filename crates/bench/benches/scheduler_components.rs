@@ -28,7 +28,13 @@ fn bench_components(c: &mut Criterion) {
     let scheduler = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare);
     let allocations = scheduler.allocate(&platform, &ptgs);
     let releases = vec![0.0; ptgs.len()];
-    let schedule = map_concurrent(&platform, &ptgs, &allocations, &releases, &MappingConfig::default());
+    let schedule = map_concurrent(
+        &platform,
+        &ptgs,
+        &allocations,
+        &releases,
+        &MappingConfig::default(),
+    );
 
     let mut group = c.benchmark_group("components");
     group.sample_size(20);

@@ -32,8 +32,7 @@ fn bench_table1(c: &mut Criterion) {
     c.bench_function("table1/reference_platforms", |b| {
         let sites = grid5000::all_sites();
         b.iter(|| {
-            let refs: Vec<ReferencePlatform> =
-                sites.iter().map(ReferencePlatform::new).collect();
+            let refs: Vec<ReferencePlatform> = sites.iter().map(ReferencePlatform::new).collect();
             black_box(refs.iter().map(|r| r.procs()).sum::<usize>())
         })
     });

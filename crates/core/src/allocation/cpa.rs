@@ -141,7 +141,8 @@ mod tests {
         let g = chain(3);
         let a = cpa_allocate(&r, &g);
         let before = analyze(&g, |t| r.task_time(&g, t, 1), |_| 0.0).critical_path_length;
-        let after = analyze(&g, |t| r.task_time(&g, t, a.procs_of(t)), |_| 0.0).critical_path_length;
+        let after =
+            analyze(&g, |t| r.task_time(&g, t, a.procs_of(t)), |_| 0.0).critical_path_length;
         assert!(after < before);
     }
 

@@ -355,7 +355,10 @@ mod tests {
         let checker = ConstraintChecker::new(&r, &g);
         assert!((checker.budget_procs(1.0) - 30.0).abs() < 1e-9);
         assert!((checker.budget_procs(0.5) - 15.0).abs() < 1e-9);
-        assert!((checker.budget_procs(2.0) - 30.0).abs() < 1e-9, "beta is clamped");
+        assert!(
+            (checker.budget_procs(2.0) - 30.0).abs() < 1e-9,
+            "beta is clamped"
+        );
     }
 
     #[test]

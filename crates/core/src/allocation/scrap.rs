@@ -250,7 +250,8 @@ mod tests {
         let g = chain(4);
         let before = analyze(&g, |t| r.task_time(&g, t, 1), |_| 0.0).critical_path_length;
         let a = scrap_max_allocate(&r, &g, 1.0);
-        let after = analyze(&g, |t| r.task_time(&g, t, a.procs_of(t)), |_| 0.0).critical_path_length;
+        let after =
+            analyze(&g, |t| r.task_time(&g, t, a.procs_of(t)), |_| 0.0).critical_path_length;
         assert!(after < before);
     }
 
@@ -275,7 +276,12 @@ mod tests {
         // alpha = 0 means adding processors never increases the area, so the
         // global constraint only stops growth at the per-task bound.
         let mut b = PtgBuilder::new("p");
-        b.add_task(DataParallelTask::new("t", 50.0e6, CostModel::MatrixProduct, 0.0));
+        b.add_task(DataParallelTask::new(
+            "t",
+            50.0e6,
+            CostModel::MatrixProduct,
+            0.0,
+        ));
         let g = b.build().unwrap();
         let r = reference(16);
         let a = scrap_allocate(&r, &g, 1.0);

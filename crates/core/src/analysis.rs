@@ -123,7 +123,11 @@ pub fn app_usage(platform: &Platform, run: &ConcurrentRun) -> Vec<AppUsage> {
 /// reports that the SCRAP/SCRAP-MAX allocations respect their constraint in
 /// 99% of the scenarios; this function measures the same property on the
 /// simulated execution.
-pub fn constraint_violations(platform: &Platform, run: &ConcurrentRun, tolerance: f64) -> Vec<usize> {
+pub fn constraint_violations(
+    platform: &Platform,
+    run: &ConcurrentRun,
+    tolerance: f64,
+) -> Vec<usize> {
     app_usage(platform, run)
         .iter()
         .zip(&run.apps)
@@ -248,7 +252,10 @@ mod tests {
             .busy_per_cluster
             .iter()
             .sum();
-        let total_apps: f64 = app_usage(&platform, &run).iter().map(|u| u.proc_seconds).sum();
+        let total_apps: f64 = app_usage(&platform, &run)
+            .iter()
+            .map(|u| u.proc_seconds)
+            .sum();
         assert!((total_cluster - total_apps).abs() < 1e-6);
     }
 

@@ -189,9 +189,7 @@ mod tests {
         let g = sample_ptg(3, 10);
         let s = mheft_schedule(&p, &g);
         for e in g.edges() {
-            assert!(
-                s.placements[0][e.src].est_finish <= s.placements[0][e.dst].est_start + 1e-9
-            );
+            assert!(s.placements[0][e.src].est_finish <= s.placements[0][e.dst].est_start + 1e-9);
         }
     }
 

@@ -240,7 +240,12 @@ mod tests {
 
     #[test]
     fn equal_share_splits_evenly() {
-        let ptgs = vec![chain(3, 8.0e6), bag(4, 8.0e6), chain(2, 8.0e6), bag(2, 8.0e6)];
+        let ptgs = vec![
+            chain(3, 8.0e6),
+            bag(4, 8.0e6),
+            chain(2, 8.0e6),
+            bag(2, 8.0e6),
+        ];
         let betas = ConstraintStrategy::EqualShare.betas(&ptgs, &reference());
         for b in betas {
             assert!((b - 0.25).abs() < 1e-12);

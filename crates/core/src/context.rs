@@ -1,0 +1,414 @@
+//! The shared evaluation context: one scenario's platform views and
+//! memoized intermediate results.
+//!
+//! Evaluating one scenario (a platform plus a set of PTGs submitted
+//! together) involves several expensive intermediates that older call sites
+//! recomputed independently:
+//!
+//! * the [`ReferencePlatform`] view and the routing tables of the
+//!   [`mcsched_simx::Engine`], previously rebuilt by every `allocate`,
+//!   `schedule` and `dedicated_makespan` call;
+//! * the per-strategy β vectors and constrained allocations, previously
+//!   re-derived by duplicated zip/allocate loops in the scheduler;
+//! * the **dedicated makespans** (`M_own`), previously re-simulated once per
+//!   strategy — the N+1 shape of `ConcurrentScheduler::evaluate`.
+//!
+//! A [`ScheduleContext`] owns all of them for one `(platform, ptgs, base
+//! config)` triple. The scheduler, the ablation binaries and the `mcsched-exp`
+//! campaign/µ-sweep harnesses all drive their pipelines through it, so a
+//! scenario performs **one dedicated simulation per distinct PTG** no matter
+//! how many strategies are compared (asserted by
+//! [`ScheduleContext::dedicated_simulations`]-based tests).
+//!
+//! The caches use interior mutability behind mutexes, so a context can be
+//! shared by reference across the fan-out threads of a campaign.
+
+use crate::allocation::{AllocationProcedure, RefAllocation, ReferencePlatform};
+use crate::constraint::{Characteristic, ConstraintStrategy};
+use crate::mapping::{map_concurrent_with, MappingConfig, Schedule};
+use mcsched_platform::Platform;
+use mcsched_ptg::Ptg;
+use mcsched_simx::{Engine, SimError, SimOutcome, SimWorkload, SiteNetwork};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::scheduler::SchedulerConfig;
+
+/// Hashable identity of a [`ConstraintStrategy`] (the µ parameter is hashed
+/// by its bit pattern; strategies are never constructed with NaN µ).
+#[derive(Debug, Clone, Copy)]
+struct StrategyKey(ConstraintStrategy);
+
+impl PartialEq for StrategyKey {
+    fn eq(&self, other: &Self) -> bool {
+        use ConstraintStrategy::*;
+        match (self.0, other.0) {
+            (Selfish, Selfish) | (EqualShare, EqualShare) => true,
+            (Proportional(a), Proportional(b)) => a == b,
+            (Weighted(a, x), Weighted(b, y)) => a == b && x.to_bits() == y.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for StrategyKey {}
+
+impl std::hash::Hash for StrategyKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(&self.0).hash(state);
+        match self.0 {
+            ConstraintStrategy::Proportional(c) => hash_characteristic(c, state),
+            ConstraintStrategy::Weighted(c, mu) => {
+                hash_characteristic(c, state);
+                mu.to_bits().hash(state);
+            }
+            ConstraintStrategy::Selfish | ConstraintStrategy::EqualShare => {}
+        }
+    }
+}
+
+fn hash_characteristic<H: std::hash::Hasher>(c: Characteristic, state: &mut H) {
+    use std::hash::Hash;
+    c.hash(state);
+}
+
+/// Per-strategy β cache.
+type BetaCache = HashMap<StrategyKey, Arc<Vec<f64>>>;
+/// Per-(strategy, procedure) allocation cache.
+type AllocationCache = HashMap<(StrategyKey, AllocationProcedure), Arc<Vec<RefAllocation>>>;
+
+/// Memoized evaluation state for one scenario: a platform, the set of PTGs
+/// submitted together, and the base scheduler configuration shared by every
+/// strategy compared on that scenario.
+#[derive(Debug)]
+pub struct ScheduleContext<'a> {
+    platform: &'a Platform,
+    ptgs: &'a [Ptg],
+    base: SchedulerConfig,
+    reference: ReferencePlatform,
+    engine: Engine<'a>,
+    betas: Mutex<BetaCache>,
+    allocations: Mutex<AllocationCache>,
+    /// One slot (and one lock) per application, so concurrent callers of a
+    /// shared context can compute different baselines in parallel while each
+    /// individual baseline is still simulated exactly once.
+    dedicated: Vec<Mutex<Option<f64>>>,
+    dedicated_sims: AtomicUsize,
+    concurrent_sims: AtomicUsize,
+}
+
+impl<'a> ScheduleContext<'a> {
+    /// Creates a context with the default base configuration.
+    pub fn new(platform: &'a Platform, ptgs: &'a [Ptg]) -> Self {
+        Self::with_base(platform, ptgs, SchedulerConfig::default())
+    }
+
+    /// Creates a context with an explicit base configuration (allocation
+    /// procedure and mapping options used by the dedicated baselines and by
+    /// every strategy evaluated through the context).
+    pub fn with_base(platform: &'a Platform, ptgs: &'a [Ptg], base: SchedulerConfig) -> Self {
+        Self {
+            reference: ReferencePlatform::new(platform),
+            engine: Engine::new(platform),
+            betas: Mutex::new(HashMap::new()),
+            allocations: Mutex::new(HashMap::new()),
+            dedicated: (0..ptgs.len()).map(|_| Mutex::new(None)).collect(),
+            dedicated_sims: AtomicUsize::new(0),
+            concurrent_sims: AtomicUsize::new(0),
+            platform,
+            ptgs,
+            base,
+        }
+    }
+
+    /// The scenario's platform.
+    pub fn platform(&self) -> &'a Platform {
+        self.platform
+    }
+
+    /// The scenario's applications, in submission order.
+    pub fn ptgs(&self) -> &'a [Ptg] {
+        self.ptgs
+    }
+
+    /// The base scheduler configuration of the scenario.
+    pub fn base(&self) -> &SchedulerConfig {
+        &self.base
+    }
+
+    /// The memoized homogeneous reference view of the platform.
+    pub fn reference(&self) -> &ReferencePlatform {
+        &self.reference
+    }
+
+    /// The memoized flattened site network (routing and link capacities).
+    pub fn network(&self) -> &SiteNetwork {
+        self.engine.network()
+    }
+
+    /// The simulation engine bound to the scenario's platform.
+    pub fn engine(&self) -> &Engine<'a> {
+        &self.engine
+    }
+
+    /// β constraints of every application under `strategy`, memoized.
+    pub fn betas(&self, strategy: ConstraintStrategy) -> Arc<Vec<f64>> {
+        let mut cache = self.betas.lock();
+        Arc::clone(
+            cache
+                .entry(StrategyKey(strategy))
+                .or_insert_with(|| Arc::new(strategy.betas(self.ptgs, &self.reference))),
+        )
+    }
+
+    /// Constrained allocations of every application under `(strategy,
+    /// procedure)`, memoized.
+    pub fn allocations(
+        &self,
+        strategy: ConstraintStrategy,
+        procedure: AllocationProcedure,
+    ) -> Arc<Vec<RefAllocation>> {
+        let betas = self.betas(strategy);
+        let mut cache = self.allocations.lock();
+        Arc::clone(
+            cache
+                .entry((StrategyKey(strategy), procedure))
+                .or_insert_with(|| {
+                    Arc::new(
+                        self.ptgs
+                            .iter()
+                            .zip(betas.iter())
+                            .map(|(ptg, &beta)| procedure.allocate(&self.reference, ptg, beta))
+                            .collect(),
+                    )
+                }),
+        )
+    }
+
+    /// Executes a concurrent workload on the scenario's engine, counting the
+    /// simulation.
+    pub fn execute(&self, workload: &SimWorkload) -> Result<SimOutcome, SimError> {
+        self.concurrent_sims.fetch_add(1, Ordering::Relaxed);
+        self.engine.execute(workload)
+    }
+
+    /// Maps already-allocated applications onto the platform using the
+    /// context's cached views. The mapping configuration is explicit because
+    /// ablation schedulers may override the context's base options.
+    pub fn map(
+        &self,
+        mapping: &MappingConfig,
+        allocations: &[RefAllocation],
+        release_times: &[f64],
+    ) -> Schedule {
+        map_concurrent_with(
+            &self.reference,
+            self.engine.network(),
+            self.platform,
+            self.ptgs,
+            allocations,
+            release_times,
+            mapping,
+        )
+    }
+
+    /// Dedicated-platform makespan of application `app` (`M_own`): the PTG
+    /// alone on the whole platform, β = 1, under the base allocation
+    /// procedure and mapping options. Memoized — repeated calls (e.g. one
+    /// per strategy of a campaign) simulate only once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation validation errors (indicating a scheduler bug).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app` is out of range for the scenario's applications.
+    pub fn dedicated_makespan(&self, app: usize) -> Result<f64, SimError> {
+        assert!(app < self.ptgs.len(), "application index out of range");
+        // The simulation runs under the slot's own lock: two threads asking
+        // for the same application serialize (exactly-once guarantee), while
+        // different applications compute in parallel.
+        let mut slot = self.dedicated[app].lock();
+        if let Some(m) = *slot {
+            return Ok(m);
+        }
+        let m = self.simulate_dedicated(app)?;
+        *slot = Some(m);
+        Ok(m)
+    }
+
+    /// Dedicated makespans of all applications, in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation validation errors.
+    pub fn dedicated_makespans(&self) -> Result<Vec<f64>, SimError> {
+        (0..self.ptgs.len())
+            .map(|i| self.dedicated_makespan(i))
+            .collect()
+    }
+
+    /// Number of dedicated-platform simulations actually executed so far
+    /// (at most one per application, however many strategies are evaluated).
+    pub fn dedicated_simulations(&self) -> usize {
+        self.dedicated_sims.load(Ordering::Relaxed)
+    }
+
+    /// Number of concurrent-schedule simulations executed so far.
+    pub fn concurrent_simulations(&self) -> usize {
+        self.concurrent_sims.load(Ordering::Relaxed)
+    }
+
+    /// Runs the full dedicated pipeline for one application: β = 1
+    /// allocation, single-application mapping, simulation.
+    fn simulate_dedicated(&self, app: usize) -> Result<f64, SimError> {
+        let ptg = &self.ptgs[app];
+        let alloc = self.base.allocation.allocate(&self.reference, ptg, 1.0);
+        let schedule = map_concurrent_with(
+            &self.reference,
+            self.engine.network(),
+            self.platform,
+            std::slice::from_ref(ptg),
+            std::slice::from_ref(&alloc),
+            &[0.0],
+            &self.base.mapping,
+        );
+        self.dedicated_sims.fetch_add(1, Ordering::Relaxed);
+        let outcome = self.engine.execute(&schedule.workload)?;
+        Ok(outcome.makespan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::ConcurrentScheduler;
+    use mcsched_platform::grid5000;
+    use mcsched_ptg::gen::{random::RandomPtgConfig, random_ptg};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ptgs(n: usize, seed: u64) -> Vec<Ptg> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let cfg = RandomPtgConfig {
+                    num_tasks: 10,
+                    ..RandomPtgConfig::default_config()
+                };
+                random_ptg(&cfg, &mut rng, format!("app{i}"))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn betas_are_memoized_per_strategy() {
+        let platform = grid5000::lille();
+        let apps = ptgs(3, 1);
+        let ctx = ScheduleContext::new(&platform, &apps);
+        let a = ctx.betas(ConstraintStrategy::EqualShare);
+        let b = ctx.betas(ConstraintStrategy::EqualShare);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "same strategy returns the cached vector"
+        );
+        let c = ctx.betas(ConstraintStrategy::Selfish);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(*a, vec![1.0 / 3.0; 3]);
+        assert_eq!(*c, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn weighted_strategies_are_keyed_by_mu() {
+        let platform = grid5000::nancy();
+        let apps = ptgs(2, 2);
+        let ctx = ScheduleContext::new(&platform, &apps);
+        let a = ctx.betas(ConstraintStrategy::Weighted(Characteristic::Work, 0.5));
+        let b = ctx.betas(ConstraintStrategy::Weighted(Characteristic::Work, 0.7));
+        let a2 = ctx.betas(ConstraintStrategy::Weighted(Characteristic::Work, 0.5));
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "different mu is a different cache entry"
+        );
+        assert!(Arc::ptr_eq(&a, &a2));
+    }
+
+    #[test]
+    fn allocations_are_memoized_and_match_direct_computation() {
+        let platform = grid5000::rennes();
+        let apps = ptgs(2, 3);
+        let ctx = ScheduleContext::new(&platform, &apps);
+        let strategy = ConstraintStrategy::EqualShare;
+        let first = ctx.allocations(strategy, AllocationProcedure::ScrapMax);
+        let second = ctx.allocations(strategy, AllocationProcedure::ScrapMax);
+        assert!(Arc::ptr_eq(&first, &second));
+
+        let reference = ReferencePlatform::new(&platform);
+        let betas = strategy.betas(&apps, &reference);
+        for ((ptg, alloc), &beta) in apps.iter().zip(first.iter()).zip(&betas) {
+            let direct = AllocationProcedure::ScrapMax.allocate(&reference, ptg, beta);
+            assert_eq!(*alloc, direct);
+        }
+    }
+
+    #[test]
+    fn dedicated_makespans_simulate_each_application_once() {
+        let platform = grid5000::lille();
+        let apps = ptgs(3, 4);
+        let ctx = ScheduleContext::new(&platform, &apps);
+        assert_eq!(ctx.dedicated_simulations(), 0);
+        let first = ctx.dedicated_makespans().unwrap();
+        assert_eq!(ctx.dedicated_simulations(), 3);
+        // Asking again (as every extra strategy of a campaign does) must not
+        // simulate anything new.
+        let second = ctx.dedicated_makespans().unwrap();
+        assert_eq!(ctx.dedicated_simulations(), 3);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn dedicated_makespan_matches_the_scheduler_path() {
+        let platform = grid5000::sophia();
+        let apps = ptgs(2, 5);
+        let ctx = ScheduleContext::new(&platform, &apps);
+        let scheduler = ConcurrentScheduler::default();
+        for (i, app) in apps.iter().enumerate() {
+            let direct = scheduler.dedicated_makespan(&platform, app).unwrap();
+            let cached = ctx.dedicated_makespan(i).unwrap();
+            assert!(
+                (direct - cached).abs() < 1e-9,
+                "app {i}: scheduler {direct} vs context {cached}"
+            );
+        }
+    }
+
+    #[test]
+    fn context_is_shareable_across_threads() {
+        let platform = grid5000::lille();
+        let apps = ptgs(4, 6);
+        let ctx = ScheduleContext::new(&platform, &apps);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let d = ctx.dedicated_makespans().unwrap();
+                    assert_eq!(d.len(), 4);
+                });
+            }
+        });
+        // However the threads interleaved, every application was simulated
+        // exactly once (computation happens under the cache lock).
+        assert_eq!(ctx.dedicated_simulations(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dedicated_makespan_rejects_bad_index() {
+        let platform = grid5000::lille();
+        let apps = ptgs(1, 7);
+        let ctx = ScheduleContext::new(&platform, &apps);
+        let _ = ctx.dedicated_makespan(5);
+    }
+}

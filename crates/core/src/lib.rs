@@ -18,7 +18,11 @@
 //!    [`metrics`] turns the observed per-application makespans into the
 //!    paper's **slowdown / unfairness / relative makespan** figures.
 //!
-//! The [`scheduler::ConcurrentScheduler`] type drives the whole pipeline.
+//! The [`scheduler::ConcurrentScheduler`] type drives the whole pipeline
+//! through a [`context::ScheduleContext`], which memoizes the platform
+//! views, the per-strategy β/allocation results and the dedicated-platform
+//! baselines of one scenario so that comparing many strategies never repeats
+//! a simulation.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -27,12 +31,14 @@ pub mod allocation;
 pub mod analysis;
 pub mod baseline;
 pub mod constraint;
+pub mod context;
 pub mod mapping;
 pub mod metrics;
 pub mod scheduler;
 
 pub use allocation::{AllocationProcedure, RefAllocation, ReferencePlatform};
 pub use constraint::{Characteristic, ConstraintStrategy};
+pub use context::ScheduleContext;
 pub use mapping::{MappingConfig, OrderingMode, Schedule};
 pub use metrics::{average_slowdown, slowdown, unfairness};
-pub use scheduler::{ConcurrentRun, ConcurrentScheduler, SchedulerConfig};
+pub use scheduler::{ConcurrentRun, ConcurrentScheduler, EvaluatedRun, SchedulerConfig};

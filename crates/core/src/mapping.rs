@@ -130,11 +130,41 @@ pub fn map_concurrent(
     release_times: &[f64],
     config: &MappingConfig,
 ) -> Schedule {
-    assert_eq!(ptgs.len(), allocations.len(), "one allocation per PTG");
-    assert_eq!(ptgs.len(), release_times.len(), "one release time per PTG");
-
     let reference = ReferencePlatform::new(platform);
     let network = SiteNetwork::new(platform);
+    map_concurrent_with(
+        &reference,
+        &network,
+        platform,
+        ptgs,
+        allocations,
+        release_times,
+        config,
+    )
+}
+
+/// Like [`map_concurrent`], but reuses pre-built platform views instead of
+/// deriving them from scratch.
+///
+/// The [`crate::context::ScheduleContext`] caches one [`ReferencePlatform`]
+/// and one [`SiteNetwork`] per scenario and passes them here for every
+/// strategy it evaluates; `map_concurrent` is the convenience wrapper for
+/// one-shot callers.
+///
+/// # Panics
+///
+/// Panics if the slices have inconsistent lengths.
+pub fn map_concurrent_with(
+    reference: &ReferencePlatform,
+    network: &SiteNetwork,
+    platform: &Platform,
+    ptgs: &[Ptg],
+    allocations: &[RefAllocation],
+    release_times: &[f64],
+    config: &MappingConfig,
+) -> Schedule {
+    assert_eq!(ptgs.len(), allocations.len(), "one allocation per PTG");
+    assert_eq!(ptgs.len(), release_times.len(), "one release time per PTG");
     // Bottom levels under the current allocations (communications ignored, as
     // in the paper's priority definition).
     let bottom_levels: Vec<Vec<f64>> = ptgs
@@ -158,10 +188,8 @@ pub fn map_concurrent(
         .collect();
 
     // Placement state.
-    let mut placements: Vec<Vec<Option<TaskPlacement>>> = ptgs
-        .iter()
-        .map(|p| vec![None; p.num_tasks()])
-        .collect();
+    let mut placements: Vec<Vec<Option<TaskPlacement>>> =
+        ptgs.iter().map(|p| vec![None; p.num_tasks()]).collect();
     let mut unmapped_preds: Vec<Vec<usize>> = ptgs
         .iter()
         .map(|p| p.task_ids().map(|t| p.preds(t).len()).collect())
@@ -382,8 +410,14 @@ pub fn map_concurrent(
     // Materialise the transfers of every application edge.
     for (app, ptg) in ptgs.iter().enumerate() {
         for e in ptg.edges() {
-            let from = placements[app][e.src].as_ref().expect("all tasks mapped").job;
-            let to = placements[app][e.dst].as_ref().expect("all tasks mapped").job;
+            let from = placements[app][e.src]
+                .as_ref()
+                .expect("all tasks mapped")
+                .job;
+            let to = placements[app][e.dst]
+                .as_ref()
+                .expect("all tasks mapped")
+                .job;
             workload.add_transfer(from, to, e.bytes);
         }
     }
@@ -392,7 +426,11 @@ pub fn map_concurrent(
         workload,
         placements: placements
             .into_iter()
-            .map(|v| v.into_iter().map(|p| p.expect("all tasks mapped")).collect())
+            .map(|v| {
+                v.into_iter()
+                    .map(|p| p.expect("all tasks mapped"))
+                    .collect()
+            })
             .collect(),
     }
 }

@@ -110,6 +110,39 @@ mod tests {
     }
 
     #[test]
+    fn single_application_is_perfectly_fair() {
+        // With one application there is nothing to be unfair to: its
+        // slowdown equals the average, so the deviation sum is zero whatever
+        // the makespans were.
+        assert_eq!(unfairness(&[0.42]), 0.0);
+        let r = fairness_report(&[123.0], &[456.0]);
+        assert_eq!(r.unfairness, 0.0);
+        assert_eq!(r.slowdowns.len(), 1);
+        assert_eq!(r.average_slowdown, r.slowdowns[0]);
+    }
+
+    #[test]
+    fn empty_slowdown_set_yields_zero_metrics() {
+        assert_eq!(unfairness(&[]), 0.0);
+        assert_eq!(average_slowdown(&[]), 0.0);
+        let r = fairness_report(&[], &[]);
+        assert!(r.slowdowns.is_empty());
+        assert_eq!(r.average_slowdown, 0.0);
+        assert_eq!(r.unfairness, 0.0);
+    }
+
+    #[test]
+    fn identical_dedicated_and_concurrent_makespans_are_neutral() {
+        // When concurrency did not perturb anyone, every slowdown is exactly
+        // 1 and the schedule is perfectly fair.
+        let m = [10.0, 25.0, 400.0];
+        let r = fairness_report(&m, &m);
+        assert_eq!(r.slowdowns, vec![1.0, 1.0, 1.0]);
+        assert_eq!(r.average_slowdown, 1.0);
+        assert_eq!(r.unfairness, 0.0);
+    }
+
+    #[test]
     fn paper_example_value() {
         // The paper's Section 7 example: 8 applications with slowdown 1 and 2
         // with slowdown 0.2 give an average of 0.84 and an unfairness of 2.56.

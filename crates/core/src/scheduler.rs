@@ -1,12 +1,13 @@
 //! The end-to-end concurrent scheduler driving the whole pipeline.
 
-use crate::allocation::{AllocationProcedure, RefAllocation, ReferencePlatform};
+use crate::allocation::{AllocationProcedure, RefAllocation};
 use crate::constraint::ConstraintStrategy;
-use crate::mapping::{map_concurrent, MappingConfig, Schedule};
+use crate::context::ScheduleContext;
+use crate::mapping::{MappingConfig, Schedule};
 use crate::metrics::{fairness_report, FairnessReport};
 use mcsched_platform::Platform;
 use mcsched_ptg::Ptg;
-use mcsched_simx::{Engine, ExecutionTrace, SimError};
+use mcsched_simx::{ExecutionTrace, SimError};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the concurrent scheduler.
@@ -106,15 +107,23 @@ impl ConcurrentScheduler {
         &self.config
     }
 
+    /// Builds the memoized evaluation context for one scenario. The context
+    /// can be shared by several schedulers that differ only in strategy, so
+    /// that β vectors, allocations and dedicated baselines are computed once.
+    pub fn context<'a>(&self, platform: &'a Platform, ptgs: &'a [Ptg]) -> ScheduleContext<'a> {
+        ScheduleContext::with_base(platform, ptgs, self.config)
+    }
+
     /// Computes the per-application allocations for a set of PTGs without
     /// mapping them (exposed for inspection, ablation and tests).
     pub fn allocate(&self, platform: &Platform, ptgs: &[Ptg]) -> Vec<RefAllocation> {
-        let reference = ReferencePlatform::new(platform);
-        let betas = self.config.strategy.betas(ptgs, &reference);
-        ptgs.iter()
-            .zip(&betas)
-            .map(|(ptg, &beta)| self.config.allocation.allocate(&reference, ptg, beta))
-            .collect()
+        self.allocate_in(&self.context(platform, ptgs)).to_vec()
+    }
+
+    /// Like [`ConcurrentScheduler::allocate`], but memoized through a shared
+    /// [`ScheduleContext`].
+    pub fn allocate_in(&self, context: &ScheduleContext<'_>) -> std::sync::Arc<Vec<RefAllocation>> {
+        context.allocations(self.config.strategy, self.config.allocation)
     }
 
     /// Schedules the PTGs concurrently (all submitted at time 0) and
@@ -125,7 +134,7 @@ impl ConcurrentScheduler {
     /// Propagates simulation validation errors (which indicate a scheduler
     /// bug rather than a user error).
     pub fn schedule(&self, platform: &Platform, ptgs: &[Ptg]) -> Result<ConcurrentRun, SimError> {
-        self.schedule_released(platform, ptgs, &vec![0.0; ptgs.len()])
+        self.schedule_in(&self.context(platform, ptgs))
     }
 
     /// Schedules the PTGs with explicit per-application submission times
@@ -141,15 +150,36 @@ impl ConcurrentScheduler {
         ptgs: &[Ptg],
         release_times: &[f64],
     ) -> Result<ConcurrentRun, SimError> {
-        let reference = ReferencePlatform::new(platform);
-        let betas = self.config.strategy.betas(ptgs, &reference);
-        let allocations: Vec<RefAllocation> = ptgs
-            .iter()
-            .zip(&betas)
-            .map(|(ptg, &beta)| self.config.allocation.allocate(&reference, ptg, beta))
-            .collect();
-        let schedule = map_concurrent(platform, ptgs, &allocations, release_times, &self.config.mapping);
-        let outcome = Engine::new(platform).execute(&schedule.workload)?;
+        self.schedule_released_in(&self.context(platform, ptgs), release_times)
+    }
+
+    /// Schedules the context's applications at time 0 through the context's
+    /// caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation validation errors.
+    pub fn schedule_in(&self, context: &ScheduleContext<'_>) -> Result<ConcurrentRun, SimError> {
+        self.schedule_released_in(context, &vec![0.0; context.ptgs().len()])
+    }
+
+    /// Schedules the context's applications with explicit release times.
+    /// β vectors and allocations come from the context's memoized caches;
+    /// mapping and simulation reuse its platform views.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation validation errors.
+    pub fn schedule_released_in(
+        &self,
+        context: &ScheduleContext<'_>,
+        release_times: &[f64],
+    ) -> Result<ConcurrentRun, SimError> {
+        let ptgs = context.ptgs();
+        let betas = context.betas(self.config.strategy);
+        let allocations = context.allocations(self.config.strategy, self.config.allocation);
+        let schedule = context.map(&self.config.mapping, &allocations, release_times);
+        let outcome = context.execute(&schedule.workload)?;
 
         let apps = ptgs
             .iter()
@@ -182,27 +212,32 @@ impl ConcurrentScheduler {
     ///
     /// Propagates simulation validation errors.
     pub fn dedicated_makespan(&self, platform: &Platform, ptg: &Ptg) -> Result<f64, SimError> {
-        let dedicated = ConcurrentScheduler::new(SchedulerConfig {
-            strategy: ConstraintStrategy::Selfish,
-            ..self.config
-        });
-        let run = dedicated.schedule(platform, std::slice::from_ref(ptg))?;
-        Ok(run.apps[0].makespan)
+        self.context(platform, std::slice::from_ref(ptg))
+            .dedicated_makespan(0)
     }
 
     /// Runs the full evaluation of one scenario: concurrent run, dedicated
-    /// runs of every application and the derived fairness metrics.
+    /// runs of every application and the derived fairness metrics. Each
+    /// application's dedicated baseline is simulated exactly once, through a
+    /// fresh [`ScheduleContext`].
     ///
     /// # Errors
     ///
     /// Propagates simulation validation errors.
     pub fn evaluate(&self, platform: &Platform, ptgs: &[Ptg]) -> Result<EvaluatedRun, SimError> {
-        let run = self.schedule(platform, ptgs)?;
-        let dedicated: Result<Vec<f64>, SimError> = ptgs
-            .iter()
-            .map(|ptg| self.dedicated_makespan(platform, ptg))
-            .collect();
-        let dedicated = dedicated?;
+        self.evaluate_in(&self.context(platform, ptgs))
+    }
+
+    /// Evaluates this scheduler's strategy on a shared context. The
+    /// dedicated baselines come from the context's memo, so comparing many
+    /// strategies on one scenario pays for them only once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation validation errors.
+    pub fn evaluate_in(&self, context: &ScheduleContext<'_>) -> Result<EvaluatedRun, SimError> {
+        let run = self.schedule_in(context)?;
+        let dedicated = context.dedicated_makespans()?;
         let fairness = fairness_report(&dedicated, &run.app_makespans());
         Ok(EvaluatedRun {
             run,
@@ -326,10 +361,59 @@ mod tests {
     }
 
     #[test]
+    fn evaluate_simulates_each_dedicated_baseline_once() {
+        let platform = grid5000::lille();
+        let apps = ptgs(3, 7);
+        let scheduler = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare);
+        let ctx = scheduler.context(&platform, &apps);
+        scheduler.evaluate_in(&ctx).unwrap();
+        assert_eq!(ctx.dedicated_simulations(), apps.len());
+        assert_eq!(ctx.concurrent_simulations(), 1);
+    }
+
+    #[test]
+    fn evaluate_in_shares_dedicated_baselines_across_strategies() {
+        let platform = grid5000::sophia();
+        let apps = ptgs(3, 8);
+        let ctx = ConcurrentScheduler::default().context(&platform, &apps);
+        let strategies = [
+            ConstraintStrategy::Selfish,
+            ConstraintStrategy::EqualShare,
+            ConstraintStrategy::Weighted(Characteristic::Work, 0.7),
+        ];
+        for strategy in strategies {
+            let eval = ConcurrentScheduler::with_strategy(strategy)
+                .evaluate_in(&ctx)
+                .unwrap();
+            assert_eq!(eval.fairness.slowdowns.len(), 3);
+        }
+        // One dedicated simulation per distinct PTG, however many strategies
+        // were compared; one concurrent simulation per strategy.
+        assert_eq!(ctx.dedicated_simulations(), apps.len());
+        assert_eq!(ctx.concurrent_simulations(), strategies.len());
+    }
+
+    #[test]
+    fn context_path_matches_one_shot_path() {
+        let platform = grid5000::rennes();
+        let apps = ptgs(3, 9);
+        let scheduler = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare);
+        let one_shot = scheduler.evaluate(&platform, &apps).unwrap();
+        let ctx = scheduler.context(&platform, &apps);
+        let via_ctx = scheduler.evaluate_in(&ctx).unwrap();
+        assert_eq!(one_shot.dedicated_makespans, via_ctx.dedicated_makespans);
+        assert_eq!(one_shot.fairness, via_ctx.fairness);
+        assert_eq!(one_shot.run.global_makespan, via_ctx.run.global_makespan);
+    }
+
+    #[test]
     fn default_config_uses_scrap_max_and_ready_ordering() {
         let cfg = SchedulerConfig::default();
         assert_eq!(cfg.allocation, AllocationProcedure::ScrapMax);
-        assert_eq!(cfg.mapping.ordering, crate::mapping::OrderingMode::ReadyTasks);
+        assert_eq!(
+            cfg.mapping.ordering,
+            crate::mapping::OrderingMode::ReadyTasks
+        );
         assert!(cfg.mapping.packing);
     }
 }

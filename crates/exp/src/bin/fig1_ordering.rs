@@ -43,8 +43,14 @@ fn main() {
     let releases = [0.0, 0.0];
 
     for (label, ordering) in [
-        ("global bottom-level ordering (no backfilling)", OrderingMode::Global),
-        ("ready-task ordering (paper's proposal)", OrderingMode::ReadyTasks),
+        (
+            "global bottom-level ordering (no backfilling)",
+            OrderingMode::Global,
+        ),
+        (
+            "ready-task ordering (paper's proposal)",
+            OrderingMode::ReadyTasks,
+        ),
     ] {
         let schedule = map_concurrent(
             &platform,

@@ -1,9 +1,9 @@
 //! Strategy-comparison campaigns (Figures 3, 4 and 5).
 
-use crate::scenario::{generate_scenarios, Scenario};
+use crate::fanout::run_indexed;
+use crate::scenario::generate_scenarios;
 use mcsched_core::{ConstraintStrategy, SchedulerConfig};
 use mcsched_ptg::gen::PtgClass;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
 /// Configuration of a strategy-comparison campaign.
@@ -124,55 +124,24 @@ struct CellAccumulator {
 /// platform, evaluates all strategies and aggregates unfairness and
 /// (relative) makespans.
 ///
-/// Scenarios are processed in parallel by `threads` worker threads (scoped,
-/// no unsafe code); results are deterministic because aggregation does not
-/// depend on completion order.
+/// Scenarios are fanned out over [`CampaignConfig::threads`] workers (see
+/// [`crate::fanout`]); each worker drives all strategies of its scenario
+/// through one shared [`mcsched_core::ScheduleContext`], so the dedicated
+/// baselines are simulated once per (platform, application) pair. Results
+/// are deterministic because aggregation follows scenario order, not
+/// completion order.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        config.threads
-    };
-
-    // (num_ptgs, strategy index) -> accumulator. Per-scenario results are
-    // collected into slots indexed by scenario and aggregated sequentially
-    // afterwards, so the result does not depend on thread completion order.
+    // (num_ptgs, strategy index) -> accumulator.
     let mut cells: BTreeMap<(usize, usize), CellAccumulator> = BTreeMap::new();
 
     for &num_ptgs in &config.ptg_counts {
-        let scenarios = generate_scenarios(config.class, num_ptgs, config.combinations, config.seed);
-        let slots: Mutex<Vec<Option<Vec<crate::scenario::ScenarioOutcome>>>> =
-            Mutex::new(vec![None; scenarios.len()]);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let worker = |_: usize| {
-            loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= scenarios.len() {
-                    break;
-                }
-                let scenario: &Scenario = &scenarios[i];
-                let dedicated = scenario.dedicated_makespans(&config.base);
-                let outcomes: Vec<_> = config
-                    .strategies
-                    .iter()
-                    .map(|&s| scenario.evaluate_strategy(s, &config.base, &dedicated))
-                    .collect();
-                slots.lock()[i] = Some(outcomes);
-            }
-        };
-
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads.max(1))
-                .map(|w| scope.spawn(move || worker(w)))
-                .collect();
-            for h in handles {
-                h.join().expect("campaign worker panicked");
-            }
+        let scenarios =
+            generate_scenarios(config.class, num_ptgs, config.combinations, config.seed);
+        let per_scenario = run_indexed(config.threads, scenarios.len(), |i| {
+            scenarios[i].evaluate_all(&config.base, &config.strategies)
         });
 
-        for outcomes in slots.into_inner().into_iter().flatten() {
+        for outcomes in per_scenario {
             let best = outcomes
                 .iter()
                 .map(|o| o.makespan)
@@ -251,7 +220,10 @@ mod tests {
             .map(|p| p.relative_makespan)
             .fold(f64::INFINITY, f64::min);
         assert!(best >= 1.0 - 1e-9);
-        assert!(best < 1.5, "some strategy should be near the per-run optimum");
+        assert!(
+            best < 1.5,
+            "some strategy should be near the per-run optimum"
+        );
     }
 
     #[test]

@@ -16,16 +16,22 @@
 //! * dedicated-platform makespans (`M_own`) are computed once per run and
 //!   shared by all strategies.
 //!
-//! The [`campaign`] module runs such sweeps (in parallel across scenarios),
-//! [`mu_sweep`] reproduces the µ-calibration of Figure 2, and [`report`]
-//! renders the aggregated numbers as aligned text tables and CSV suitable
-//! for regenerating every figure of the paper.
+//! The [`campaign`] module runs such sweeps, [`mu_sweep`] reproduces the
+//! µ-calibration of Figure 2, and [`report`] renders the aggregated numbers
+//! as aligned text tables and CSV suitable for regenerating every figure of
+//! the paper.
+//!
+//! Both harnesses fan scenarios out over the worker pool of [`fanout`]
+//! (honouring the configs' `threads` fields) and evaluate every strategy of
+//! a scenario through one shared [`mcsched_core::ScheduleContext`], so each
+//! dedicated baseline is simulated exactly once per scenario.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod campaign;
 pub mod cli;
+pub mod fanout;
 pub mod mu_sweep;
 pub mod report;
 pub mod scenario;

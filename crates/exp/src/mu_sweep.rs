@@ -6,10 +6,10 @@
 //! {0, 0.3, 0.5, 0.7, 0.8, 0.9, 1}: unfairness decreases with µ while the
 //! makespan increases, and µ = 0.7 is chosen as the sweet spot.
 
+use crate::fanout::run_indexed;
 use crate::scenario::generate_scenarios;
 use mcsched_core::{Characteristic, ConstraintStrategy, SchedulerConfig};
 use mcsched_ptg::gen::PtgClass;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
 /// Configuration of a µ sweep.
@@ -75,57 +75,35 @@ pub struct MuSweepPoint {
 }
 
 /// Runs the µ sweep and returns one point per (µ, PTG count).
+///
+/// Scenarios are fanned out over [`MuSweepConfig::threads`] workers (see
+/// [`crate::fanout`]); every µ value of a scenario is evaluated through one
+/// shared [`mcsched_core::ScheduleContext`], so the dedicated baselines are
+/// simulated once per (platform, application) pair. Aggregation follows
+/// scenario order, keeping the result independent of thread interleaving.
 pub fn run_mu_sweep(config: &MuSweepConfig) -> Vec<MuSweepPoint> {
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        config.threads
-    };
-
     #[derive(Default, Clone)]
     struct Acc {
         unfairness: f64,
         makespan: f64,
         runs: usize,
     }
-    // Per-scenario results are collected into slots and aggregated in order
-    // afterwards, so the result does not depend on thread completion order.
     let mut cells: BTreeMap<(usize, usize), Acc> = BTreeMap::new();
 
+    let strategies: Vec<ConstraintStrategy> = config
+        .mu_values
+        .iter()
+        .map(|&mu| ConstraintStrategy::Weighted(config.characteristic, mu))
+        .collect();
+
     for &num_ptgs in &config.ptg_counts {
-        let scenarios = generate_scenarios(config.class, num_ptgs, config.combinations, config.seed);
-        let slots: Mutex<Vec<Option<Vec<crate::scenario::ScenarioOutcome>>>> =
-            Mutex::new(vec![None; scenarios.len()]);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let worker = |_w: usize| loop {
-            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            if i >= scenarios.len() {
-                break;
-            }
-            let scenario = &scenarios[i];
-            let dedicated = scenario.dedicated_makespans(&config.base);
-            let outcomes: Vec<_> = config
-                .mu_values
-                .iter()
-                .map(|&mu| {
-                    let strategy = ConstraintStrategy::Weighted(config.characteristic, mu);
-                    scenario.evaluate_strategy(strategy, &config.base, &dedicated)
-                })
-                .collect();
-            slots.lock()[i] = Some(outcomes);
-        };
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads.max(1))
-                .map(|w| scope.spawn(move || worker(w)))
-                .collect();
-            for h in handles {
-                h.join().expect("mu sweep worker panicked");
-            }
+        let scenarios =
+            generate_scenarios(config.class, num_ptgs, config.combinations, config.seed);
+        let per_scenario = run_indexed(config.threads, scenarios.len(), |i| {
+            scenarios[i].evaluate_all(&config.base, &strategies)
         });
 
-        for outcomes in slots.into_inner().into_iter().flatten() {
+        for outcomes in per_scenario {
             for (mi, outcome) in outcomes.iter().enumerate() {
                 let acc = cells.entry((mi, num_ptgs)).or_default();
                 acc.unfairness += outcome.unfairness;

@@ -51,12 +51,19 @@ pub fn table_campaign(result: &CampaignResult) -> String {
 /// Renders a campaign result as CSV
 /// (`class,num_ptgs,strategy,unfairness,makespan,relative_makespan,runs`).
 pub fn csv_campaign(result: &CampaignResult) -> String {
-    let mut out = String::from("class,num_ptgs,strategy,unfairness,makespan,relative_makespan,runs\n");
+    let mut out =
+        String::from("class,num_ptgs,strategy,unfairness,makespan,relative_makespan,runs\n");
     for p in &result.points {
         let _ = writeln!(
             out,
             "{},{},{},{:.6},{:.3},{:.6},{}",
-            result.class, p.num_ptgs, p.strategy, p.unfairness, p.makespan, p.relative_makespan, p.runs
+            result.class,
+            p.num_ptgs,
+            p.strategy,
+            p.unfairness,
+            p.makespan,
+            p.relative_makespan,
+            p.runs
         );
     }
     out
@@ -85,7 +92,10 @@ pub fn table_mu_sweep(points: &[MuSweepPoint]) -> String {
             "Unfairness",
             Box::new(|p: &MuSweepPoint| p.unfairness) as Box<dyn Fn(&MuSweepPoint) -> f64>,
         ),
-        ("Average makespan (s)", Box::new(|p: &MuSweepPoint| p.makespan)),
+        (
+            "Average makespan (s)",
+            Box::new(|p: &MuSweepPoint| p.makespan),
+        ),
     ] {
         let _ = writeln!(out, "== {title} vs mu ==");
         let _ = write!(out, "{:<8}", "mu");

@@ -1,6 +1,8 @@
 //! Scenario generation and per-scenario evaluation.
 
-use mcsched_core::{ConcurrentScheduler, ConstraintStrategy, SchedulerConfig};
+use mcsched_core::{
+    ConcurrentScheduler, ConstraintStrategy, EvaluatedRun, ScheduleContext, SchedulerConfig,
+};
 use mcsched_platform::{grid5000, Platform};
 use mcsched_ptg::gen::PtgClass;
 use mcsched_ptg::Ptg;
@@ -74,32 +76,52 @@ pub fn generate_scenarios(
 }
 
 impl Scenario {
+    /// Builds the memoized [`ScheduleContext`] for this scenario: the single
+    /// entry point through which every strategy evaluation runs, so that the
+    /// platform views and the dedicated baselines (`M_own`) are computed once
+    /// per scenario.
+    pub fn context<'a>(&'a self, base: &SchedulerConfig) -> ScheduleContext<'a> {
+        ScheduleContext::with_base(&self.platform, &self.ptgs, *base)
+    }
+
     /// Dedicated-platform makespans of every application of the scenario
     /// (`M_own`), shared by every strategy evaluation.
     pub fn dedicated_makespans(&self, base: &SchedulerConfig) -> Vec<f64> {
-        let scheduler = ConcurrentScheduler::new(*base);
-        self.ptgs
+        self.context(base)
+            .dedicated_makespans()
+            .expect("scheduler produces valid workloads")
+    }
+
+    /// Evaluates every strategy on the scenario through one shared context:
+    /// the dedicated baselines are simulated once per application and reused
+    /// by all strategies. Returns one outcome per strategy, in input order.
+    pub fn evaluate_all(
+        &self,
+        base: &SchedulerConfig,
+        strategies: &[ConstraintStrategy],
+    ) -> Vec<ScenarioOutcome> {
+        let context = self.context(base);
+        strategies
             .iter()
-            .map(|ptg| {
-                scheduler
-                    .dedicated_makespan(&self.platform, ptg)
-                    .expect("scheduler produces valid workloads")
+            .map(|&strategy| {
+                let evaluation = ConcurrentScheduler::new(SchedulerConfig { strategy, ..*base })
+                    .evaluate_in(&context)
+                    .expect("scheduler produces valid workloads");
+                ScenarioOutcome::from_evaluation(strategy, &evaluation)
             })
             .collect()
     }
 
     /// Evaluates one strategy on the scenario given precomputed dedicated
-    /// makespans.
+    /// makespans (kept for ablation call sites that manage their own
+    /// baselines; campaigns should prefer [`Scenario::evaluate_all`]).
     pub fn evaluate_strategy(
         &self,
         strategy: ConstraintStrategy,
         base: &SchedulerConfig,
         dedicated: &[f64],
     ) -> ScenarioOutcome {
-        let config = SchedulerConfig {
-            strategy,
-            ..*base
-        };
+        let config = SchedulerConfig { strategy, ..*base };
         let run = ConcurrentScheduler::new(config)
             .schedule(&self.platform, &self.ptgs)
             .expect("scheduler produces valid workloads");
@@ -109,6 +131,18 @@ impl Scenario {
             unfairness: fairness.unfairness,
             makespan: run.global_makespan,
             average_slowdown: fairness.average_slowdown,
+        }
+    }
+}
+
+impl ScenarioOutcome {
+    /// Extracts the campaign-level measurements from a full evaluation.
+    fn from_evaluation(strategy: ConstraintStrategy, evaluation: &EvaluatedRun) -> Self {
+        ScenarioOutcome {
+            strategy: strategy.name(),
+            unfairness: evaluation.fairness.unfairness,
+            makespan: evaluation.run.global_makespan,
+            average_slowdown: evaluation.fairness.average_slowdown,
         }
     }
 }
@@ -158,5 +192,39 @@ mod tests {
         assert!(out.makespan > 0.0);
         assert!(out.average_slowdown > 0.0);
         assert_eq!(out.strategy, "ES");
+    }
+
+    #[test]
+    fn evaluate_all_matches_the_two_step_path() {
+        let scenarios = generate_scenarios(PtgClass::Strassen, 3, 1, 13);
+        let scenario = &scenarios[0];
+        let base = SchedulerConfig::default();
+        let strategies = [ConstraintStrategy::Selfish, ConstraintStrategy::EqualShare];
+        let combined = scenario.evaluate_all(&base, &strategies);
+        let dedicated = scenario.dedicated_makespans(&base);
+        for (outcome, &strategy) in combined.iter().zip(&strategies) {
+            let reference = scenario.evaluate_strategy(strategy, &base, &dedicated);
+            assert_eq!(*outcome, reference);
+        }
+    }
+
+    #[test]
+    fn evaluate_all_simulates_dedicated_baselines_once_per_app() {
+        let scenarios = generate_scenarios(PtgClass::Strassen, 2, 1, 21);
+        let scenario = &scenarios[0];
+        let base = SchedulerConfig::default();
+        let context = scenario.context(&base);
+        let strategies = [
+            ConstraintStrategy::Selfish,
+            ConstraintStrategy::EqualShare,
+            ConstraintStrategy::Proportional(mcsched_core::Characteristic::Work),
+        ];
+        for &strategy in &strategies {
+            ConcurrentScheduler::new(SchedulerConfig { strategy, ..base })
+                .evaluate_in(&context)
+                .unwrap();
+        }
+        assert_eq!(context.dedicated_simulations(), scenario.ptgs.len());
+        assert_eq!(context.concurrent_simulations(), strategies.len());
     }
 }

@@ -112,7 +112,9 @@ mod tests {
 
     #[test]
     fn display_no_clusters() {
-        assert!(PlatformError::NoClusters.to_string().contains("at least one"));
+        assert!(PlatformError::NoClusters
+            .to_string()
+            .contains("at least one"));
     }
 
     #[test]

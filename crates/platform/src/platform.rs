@@ -41,13 +41,13 @@ impl Platform {
                     name: c.name().to_string(),
                 });
             }
-            if !(c.speed() > 0.0) {
+            if c.speed() <= 0.0 || c.speed().is_nan() {
                 return Err(PlatformError::NonPositiveSpeed {
                     name: c.name().to_string(),
                     speed: c.speed(),
                 });
             }
-            if !(c.link_bandwidth() > 0.0) {
+            if c.link_bandwidth() <= 0.0 || c.link_bandwidth().is_nan() {
                 return Err(PlatformError::NonPositiveBandwidth {
                     name: c.name().to_string(),
                     bandwidth: c.link_bandwidth(),
@@ -246,7 +246,10 @@ mod tests {
             ],
             NetworkTopology::shared_gigabit(),
         );
-        assert!(matches!(err, Err(PlatformError::DuplicateClusterName { .. })));
+        assert!(matches!(
+            err,
+            Err(PlatformError::DuplicateClusterName { .. })
+        ));
     }
 
     #[test]

@@ -32,7 +32,10 @@ use rand::Rng;
 /// once per graph, and all tasks of a level share the same Amdahl fraction.
 pub fn fft_ptg<R: Rng>(points: usize, rng: &mut R, name: impl Into<String>) -> Ptg {
     assert!(points >= 2, "an FFT needs at least 2 points");
-    assert!(points.is_power_of_two(), "the number of points must be a power of two");
+    assert!(
+        points.is_power_of_two(),
+        "the number of points must be a power of two"
+    );
     let stages = points.trailing_zeros() as usize; // log2(points)
 
     // Root dataset: leaves (D / points) must stay >= MIN_DATA_ELEMS and the
@@ -74,7 +77,10 @@ pub fn fft_ptg<R: Rng>(points: usize, rng: &mut R, name: impl Into<String>) -> P
     let mut prev: Vec<TaskId> = Vec::with_capacity(points);
     // Leaves of the tree feed the first butterfly level; with `points` leaves
     // this is a one-to-one plus partner wiring.
-    let leaves = tree_levels.last().expect("tree has at least the root level").clone();
+    let leaves = tree_levels
+        .last()
+        .expect("tree has at least the root level")
+        .clone();
     prev.extend_from_slice(&leaves);
 
     for stage in 0..stages {
@@ -170,7 +176,11 @@ mod tests {
         let stages = 3;
         for (t, &lvl) in s.levels.iter().enumerate() {
             if lvl > stages {
-                assert_eq!(g.preds(t).len(), 2, "butterfly task {t} must have 2 parents");
+                assert_eq!(
+                    g.preds(t).len(),
+                    2,
+                    "butterfly task {t} must have 2 parents"
+                );
             }
         }
     }

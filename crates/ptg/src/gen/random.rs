@@ -232,7 +232,10 @@ impl PtgBuilder {
     /// Adds a data edge only if no edge between `src` and `dst` exists yet
     /// (jump edges may collide with density edges).
     fn add_jump_edge_if_new(&mut self, src: TaskId, dst: TaskId) {
-        let exists = self.edges_slice().iter().any(|e| e.src == src && e.dst == dst);
+        let exists = self
+            .edges_slice()
+            .iter()
+            .any(|e| e.src == src && e.dst == dst);
         if !exists {
             self.add_data_edge(src, dst);
         }
@@ -269,7 +272,10 @@ mod tests {
         let s = structure(&g);
         for t in g.task_ids() {
             if s.levels[t] > 0 {
-                assert!(!g.preds(t).is_empty(), "task {t} at level > 0 has no parent");
+                assert!(
+                    !g.preds(t).is_empty(),
+                    "task {t} at level > 0 has no parent"
+                );
             }
         }
     }

@@ -215,7 +215,10 @@ impl PtgBuilder {
             if !t.data_elems().is_finite() || t.data_elems() < 0.0 {
                 return Err(PtgError::InvalidTask {
                     task: i,
-                    reason: format!("dataset size {} is not a finite non-negative value", t.data_elems()),
+                    reason: format!(
+                        "dataset size {} is not a finite non-negative value",
+                        t.data_elems()
+                    ),
                 });
             }
             if !(0.0..=1.0).contains(&t.alpha()) {
@@ -302,7 +305,9 @@ mod tests {
     fn topological_order_respects_edges() {
         let g = diamond();
         let order = g.topological_order();
-        let pos: Vec<usize> = (0..4).map(|t| order.iter().position(|&x| x == t).unwrap()).collect();
+        let pos: Vec<usize> = (0..4)
+            .map(|t| order.iter().position(|&x| x == t).unwrap())
+            .collect();
         for e in g.edges() {
             assert!(pos[e.src] < pos[e.dst]);
         }
@@ -336,7 +341,10 @@ mod tests {
         let mut b = PtgBuilder::new("x");
         b.add_task(task("a"));
         b.add_edge(0, 5, 1.0);
-        assert!(matches!(b.build(), Err(PtgError::UnknownTask { index: 5, .. })));
+        assert!(matches!(
+            b.build(),
+            Err(PtgError::UnknownTask { index: 5, .. })
+        ));
     }
 
     #[test]
@@ -352,7 +360,12 @@ mod tests {
     #[test]
     fn invalid_alpha_is_rejected() {
         let mut b = PtgBuilder::new("x");
-        b.add_task(DataParallelTask::new("a", 4.0e6, CostModel::MatrixProduct, 1.5));
+        b.add_task(DataParallelTask::new(
+            "a",
+            4.0e6,
+            CostModel::MatrixProduct,
+            1.5,
+        ));
         assert!(matches!(b.build(), Err(PtgError::InvalidTask { .. })));
     }
 

@@ -59,6 +59,26 @@ impl<'a> Engine<'a> {
         &self.network
     }
 
+    /// The platform this engine simulates.
+    pub fn platform(&self) -> &'a Platform {
+        self.platform
+    }
+
+    /// Executes a batch of independent workloads, reusing this engine's
+    /// routing tables for all of them (one engine per platform, many
+    /// workloads — e.g. the per-application schedules of one scenario).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation/execution error; earlier outcomes are
+    /// discarded (the batch is all-or-nothing).
+    pub fn execute_all<'w>(
+        &self,
+        workloads: impl IntoIterator<Item = &'w SimWorkload>,
+    ) -> Result<Vec<SimOutcome>, SimError> {
+        workloads.into_iter().map(|w| self.execute(w)).collect()
+    }
+
     /// Executes the workload and returns the trace.
     ///
     /// # Errors
@@ -281,7 +301,10 @@ mod tests {
         let high = out.trace.job(1).unwrap();
         let low = out.trace.job(0).unwrap();
         assert_eq!(high.start, 0.0);
-        assert!((low.start - 3.0).abs() < 1e-9, "low priority starts after high");
+        assert!(
+            (low.start - 3.0).abs() < 1e-9,
+            "low priority starts after high"
+        );
         assert!((out.makespan - 5.0).abs() < 1e-9);
     }
 
@@ -404,11 +427,38 @@ mod tests {
     }
 
     #[test]
+    fn execute_all_runs_every_workload() {
+        let p = platform();
+        let mut w1 = SimWorkload::new();
+        w1.add_job(SimJob::new("a", pset(0, 0, 1), 2.0, 0));
+        let mut w2 = SimWorkload::new();
+        w2.add_job(SimJob::new("b", pset(1, 0, 2), 3.0, 0));
+        let outcomes = Engine::new(&p).execute_all([&w1, &w2]).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!((outcomes[0].makespan - 2.0).abs() < 1e-9);
+        assert!((outcomes[1].makespan - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn execute_all_propagates_errors() {
+        let p = platform();
+        let mut bad = SimWorkload::new();
+        bad.add_job(SimJob::new("bad", ProcSet::empty(0), 1.0, 0));
+        let good = SimWorkload::new();
+        assert!(Engine::new(&p).execute_all([&good, &bad]).is_err());
+    }
+
+    #[test]
     fn trace_is_deterministic() {
         let p = platform();
         let mut w = SimWorkload::new();
         for i in 0..6 {
-            w.add_job(SimJob::new(format!("j{i}"), pset(i % 2, (i / 2) % 4, 1), 1.0 + i as f64, i as u64));
+            w.add_job(SimJob::new(
+                format!("j{i}"),
+                pset(i % 2, (i / 2) % 4, 1),
+                1.0 + i as f64,
+                i as u64,
+            ));
         }
         w.add_transfer(0, 3, 2.0e7);
         w.add_transfer(1, 4, 3.0e7);

@@ -156,9 +156,7 @@ impl FlowNetwork {
         let mut best: Option<(f64, usize)> = None;
         for (i, (key, f)) in self.flows.iter().enumerate() {
             let rate = self.rates.get(i).copied().unwrap_or(0.0);
-            let finish = if f.remaining <= 0.0 {
-                self.last_update
-            } else if rate.is_infinite() {
+            let finish = if f.remaining <= 0.0 || rate.is_infinite() {
                 self.last_update
             } else if rate <= 0.0 {
                 f64::INFINITY

@@ -98,12 +98,13 @@ impl SimWorkload {
                     reason: "empty processor set".into(),
                 });
             }
-            let cluster = platform.cluster(job.procs.cluster()).map_err(|_| {
-                SimError::InvalidProcSet {
-                    job: id,
-                    reason: format!("unknown cluster {}", job.procs.cluster()),
-                }
-            })?;
+            let cluster =
+                platform
+                    .cluster(job.procs.cluster())
+                    .map_err(|_| SimError::InvalidProcSet {
+                        job: id,
+                        reason: format!("unknown cluster {}", job.procs.cluster()),
+                    })?;
             if let Some(max) = job.procs.iter().max() {
                 if max >= cluster.num_procs() {
                     return Err(SimError::InvalidProcSet {

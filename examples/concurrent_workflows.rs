@@ -64,7 +64,9 @@ fn main() {
     );
     for strategy in ConstraintStrategy::paper_set() {
         let scheduler = ConcurrentScheduler::with_strategy(strategy);
-        let evaluation = scheduler.evaluate(&platform, &apps).expect("valid schedule");
+        let evaluation = scheduler
+            .evaluate(&platform, &apps)
+            .expect("valid schedule");
         let min = evaluation
             .fairness
             .slowdowns

@@ -60,7 +60,9 @@ fn main() {
     for strategy in ConstraintStrategy::paper_set() {
         let scheduler = ConcurrentScheduler::with_strategy(strategy);
         let allocations = scheduler.allocate(&platform, &apps);
-        let evaluation = scheduler.evaluate(&platform, &apps).expect("valid schedule");
+        let evaluation = scheduler
+            .evaluate(&platform, &apps)
+            .expect("valid schedule");
         let alloc_str = allocations
             .iter()
             .map(|a| a.total().to_string())

@@ -55,12 +55,16 @@ pub use mcsched_simx as simx;
 pub mod prelude {
     pub use mcsched_core::{
         allocation::AllocationProcedure, Characteristic, ConcurrentRun, ConcurrentScheduler,
-        ConstraintStrategy, MappingConfig, OrderingMode, RefAllocation, ReferencePlatform,
-        Schedule, SchedulerConfig,
+        ConstraintStrategy, EvaluatedRun, MappingConfig, OrderingMode, RefAllocation,
+        ReferencePlatform, Schedule, ScheduleContext, SchedulerConfig,
     };
     pub use mcsched_exp::{CampaignConfig, MuSweepConfig};
-    pub use mcsched_platform::{grid5000, Cluster, NetworkTopology, Platform, PlatformBuilder, ProcSet};
-    pub use mcsched_ptg::gen::{fft_ptg, random_ptg, strassen_ptg, CostScenario, PtgClass, RandomPtgConfig};
+    pub use mcsched_platform::{
+        grid5000, Cluster, NetworkTopology, Platform, PlatformBuilder, ProcSet,
+    };
+    pub use mcsched_ptg::gen::{
+        fft_ptg, random_ptg, strassen_ptg, CostScenario, PtgClass, RandomPtgConfig,
+    };
     pub use mcsched_ptg::{CostModel, DataParallelTask, Ptg, PtgBuilder};
     pub use mcsched_simx::{Engine, ExecutionTrace, SimJob, SimWorkload};
 }

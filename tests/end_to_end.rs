@@ -129,7 +129,10 @@ fn dedicated_runs_bound_concurrent_slowdowns() {
         .unwrap();
     for s in &evaluation.fairness.slowdowns {
         assert!(*s > 0.0);
-        assert!(*s <= 1.1, "slowdown {s} should not exceed 1 (plus tolerance)");
+        assert!(
+            *s <= 1.1,
+            "slowdown {s} should not exceed 1 (plus tolerance)"
+        );
     }
     assert!(evaluation.fairness.unfairness < 4.0);
 }

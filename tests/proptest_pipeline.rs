@@ -1,82 +1,82 @@
-//! Property-based tests of the whole pipeline: whatever the (bounded) random
+//! Property-style tests of the whole pipeline: whatever the (bounded) random
 //! platform and application mix, the scheduler must produce a valid,
 //! precedence-respecting, non-oversubscribed schedule whose betas lie in
 //! (0, 1].
+//!
+//! The cases are drawn from a seeded RNG rather than a shrinking framework
+//! (`proptest` is not available offline): every case prints its seed on
+//! failure, so a failing draw can be replayed by hardcoding that seed.
 
 use mcsched::prelude::*;
-use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-/// Strategy generating a small random multi-cluster platform.
-fn platform_strategy() -> impl Strategy<Value = Platform> {
-    (
-        proptest::collection::vec((2usize..24, 1.0f64..5.0), 1..4),
-        any::<bool>(),
-    )
-        .prop_map(|(clusters, shared)| {
-            let mut builder = PlatformBuilder::new("prop-platform").topology(if shared {
-                NetworkTopology::shared_gigabit()
+const CASES: u64 = 24;
+
+/// Draws a small random multi-cluster platform (1-3 clusters, 2-23
+/// processors each, 1-5 GFlop/s, both topology styles).
+fn gen_platform(rng: &mut ChaCha8Rng) -> Platform {
+    let shared: bool = rng.gen_bool(0.5);
+    let mut builder = PlatformBuilder::new("prop-platform").topology(if shared {
+        NetworkTopology::shared_gigabit()
+    } else {
+        NetworkTopology::per_cluster_ten_gigabit()
+    });
+    let clusters = rng.gen_range(1..4usize);
+    for i in 0..clusters {
+        let procs = rng.gen_range(2..24usize);
+        let gflops = rng.gen_range(1.0..5.0);
+        builder = builder.cluster(format!("c{i}"), procs, gflops);
+    }
+    builder.build().expect("generated platforms are valid")
+}
+
+/// Draws a small set of applications (1-4 PTGs of one class).
+fn gen_apps(rng: &mut ChaCha8Rng) -> Vec<Ptg> {
+    let count = rng.gen_range(1..5usize);
+    let class = [PtgClass::Random, PtgClass::Fft, PtgClass::Strassen][rng.gen_range(0..3usize)];
+    let mut app_rng = ChaCha8Rng::seed_from_u64(rng.next_u64());
+    (0..count)
+        .map(|i| {
+            // Keep random PTGs small so each case stays fast.
+            if class == PtgClass::Random {
+                let cfg = RandomPtgConfig {
+                    num_tasks: 10,
+                    ..RandomPtgConfig::default_config()
+                };
+                random_ptg(&cfg, &mut app_rng, format!("app{i}"))
             } else {
-                NetworkTopology::per_cluster_ten_gigabit()
-            });
-            for (i, (procs, gflops)) in clusters.into_iter().enumerate() {
-                builder = builder.cluster(format!("c{i}"), procs, gflops);
+                class.sample(&mut app_rng, format!("app{i}"))
             }
-            builder.build().expect("generated platforms are valid")
         })
+        .collect()
 }
 
-/// Strategy generating a small set of applications.
-fn apps_strategy() -> impl Strategy<Value = Vec<Ptg>> {
-    (1usize..5, any::<u64>(), 0usize..3).prop_map(|(count, seed, class_idx)| {
-        let class = [PtgClass::Random, PtgClass::Fft, PtgClass::Strassen][class_idx];
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..count)
-            .map(|i| {
-                // Keep random PTGs small so each proptest case stays fast.
-                if class == PtgClass::Random {
-                    let cfg = RandomPtgConfig {
-                        num_tasks: 10,
-                        ..RandomPtgConfig::default_config()
-                    };
-                    random_ptg(&cfg, &mut rng, format!("app{i}"))
-                } else {
-                    class.sample(&mut rng, format!("app{i}"))
-                }
-            })
-            .collect()
-    })
+/// Draws one strategy from a pool covering every variant.
+fn gen_strategy(rng: &mut ChaCha8Rng) -> ConstraintStrategy {
+    match rng.gen_range(0..6usize) {
+        0 => ConstraintStrategy::Selfish,
+        1 => ConstraintStrategy::EqualShare,
+        2 => ConstraintStrategy::Proportional(Characteristic::Work),
+        3 => ConstraintStrategy::Proportional(Characteristic::Width),
+        4 => ConstraintStrategy::Weighted(Characteristic::Work, rng.gen_range(0.0..=1.0)),
+        _ => ConstraintStrategy::Weighted(Characteristic::CriticalPath, rng.gen_range(0.0..=1.0)),
+    }
 }
 
-fn strategy_pool() -> impl Strategy<Value = ConstraintStrategy> {
-    prop_oneof![
-        Just(ConstraintStrategy::Selfish),
-        Just(ConstraintStrategy::EqualShare),
-        Just(ConstraintStrategy::Proportional(Characteristic::Work)),
-        Just(ConstraintStrategy::Proportional(Characteristic::Width)),
-        (0.0f64..=1.0).prop_map(|mu| ConstraintStrategy::Weighted(Characteristic::Work, mu)),
-        (0.0f64..=1.0).prop_map(|mu| ConstraintStrategy::Weighted(Characteristic::CriticalPath, mu)),
-    ]
-}
+#[test]
+fn scheduler_always_produces_a_valid_run() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xA11CE ^ case);
+        let platform = gen_platform(&mut rng);
+        let apps = gen_apps(&mut rng);
+        let strategy = gen_strategy(&mut rng);
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn scheduler_always_produces_a_valid_run(
-        platform in platform_strategy(),
-        apps in apps_strategy(),
-        strategy in strategy_pool(),
-    ) {
         let reference = ReferencePlatform::new(&platform);
         let betas = strategy.betas(&apps, &reference);
-        prop_assert_eq!(betas.len(), apps.len());
+        assert_eq!(betas.len(), apps.len(), "case {case}");
         for b in &betas {
-            prop_assert!(*b > 0.0 && *b <= 1.0);
+            assert!(*b > 0.0 && *b <= 1.0, "case {case}: beta {b} out of (0, 1]");
         }
 
         let run = ConcurrentScheduler::with_strategy(strategy)
@@ -84,20 +84,31 @@ proptest! {
             .expect("scheduling never fails on valid inputs");
 
         // Every task ran, makespans are consistent.
-        prop_assert!(run.global_makespan > 0.0);
+        assert!(run.global_makespan > 0.0, "case {case}");
         let total_tasks: usize = apps.iter().map(Ptg::num_tasks).sum();
-        prop_assert_eq!(run.schedule.workload.num_jobs(), total_tasks);
+        assert_eq!(run.schedule.workload.num_jobs(), total_tasks, "case {case}");
         for app in &run.apps {
-            prop_assert!(app.makespan > 0.0);
-            prop_assert!(app.makespan <= run.global_makespan + 1e-6);
+            assert!(app.makespan > 0.0, "case {case}");
+            assert!(app.makespan <= run.global_makespan + 1e-6, "case {case}");
         }
 
         // Precedence constraints hold in the simulated trace.
         for (a, ptg) in apps.iter().enumerate() {
             for e in ptg.edges() {
-                let src = run.trace.job(run.schedule.placements[a][e.src].job).unwrap();
-                let dst = run.trace.job(run.schedule.placements[a][e.dst].job).unwrap();
-                prop_assert!(src.finish <= dst.start + 1e-9);
+                let src = run
+                    .trace
+                    .job(run.schedule.placements[a][e.src].job)
+                    .unwrap();
+                let dst = run
+                    .trace
+                    .job(run.schedule.placements[a][e.dst].job)
+                    .unwrap();
+                assert!(
+                    src.finish <= dst.start + 1e-9,
+                    "case {case}: edge {}->{} of app {a} violated",
+                    e.src,
+                    e.dst
+                );
             }
         }
 
@@ -106,52 +117,61 @@ proptest! {
         for (i, x) in records.iter().enumerate() {
             for y in records.iter().skip(i + 1) {
                 if x.procs.intersects(&y.procs) {
-                    prop_assert!(
+                    assert!(
                         x.finish <= y.start + 1e-9 || y.finish <= x.start + 1e-9,
-                        "overlapping jobs on shared processors"
+                        "case {case}: overlapping jobs on shared processors"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn allocations_stay_within_cluster_capacity(
-        platform in platform_strategy(),
-        apps in apps_strategy(),
-    ) {
+#[test]
+fn allocations_stay_within_cluster_capacity() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xB0B ^ case);
+        let platform = gen_platform(&mut rng);
+        let apps = gen_apps(&mut rng);
         let scheduler = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare);
         let reference = ReferencePlatform::new(&platform);
         let allocations = scheduler.allocate(&platform, &apps);
         for alloc in &allocations {
             for &n in alloc.counts() {
-                prop_assert!(n >= 1);
-                prop_assert!(n <= reference.max_task_procs());
+                assert!(n >= 1, "case {case}");
+                assert!(n <= reference.max_task_procs(), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn fairness_metrics_are_well_formed(
-        seed in any::<u64>(),
-        count in 2usize..5,
-    ) {
+#[test]
+fn fairness_metrics_are_well_formed() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xFA1 ^ case);
+        let count = rng.gen_range(2..5usize);
         let platform = grid5000::lille();
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut app_rng = ChaCha8Rng::seed_from_u64(rng.next_u64());
         let apps: Vec<Ptg> = (0..count)
-            .map(|i| PtgClass::Strassen.sample(&mut rng, format!("s{i}")))
+            .map(|i| PtgClass::Strassen.sample(&mut app_rng, format!("s{i}")))
             .collect();
         let evaluation = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare)
             .evaluate(&platform, &apps)
             .unwrap();
-        prop_assert_eq!(evaluation.fairness.slowdowns.len(), count);
+        assert_eq!(evaluation.fairness.slowdowns.len(), count, "case {case}");
         for s in &evaluation.fairness.slowdowns {
             // Slowdowns are usually <= 1 but the two-step heuristic is not
-            // monotone in beta, so a constrained run can occasionally beat the
-            // dedicated one; only require a sane, finite ratio.
-            prop_assert!(*s > 0.0 && *s <= 3.0 && s.is_finite());
+            // monotone in beta, so a constrained run can occasionally beat
+            // the dedicated one; only require a sane, finite ratio.
+            assert!(
+                *s > 0.0 && *s <= 3.0 && s.is_finite(),
+                "case {case}: slowdown {s}"
+            );
         }
-        prop_assert!(evaluation.fairness.unfairness >= 0.0);
-        prop_assert!(evaluation.fairness.unfairness <= 2.0 * count as f64);
+        assert!(evaluation.fairness.unfairness >= 0.0, "case {case}");
+        assert!(
+            evaluation.fairness.unfairness <= 2.0 * count as f64,
+            "case {case}"
+        );
     }
 }

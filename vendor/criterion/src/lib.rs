@@ -1,0 +1,207 @@
+//! Offline stand-in for the `criterion` benchmark harness (the subset this
+//! workspace uses).
+//!
+//! Supports the classic `criterion_group!`/`criterion_main!` entry points,
+//! [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkGroup::sample_size`], and [`Bencher::iter`]. Instead of
+//! criterion's statistical machinery it times a fixed number of samples and
+//! prints the mean/min per-iteration wall time.
+//!
+//! `cargo test` invokes `harness = false` bench targets with `--test`; in
+//! that mode every benchmark body runs exactly once so the benches double as
+//! smoke tests without slowing the test suite down.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many timed samples to collect per benchmark (upstream criterion
+/// defaults to 100; the stand-in keeps runs short).
+const DEFAULT_SAMPLES: usize = 10;
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: DEFAULT_SAMPLES,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.sample_size, self.test_mode, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `group-name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, self.test_mode, f);
+        self
+    }
+
+    /// Closes the group (kept for API compatibility; reporting is per
+    /// benchmark).
+    pub fn finish(self) {}
+}
+
+/// Collects timing for one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let iters = if self.test_mode {
+            1
+        } else {
+            self.iterations.max(1)
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations = iters;
+    }
+}
+
+fn run_one<F>(id: &str, samples: usize, test_mode: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if test_mode {
+        let mut b = Bencher {
+            iterations: 1,
+            test_mode: true,
+            ..Bencher::default()
+        };
+        f(&mut b);
+        println!("test {id} ... ok (bench smoke)");
+        return;
+    }
+    // Warm-up sample, then timed samples.
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for i in 0..=samples {
+        let mut b = Bencher {
+            iterations: 1,
+            ..Bencher::default()
+        };
+        f(&mut b);
+        if i > 0 && b.iterations > 0 {
+            times.push(b.elapsed / b.iterations as u32);
+        }
+    }
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len().max(1) as u32;
+    let min = times.iter().min().copied().unwrap_or_default();
+    println!(
+        "{id:<50} mean {mean:>12.3?}   min {min:>12.3?}   ({} samples)",
+        times.len()
+    );
+}
+
+/// Declares a group of benchmark target functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: false,
+        };
+        let mut calls = 0;
+        c.bench_function("noop", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert!(calls >= 2, "warm-up plus samples, got {calls}");
+    }
+
+    #[test]
+    fn group_sample_size_and_finish() {
+        let mut c = Criterion {
+            sample_size: 5,
+            test_mode: true,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut calls = 0;
+        group.bench_function("one", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1, "test mode runs the body exactly once");
+    }
+}

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `rand` crate (the subset this workspace uses).
+//!
+//! Provides the `rand` 0.8 API surface the PTG generators and tests rely on:
+//! [`RngCore`], the [`Rng`] extension trait with `gen_range`/`gen_bool`, and
+//! [`SeedableRng`] with the `seed_from_u64` convenience constructor. Range
+//! sampling supports half-open and inclusive ranges over the integer types
+//! and `f64`, which is everything the generators draw.
+//!
+//! The uniform-sampling implementations are simple (multiply-shift for
+//! integers, mantissa scaling for floats); they are not bit-compatible with
+//! upstream `rand`, but the workspace only depends on determinism per seed,
+//! not on specific streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number source: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A type that can be sampled uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draws a value in `[low, high)` (`high` exclusive).
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Draws a value in `[low, high]` (`high` inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                // Lemire-style multiply-shift rejection-free mapping; the
+                // modulo bias is below 2^-64 for every span the workspace
+                // draws, which is irrelevant for simulation workloads.
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (low as i128 + hi) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                if low == high {
+                    return low;
+                }
+                let span = (high as i128 - low as i128) as u128 + 1;
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (low as i128 + hi) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = low + unit * (high - low);
+        // Guard against `low + span` rounding up to `high`.
+        if v < high {
+            v
+        } else {
+            low
+        }
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low <= high, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        low + unit * (high - low)
+    }
+}
+
+/// A range understood by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Extension methods on random-number sources, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a uniform value from `range` (half-open `a..b` or inclusive
+    /// `a..=b`).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        T: SampleUniform,
+        S: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A random-number generator constructible from a fixed seed, mirroring
+/// `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it into a full seed with
+    /// SplitMix64 (the same scheme upstream `rand` uses).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct StepRng(u64);
+    impl RngCore for StepRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            self.0
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StepRng(1);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(0..3);
+            assert!(v < 3);
+            let w: i32 = rng.gen_range(0..3);
+            assert!((0..3).contains(&w));
+            let x: usize = rng.gen_range(5..=9);
+            assert!((5..=9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StepRng(7);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen_range(64.0..=512.0);
+            assert!((64.0..=512.0).contains(&v));
+            let w: f64 = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StepRng(3);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability_is_roughly_respected() {
+        let mut rng = StepRng(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits} hits");
+    }
+
+    #[test]
+    fn singleton_inclusive_range() {
+        let mut rng = StepRng(5);
+        let v: usize = rng.gen_range(4..=4);
+        assert_eq!(v, 4);
+    }
+}

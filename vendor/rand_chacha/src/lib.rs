@@ -1,0 +1,165 @@
+//! Offline stand-in for `rand_chacha`: a [`ChaCha8Rng`] built on the real
+//! ChaCha stream cipher with 8 rounds.
+//!
+//! The block function is the standard ChaCha quarter-round construction
+//! (Bernstein, 2008), keyed by a 32-byte seed with a 64-bit block counter.
+//! Output words are served in block order, so the generator is a proper
+//! deterministic, seedable, uniformly distributed source. Word-for-word
+//! output is not guaranteed to match upstream `rand_chacha` (which the
+//! workspace never relies on); determinism per seed is.
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 8;
+const WORDS_PER_BLOCK: usize = 16;
+
+/// A ChaCha random number generator with 8 rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    /// Key-dependent initial state (constants, key, counter, nonce).
+    state: [u32; WORDS_PER_BLOCK],
+    /// Current keystream block.
+    block: [u32; WORDS_PER_BLOCK],
+    /// Next unread word of `block` (WORDS_PER_BLOCK = exhausted).
+    index: usize,
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; WORDS_PER_BLOCK], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12-13.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.index >= WORDS_PER_BLOCK {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; WORDS_PER_BLOCK];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Words 12-13: block counter (0); words 14-15: nonce (0).
+        let mut rng = Self {
+            state,
+            block: [0; WORDS_PER_BLOCK],
+            index: WORDS_PER_BLOCK,
+        };
+        rng.refill();
+        rng
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should differ, {same} collisions");
+    }
+
+    #[test]
+    fn usable_through_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let v: usize = rng.gen_range(0..10);
+        assert!(v < 10);
+        let f: f64 = rng.gen_range(0.0..=1.0);
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn output_looks_uniform() {
+        // Crude sanity check: mean of 10k unit draws is near 0.5.
+        let mut rng = ChaCha8Rng::seed_from_u64(1234);
+        let n = 10_000;
+        let sum: f64 = (0..n)
+            .map(|_| (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64)
+            .sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn blocks_advance_the_counter() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // Draw more than one 16-word block and ensure no 16-word cycle.
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+}

@@ -1,0 +1,44 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only uses `serde` for `#[derive(Serialize, Deserialize)]`
+//! annotations on its data types — nothing is actually serialized yet (the
+//! CSV/table reports are rendered by hand in `mcsched-exp`). This crate
+//! keeps those annotations compiling without network access by providing the
+//! two marker traits with blanket implementations and re-exporting no-op
+//! derives from the vendored `serde_derive`.
+//!
+//! When a real serialization backend is needed, drop the real `serde` into
+//! the workspace `[patch]`/registry and delete this crate: the derive
+//! annotations in the codebase are already the real API.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    #[allow(unused_imports)]
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Point {
+        x: f64,
+        y: f64,
+    }
+
+    fn assert_serialize<T: super::Serialize>() {}
+
+    #[test]
+    fn derives_compile_and_traits_are_blanket() {
+        assert_serialize::<Point>();
+        assert_serialize::<Vec<Point>>();
+        let p = Point { x: 1.0, y: 2.0 };
+        assert_eq!(p, Point { x: 1.0, y: 2.0 });
+    }
+}

@@ -1,0 +1,24 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored [`serde`]
+//! stand-in.
+//!
+//! The real `serde_derive` generates trait implementations; the vendored
+//! `serde` crate instead provides blanket implementations of its marker
+//! traits, so these derives only need to accept (and discard) the input.
+//! `#[serde(...)]` attributes are registered so existing annotations keep
+//! compiling, but they are ignored.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing (the vendored
+/// `serde::Serialize` trait is blanket-implemented).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing (the vendored
+/// `serde::Deserialize` trait is blanket-implemented).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
