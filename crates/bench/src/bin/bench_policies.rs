@@ -1,0 +1,197 @@
+//! Times the full concurrent-scheduling pipeline (constraint → allocation →
+//! mapping → simulated execution) once per policy registered in the
+//! [`PolicyRegistry`], and writes the measurements as machine-readable JSON.
+//!
+//! Constraint policies are swept against the default SCRAP-MAX/ready-tasks
+//! pipeline; allocation and mapping policies against the default equal-share
+//! constraint. Custom policies registered on the built-in registry would be
+//! picked up automatically — the sweep iterates the registry's names instead
+//! of a hard-coded list.
+//!
+//! ```sh
+//! cargo run --release -p mcsched-bench --bin bench_policies -- \
+//!     --iterations 10 --apps 8 --out BENCH_policies.json
+//! ```
+
+use mcsched_core::{ConcurrentScheduler, PolicyRegistry, SchedError, Workload};
+use mcsched_platform::{grid5000, Platform};
+use mcsched_ptg::gen::PtgClass;
+use mcsched_ptg::Ptg;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+struct Options {
+    iterations: usize,
+    apps: usize,
+    seed: u64,
+    out: String,
+}
+
+impl Options {
+    fn from_env() -> Self {
+        let mut opts = Options {
+            iterations: 5,
+            apps: 6,
+            seed: 0x5EED,
+            out: "BENCH_policies.json".to_string(),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--iterations" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        opts.iterations = v;
+                    }
+                }
+                "--apps" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        opts.apps = v;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        opts.seed = v;
+                    }
+                }
+                "--out" => {
+                    if let Some(v) = it.next() {
+                        opts.out = v;
+                    }
+                }
+                other => eprintln!("warning: ignoring unknown argument `{other}`"),
+            }
+        }
+        opts.iterations = opts.iterations.max(1);
+        opts.apps = opts.apps.max(1);
+        opts
+    }
+}
+
+struct Measurement {
+    family: &'static str,
+    policy: String,
+    mean_ms: f64,
+    min_ms: f64,
+    max_ms: f64,
+}
+
+/// Times the full pipeline (context construction through simulation) over
+/// the workload, returning (mean, min, max) in milliseconds. The workload is
+/// borrowed via `workload_context`, so no PTG copies land in the timed
+/// region; a fresh context per iteration keeps the memoized β/allocation
+/// caches from short-circuiting the very work being measured.
+fn time_pipeline(
+    scheduler: &ConcurrentScheduler,
+    platform: &Platform,
+    workload: &Workload,
+    iterations: usize,
+) -> Result<(f64, f64, f64), SchedError> {
+    // One warm-up run outside the measurement.
+    scheduler.schedule_in(&scheduler.workload_context(platform, workload))?;
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    for _ in 0..iterations {
+        let start = Instant::now();
+        let context = scheduler.workload_context(platform, workload);
+        scheduler.schedule_in(&context)?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        total += ms;
+        min = min.min(ms);
+        max = max.max(ms);
+    }
+    Ok((total / iterations as f64, min, max))
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let registry = PolicyRegistry::builtin();
+    let platform = grid5000::lille();
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let apps: Vec<Ptg> = (0..opts.apps)
+        .map(|i| PtgClass::Random.sample(&mut rng, format!("bench-{i}")))
+        .collect();
+    let workload = Workload::batch(apps).with_label("bench_policies");
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let mut measure =
+        |family: &'static str, policy: &str, scheduler: Result<ConcurrentScheduler, SchedError>| {
+            let scheduler = scheduler.expect("registry names resolve");
+            match time_pipeline(&scheduler, &platform, &workload, opts.iterations) {
+                Ok((mean_ms, min_ms, max_ms)) => {
+                    eprintln!("{family:>10} {policy:<20} mean {mean_ms:8.2} ms");
+                    measurements.push(Measurement {
+                        family,
+                        policy: policy.to_string(),
+                        mean_ms,
+                        min_ms,
+                        max_ms,
+                    });
+                }
+                Err(e) => eprintln!("{family:>10} {policy:<20} failed: {e}"),
+            }
+        };
+
+    for name in registry.constraint_names() {
+        measure(
+            "constraint",
+            &name,
+            ConcurrentScheduler::builder()
+                .constraint(name.clone())
+                .build(),
+        );
+    }
+    for name in registry.allocation_names() {
+        measure(
+            "allocation",
+            &name,
+            ConcurrentScheduler::builder()
+                .allocation(name.clone())
+                .build(),
+        );
+    }
+    for name in registry.mapping_names() {
+        measure(
+            "mapping",
+            &name,
+            ConcurrentScheduler::builder().mapping(name.clone()).build(),
+        );
+    }
+
+    // Machine-readable output. Hand-rolled JSON: the offline workspace has
+    // no serde_json, and the shape is flat enough not to need it.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"iterations\": {},\n", opts.iterations));
+    json.push_str(&format!("  \"apps\": {},\n", opts.apps));
+    json.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    json.push_str(&format!(
+        "  \"platform\": \"{}\",\n",
+        json_escape(platform.name())
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"family\": \"{}\", \"policy\": \"{}\", \"mean_ms\": {:.4}, \"min_ms\": {:.4}, \"max_ms\": {:.4}}}{}\n",
+            m.family,
+            json_escape(&m.policy),
+            m.mean_ms,
+            m.min_ms,
+            m.max_ms,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    match std::fs::write(&opts.out, &json) {
+        Ok(()) => println!("wrote {} measurements to {}", measurements.len(), opts.out),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", opts.out);
+            std::process::exit(1);
+        }
+    }
+}

@@ -20,6 +20,12 @@ use mcsched_ptg::{Ptg, TaskId};
 use serde::{Deserialize, Serialize};
 
 /// Which allocation procedure the scheduler uses.
+///
+/// This enum is the thin serde-able *constructor* for the built-in
+/// allocation policies: [`AllocationProcedure::to_policy`] resolves each
+/// variant to its [`crate::policy::AllocationPolicy`] implementation, and
+/// the [`crate::policy::PolicyRegistry`] resolves the same policies by name
+/// (`"scrap-max"`, ...).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AllocationProcedure {
     /// SCRAP: the resource constraint bounds the *global* average power
@@ -54,6 +60,45 @@ impl AllocationProcedure {
             AllocationProcedure::Cpa => cpa_allocate(reference, ptg),
             AllocationProcedure::OneEach => RefAllocation::one_per_task(ptg.num_tasks()),
         }
+    }
+
+    /// All built-in procedures, in the order of this enum's variants.
+    #[must_use]
+    pub fn all() -> [AllocationProcedure; 4] {
+        [
+            AllocationProcedure::Scrap,
+            AllocationProcedure::ScrapMax,
+            AllocationProcedure::Cpa,
+            AllocationProcedure::OneEach,
+        ]
+    }
+
+    /// The normalized (lowercase) name aliases of this procedure. This is
+    /// the single source of the built-in allocation names: both
+    /// [`AllocationProcedure::from_name`] and the
+    /// [`crate::policy::PolicyRegistry::builtin`] registration iterate it,
+    /// so the two can never drift apart.
+    #[must_use]
+    pub fn aliases(&self) -> &'static [&'static str] {
+        match self {
+            AllocationProcedure::Scrap => &["scrap"],
+            AllocationProcedure::ScrapMax => &["scrap-max", "scrapmax"],
+            AllocationProcedure::Cpa => &["cpa"],
+            AllocationProcedure::OneEach => &["one-each", "1-proc"],
+        }
+    }
+
+    /// Parses a procedure from its registry name (`scrap`, `scrap-max`,
+    /// `cpa`, `one-each`; case-insensitive, label aliases accepted). Returns
+    /// `None` for names outside the built-in family — custom allocation
+    /// policies are dynamic and go through the
+    /// [`crate::policy::PolicyRegistry`] and the scheduler builder instead.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        let normalized = name.trim().to_ascii_lowercase();
+        Self::all()
+            .into_iter()
+            .find(|p| p.aliases().contains(&normalized.as_str()))
     }
 }
 

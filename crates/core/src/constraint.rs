@@ -83,6 +83,13 @@ impl Characteristic {
 }
 
 /// A strategy for computing the per-PTG resource constraints.
+///
+/// This enum is the thin serde-able *constructor* for the paper's built-in
+/// policies: [`ConstraintStrategy::to_policy`] resolves each variant to its
+/// concrete [`crate::policy::ConstraintPolicy`] implementation, and the
+/// [`crate::policy::PolicyRegistry`] resolves the same policies by name
+/// (`"es"`, `"wps-work@0.7"`, ...). Custom policies beyond this family are
+/// registered on the registry and driven through the identical pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ConstraintStrategy {
     /// `S`: every application may use the whole platform (β = 1).
@@ -150,44 +157,13 @@ impl ConstraintStrategy {
         }
     }
 
-    /// Computes the per-PTG resource constraints for a set of applications.
+    /// Computes the per-PTG resource constraints for a set of applications
+    /// by resolving to the corresponding [`crate::policy::ConstraintPolicy`].
     ///
     /// Every returned β lies in `(0, 1]`; degenerate inputs (zero total
     /// contribution) fall back to the equal share.
     pub fn betas(&self, ptgs: &[Ptg], reference: &ReferencePlatform) -> Vec<f64> {
-        let n = ptgs.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let equal = 1.0 / n as f64;
-        match self {
-            ConstraintStrategy::Selfish => vec![1.0; n],
-            ConstraintStrategy::EqualShare => vec![equal; n],
-            ConstraintStrategy::Proportional(c) => {
-                Self::proportional(ptgs, reference, *c, 0.0, equal)
-            }
-            ConstraintStrategy::Weighted(c, mu) => {
-                Self::proportional(ptgs, reference, *c, mu.clamp(0.0, 1.0), equal)
-            }
-        }
-    }
-
-    fn proportional(
-        ptgs: &[Ptg],
-        reference: &ReferencePlatform,
-        c: Characteristic,
-        mu: f64,
-        equal: f64,
-    ) -> Vec<f64> {
-        let gammas: Vec<f64> = ptgs.iter().map(|p| c.evaluate(p, reference)).collect();
-        let total: f64 = gammas.iter().sum();
-        gammas
-            .iter()
-            .map(|&g| {
-                let proportional = if total > 0.0 { g / total } else { equal };
-                (mu * equal + (1.0 - mu) * proportional).clamp(f64::MIN_POSITIVE, 1.0)
-            })
-            .collect()
+        self.to_policy().betas(ptgs, reference)
     }
 }
 

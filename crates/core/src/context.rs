@@ -24,11 +24,14 @@
 //! shared by reference across the fan-out threads of a campaign.
 
 use crate::allocation::{AllocationProcedure, RefAllocation, ReferencePlatform};
-use crate::constraint::{Characteristic, ConstraintStrategy};
-use crate::mapping::{map_concurrent_with, MappingConfig, Schedule};
+use crate::constraint::ConstraintStrategy;
+use crate::error::SchedError;
+use crate::mapping::{MappingConfig, Schedule};
+use crate::policy::{AllocationPolicy, ConstraintPolicy, MappingPolicy, MappingRequest};
+use crate::workload::Workload;
 use mcsched_platform::Platform;
 use mcsched_ptg::Ptg;
-use mcsched_simx::{Engine, SimError, SimOutcome, SimWorkload, SiteNetwork};
+use mcsched_simx::{Engine, SimOutcome, SimWorkload, SiteNetwork};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,57 +39,22 @@ use std::sync::Arc;
 
 use crate::scheduler::SchedulerConfig;
 
-/// Hashable identity of a [`ConstraintStrategy`] (the µ parameter is hashed
-/// by its bit pattern; strategies are never constructed with NaN µ).
-#[derive(Debug, Clone, Copy)]
-struct StrategyKey(ConstraintStrategy);
-
-impl PartialEq for StrategyKey {
-    fn eq(&self, other: &Self) -> bool {
-        use ConstraintStrategy::*;
-        match (self.0, other.0) {
-            (Selfish, Selfish) | (EqualShare, EqualShare) => true,
-            (Proportional(a), Proportional(b)) => a == b,
-            (Weighted(a, x), Weighted(b, y)) => a == b && x.to_bits() == y.to_bits(),
-            _ => false,
-        }
-    }
-}
-
-impl Eq for StrategyKey {}
-
-impl std::hash::Hash for StrategyKey {
-    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        std::mem::discriminant(&self.0).hash(state);
-        match self.0 {
-            ConstraintStrategy::Proportional(c) => hash_characteristic(c, state),
-            ConstraintStrategy::Weighted(c, mu) => {
-                hash_characteristic(c, state);
-                mu.to_bits().hash(state);
-            }
-            ConstraintStrategy::Selfish | ConstraintStrategy::EqualShare => {}
-        }
-    }
-}
-
-fn hash_characteristic<H: std::hash::Hasher>(c: Characteristic, state: &mut H) {
-    use std::hash::Hash;
-    c.hash(state);
-}
-
-/// Per-strategy β cache.
-type BetaCache = HashMap<StrategyKey, Arc<Vec<f64>>>;
-/// Per-(strategy, procedure) allocation cache.
-type AllocationCache = HashMap<(StrategyKey, AllocationProcedure), Arc<Vec<RefAllocation>>>;
+/// Per-policy β cache, keyed by [`ConstraintPolicy::cache_key`].
+type BetaCache = HashMap<String, Arc<Vec<f64>>>;
+/// Per-(constraint, allocation) cache, keyed by the policies' cache keys.
+type AllocationCache = HashMap<(String, String), Arc<Vec<RefAllocation>>>;
 
 /// Memoized evaluation state for one scenario: a platform, the set of PTGs
-/// submitted together, and the base scheduler configuration shared by every
-/// strategy compared on that scenario.
+/// submitted together (with their release times), and the base policies
+/// shared by every strategy compared on that scenario.
 #[derive(Debug)]
 pub struct ScheduleContext<'a> {
     platform: &'a Platform,
     ptgs: &'a [Ptg],
+    release_times: Vec<f64>,
     base: SchedulerConfig,
+    base_allocation: Arc<dyn AllocationPolicy>,
+    base_mapping: Arc<dyn MappingPolicy>,
     reference: ReferencePlatform,
     engine: Engine<'a>,
     betas: Mutex<BetaCache>,
@@ -109,6 +77,25 @@ impl<'a> ScheduleContext<'a> {
     /// procedure and mapping options used by the dedicated baselines and by
     /// every strategy evaluated through the context).
     pub fn with_base(platform: &'a Platform, ptgs: &'a [Ptg], base: SchedulerConfig) -> Self {
+        Self::with_policies(
+            platform,
+            ptgs,
+            base,
+            base.allocation.to_policy(),
+            base.mapping.to_policy(),
+        )
+    }
+
+    /// Creates a context whose base allocation and mapping are arbitrary
+    /// policies (possibly outside the enum family). The `base` configuration
+    /// is kept as a serializable echo of the enum-expressible part.
+    pub fn with_policies(
+        platform: &'a Platform,
+        ptgs: &'a [Ptg],
+        base: SchedulerConfig,
+        base_allocation: Arc<dyn AllocationPolicy>,
+        base_mapping: Arc<dyn MappingPolicy>,
+    ) -> Self {
         Self {
             reference: ReferencePlatform::new(platform),
             engine: Engine::new(platform),
@@ -117,10 +104,33 @@ impl<'a> ScheduleContext<'a> {
             dedicated: (0..ptgs.len()).map(|_| Mutex::new(None)).collect(),
             dedicated_sims: AtomicUsize::new(0),
             concurrent_sims: AtomicUsize::new(0),
+            release_times: vec![0.0; ptgs.len()],
             platform,
             ptgs,
             base,
+            base_allocation,
+            base_mapping,
         }
+    }
+
+    /// Creates a context for a [`Workload`]: the PTGs are borrowed from the
+    /// workload and its release times become the context's default release
+    /// times (used by [`crate::scheduler::ConcurrentScheduler::schedule_in`]).
+    pub fn for_workload(
+        platform: &'a Platform,
+        workload: &'a Workload,
+        base: SchedulerConfig,
+    ) -> Self {
+        let mut ctx = Self::with_base(platform, workload.ptgs(), base);
+        ctx.release_times = workload.release_times().to_vec();
+        ctx
+    }
+
+    /// Overrides the context's default release times (used by scheduler
+    /// entry points that pair custom base policies with a workload).
+    pub(crate) fn set_release_times(&mut self, release_times: Vec<f64>) {
+        debug_assert_eq!(release_times.len(), self.ptgs.len());
+        self.release_times = release_times;
     }
 
     /// The scenario's platform.
@@ -133,9 +143,28 @@ impl<'a> ScheduleContext<'a> {
         self.ptgs
     }
 
-    /// The base scheduler configuration of the scenario.
+    /// The scenario's default release times (all zero unless the context was
+    /// built from a [`Workload`] with timed releases).
+    pub fn release_times(&self) -> &[f64] {
+        &self.release_times
+    }
+
+    /// The base scheduler configuration of the scenario (the serializable
+    /// echo; the operative base policies are
+    /// [`ScheduleContext::base_allocation`] and
+    /// [`ScheduleContext::base_mapping`]).
     pub fn base(&self) -> &SchedulerConfig {
         &self.base
+    }
+
+    /// The allocation policy used by the dedicated baselines.
+    pub fn base_allocation(&self) -> &Arc<dyn AllocationPolicy> {
+        &self.base_allocation
+    }
+
+    /// The mapping policy used by the dedicated baselines.
+    pub fn base_mapping(&self) -> &Arc<dyn MappingPolicy> {
+        &self.base_mapping
     }
 
     /// The memoized homogeneous reference view of the platform.
@@ -153,45 +182,88 @@ impl<'a> ScheduleContext<'a> {
         &self.engine
     }
 
-    /// β constraints of every application under `strategy`, memoized.
-    pub fn betas(&self, strategy: ConstraintStrategy) -> Arc<Vec<f64>> {
+    /// β constraints of every application under `policy`, memoized by the
+    /// policy's [`ConstraintPolicy::cache_key`].
+    pub fn betas_for(&self, policy: &dyn ConstraintPolicy) -> Arc<Vec<f64>> {
         let mut cache = self.betas.lock();
         Arc::clone(
             cache
-                .entry(StrategyKey(strategy))
-                .or_insert_with(|| Arc::new(strategy.betas(self.ptgs, &self.reference))),
+                .entry(policy.cache_key())
+                .or_insert_with(|| Arc::new(policy.betas(self.ptgs, &self.reference))),
         )
     }
 
-    /// Constrained allocations of every application under `(strategy,
-    /// procedure)`, memoized.
-    pub fn allocations(
+    /// Constrained allocations of every application under the
+    /// `(constraint, allocation)` policy pair, memoized by their cache keys.
+    pub fn allocations_for(
         &self,
-        strategy: ConstraintStrategy,
-        procedure: AllocationProcedure,
+        constraint: &dyn ConstraintPolicy,
+        allocation: &dyn AllocationPolicy,
     ) -> Arc<Vec<RefAllocation>> {
-        let betas = self.betas(strategy);
+        let betas = self.betas_for(constraint);
         let mut cache = self.allocations.lock();
         Arc::clone(
             cache
-                .entry((StrategyKey(strategy), procedure))
+                .entry((constraint.cache_key(), allocation.cache_key()))
                 .or_insert_with(|| {
                     Arc::new(
                         self.ptgs
                             .iter()
                             .zip(betas.iter())
-                            .map(|(ptg, &beta)| procedure.allocate(&self.reference, ptg, beta))
+                            .map(|(ptg, &beta)| allocation.allocate(&self.reference, ptg, beta))
                             .collect(),
                     )
                 }),
         )
     }
 
+    /// β constraints under a built-in strategy (enum convenience over
+    /// [`ScheduleContext::betas_for`]).
+    pub fn betas(&self, strategy: ConstraintStrategy) -> Arc<Vec<f64>> {
+        self.betas_for(strategy.to_policy().as_ref())
+    }
+
+    /// Constrained allocations under a built-in `(strategy, procedure)`
+    /// pair (enum convenience over [`ScheduleContext::allocations_for`]).
+    pub fn allocations(
+        &self,
+        strategy: ConstraintStrategy,
+        procedure: AllocationProcedure,
+    ) -> Arc<Vec<RefAllocation>> {
+        self.allocations_for(
+            strategy.to_policy().as_ref(),
+            procedure.to_policy().as_ref(),
+        )
+    }
+
     /// Executes a concurrent workload on the scenario's engine, counting the
     /// simulation.
-    pub fn execute(&self, workload: &SimWorkload) -> Result<SimOutcome, SimError> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation validation errors (wrapped as
+    /// [`SchedError::Sim`], indicating a scheduler bug).
+    pub fn execute(&self, workload: &SimWorkload) -> Result<SimOutcome, SchedError> {
         self.concurrent_sims.fetch_add(1, Ordering::Relaxed);
-        self.engine.execute(workload)
+        self.engine.execute(workload).map_err(SchedError::from)
+    }
+
+    /// Maps already-allocated applications onto the platform through an
+    /// arbitrary mapping policy, reusing the context's cached views.
+    pub fn map_with(
+        &self,
+        mapping: &dyn MappingPolicy,
+        allocations: &[RefAllocation],
+        release_times: &[f64],
+    ) -> Schedule {
+        mapping.map(&MappingRequest {
+            reference: &self.reference,
+            network: self.engine.network(),
+            platform: self.platform,
+            ptgs: self.ptgs,
+            allocations,
+            release_times,
+        })
     }
 
     /// Maps already-allocated applications onto the platform using the
@@ -203,15 +275,7 @@ impl<'a> ScheduleContext<'a> {
         allocations: &[RefAllocation],
         release_times: &[f64],
     ) -> Schedule {
-        map_concurrent_with(
-            &self.reference,
-            self.engine.network(),
-            self.platform,
-            self.ptgs,
-            allocations,
-            release_times,
-            mapping,
-        )
+        self.map_with(mapping.to_policy().as_ref(), allocations, release_times)
     }
 
     /// Dedicated-platform makespan of application `app` (`M_own`): the PTG
@@ -226,7 +290,7 @@ impl<'a> ScheduleContext<'a> {
     /// # Panics
     ///
     /// Panics if `app` is out of range for the scenario's applications.
-    pub fn dedicated_makespan(&self, app: usize) -> Result<f64, SimError> {
+    pub fn dedicated_makespan(&self, app: usize) -> Result<f64, SchedError> {
         assert!(app < self.ptgs.len(), "application index out of range");
         // The simulation runs under the slot's own lock: two threads asking
         // for the same application serialize (exactly-once guarantee), while
@@ -245,7 +309,7 @@ impl<'a> ScheduleContext<'a> {
     /// # Errors
     ///
     /// Propagates simulation validation errors.
-    pub fn dedicated_makespans(&self) -> Result<Vec<f64>, SimError> {
+    pub fn dedicated_makespans(&self) -> Result<Vec<f64>, SchedError> {
         (0..self.ptgs.len())
             .map(|i| self.dedicated_makespan(i))
             .collect()
@@ -263,19 +327,19 @@ impl<'a> ScheduleContext<'a> {
     }
 
     /// Runs the full dedicated pipeline for one application: β = 1
-    /// allocation, single-application mapping, simulation.
-    fn simulate_dedicated(&self, app: usize) -> Result<f64, SimError> {
+    /// allocation, single-application mapping, simulation — all through the
+    /// context's base policies.
+    fn simulate_dedicated(&self, app: usize) -> Result<f64, SchedError> {
         let ptg = &self.ptgs[app];
-        let alloc = self.base.allocation.allocate(&self.reference, ptg, 1.0);
-        let schedule = map_concurrent_with(
-            &self.reference,
-            self.engine.network(),
-            self.platform,
-            std::slice::from_ref(ptg),
-            std::slice::from_ref(&alloc),
-            &[0.0],
-            &self.base.mapping,
-        );
+        let alloc = self.base_allocation.allocate(&self.reference, ptg, 1.0);
+        let schedule = self.base_mapping.map(&MappingRequest {
+            reference: &self.reference,
+            network: self.engine.network(),
+            platform: self.platform,
+            ptgs: std::slice::from_ref(ptg),
+            allocations: std::slice::from_ref(&alloc),
+            release_times: &[0.0],
+        });
         self.dedicated_sims.fetch_add(1, Ordering::Relaxed);
         let outcome = self.engine.execute(&schedule.workload)?;
         Ok(outcome.makespan)
@@ -285,6 +349,7 @@ impl<'a> ScheduleContext<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::constraint::Characteristic;
     use crate::scheduler::ConcurrentScheduler;
     use mcsched_platform::grid5000;
     use mcsched_ptg::gen::{random::RandomPtgConfig, random_ptg};

@@ -1,0 +1,116 @@
+//! The scheduler's typed error surface.
+//!
+//! Every fallible entry point of this crate returns [`SchedError`], which
+//! separates *user-facing* failures (an unknown policy name, an inconsistent
+//! workload) from *internal* simulation validation errors (a scheduler bug
+//! surfacing as an invalid workload, wrapped as [`SchedError::Sim`]).
+
+use mcsched_simx::SimError;
+
+/// Which policy family a registry lookup was addressed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// β-determination (resource constraint) policies.
+    Constraint,
+    /// Reference-processor allocation policies.
+    Allocation,
+    /// Concurrent mapping policies.
+    Mapping,
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PolicyKind::Constraint => "constraint",
+            PolicyKind::Allocation => "allocation",
+            PolicyKind::Mapping => "mapping",
+        })
+    }
+}
+
+/// Errors produced by the scheduling pipeline and its configuration surface.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// The simulation engine rejected the generated workload. This indicates
+    /// a scheduler bug rather than a user error.
+    Sim(SimError),
+    /// A policy name was not found in the [`crate::policy::PolicyRegistry`]
+    /// used to resolve it.
+    UnknownPolicy {
+        /// The policy family that was searched.
+        kind: PolicyKind,
+        /// The name that failed to resolve.
+        name: String,
+        /// The names registered for that family, for diagnostics.
+        known: Vec<String>,
+    },
+    /// A configuration value is inconsistent (mismatched lengths, invalid
+    /// parameters, ...). The payload is a human-readable explanation.
+    InvalidConfig(String),
+    /// A workload with no applications was submitted.
+    EmptyWorkload,
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::Sim(e) => write!(f, "simulation rejected the schedule: {e}"),
+            SchedError::UnknownPolicy { kind, name, known } => {
+                write!(
+                    f,
+                    "unknown {kind} policy `{name}` (registered: {})",
+                    known.join(", ")
+                )
+            }
+            SchedError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
+            SchedError::EmptyWorkload => write!(f, "the submitted workload has no applications"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for SchedError {
+    fn from(e: SimError) -> Self {
+        SchedError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_offending_name_and_known_policies() {
+        let e = SchedError::UnknownPolicy {
+            kind: PolicyKind::Allocation,
+            name: "scrappy".to_string(),
+            known: vec!["scrap".to_string(), "scrap-max".to_string()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("allocation"));
+        assert!(msg.contains("`scrappy`"));
+        assert!(msg.contains("scrap-max"));
+    }
+
+    #[test]
+    fn sim_errors_convert_and_expose_a_source() {
+        let e: SchedError = SimError::DependencyCycle.into();
+        assert_eq!(e, SchedError::Sim(SimError::DependencyCycle));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn kinds_render_lowercase_family_names() {
+        assert_eq!(PolicyKind::Constraint.to_string(), "constraint");
+        assert_eq!(PolicyKind::Mapping.to_string(), "mapping");
+    }
+}

@@ -23,6 +23,16 @@
 //! views, the per-strategy β/allocation results and the dedicated-platform
 //! baselines of one scenario so that comparing many strategies never repeats
 //! a simulation.
+//!
+//! Each of the three steps is a pluggable, object-safe [`policy`] trait
+//! ([`policy::ConstraintPolicy`], [`policy::AllocationPolicy`],
+//! [`policy::MappingPolicy`]); the paper's strategies are concrete policy
+//! types resolvable by name through a [`policy::PolicyRegistry`], and
+//! user-defined policies registered there run through the identical
+//! pipeline. Work is submitted as a [`workload::Workload`] (batch or timed
+//! releases), schedulers are assembled with a
+//! [`scheduler::SchedulerBuilder`], and every fallible entry point returns a
+//! typed [`error::SchedError`].
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -32,13 +42,23 @@ pub mod analysis;
 pub mod baseline;
 pub mod constraint;
 pub mod context;
+pub mod error;
 pub mod mapping;
 pub mod metrics;
+pub mod policy;
 pub mod scheduler;
+pub mod workload;
 
 pub use allocation::{AllocationProcedure, RefAllocation, ReferencePlatform};
 pub use constraint::{Characteristic, ConstraintStrategy};
 pub use context::ScheduleContext;
+pub use error::{PolicyKind, SchedError};
 pub use mapping::{MappingConfig, OrderingMode, Schedule};
 pub use metrics::{average_slowdown, slowdown, unfairness};
-pub use scheduler::{ConcurrentRun, ConcurrentScheduler, EvaluatedRun, SchedulerConfig};
+pub use policy::{
+    AllocationPolicy, ConstraintPolicy, MappingPolicy, MappingRequest, PolicyRegistry,
+};
+pub use scheduler::{
+    ConcurrentRun, ConcurrentScheduler, EvaluatedRun, SchedulerBuilder, SchedulerConfig,
+};
+pub use workload::Workload;

@@ -54,6 +54,7 @@ pub fn relative_makespans(makespans: &[f64]) -> Vec<f64> {
 
 /// Aggregated fairness view of one concurrent run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct FairnessReport {
     /// Per-application slowdowns.
     pub slowdowns: Vec<f64>,
@@ -69,6 +70,7 @@ pub struct FairnessReport {
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
+#[must_use]
 pub fn fairness_report(m_own: &[f64], m_multi: &[f64]) -> FairnessReport {
     assert_eq!(m_own.len(), m_multi.len(), "one m_own per m_multi");
     let slowdowns: Vec<f64> = m_own
@@ -183,6 +185,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "one m_own per m_multi")]
     fn fairness_report_length_mismatch_panics() {
-        fairness_report(&[1.0], &[1.0, 2.0]);
+        let _ = fairness_report(&[1.0], &[1.0, 2.0]);
     }
 }

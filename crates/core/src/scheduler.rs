@@ -1,16 +1,44 @@
 //! The end-to-end concurrent scheduler driving the whole pipeline.
+//!
+//! A [`ConcurrentScheduler`] is a resolved triple of policies — one
+//! [`ConstraintPolicy`], one [`AllocationPolicy`], one [`MappingPolicy`] —
+//! assembled either from the serde-able [`SchedulerConfig`] enums or through
+//! the [`SchedulerBuilder`], which also resolves policies *by name* from a
+//! [`PolicyRegistry`]:
+//!
+//! ```
+//! use mcsched_core::scheduler::ConcurrentScheduler;
+//!
+//! let scheduler = ConcurrentScheduler::builder()
+//!     .constraint("wps-work@0.7")
+//!     .allocation("scrap-max")
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(scheduler.constraint_policy().name(), "WPS-work");
+//! ```
+//!
+//! Work is submitted as a [`Workload`] (or anything convertible into one,
+//! such as a `Vec<Ptg>`): `schedule` runs the pipeline and the simulation,
+//! `evaluate` additionally produces the dedicated baselines and fairness
+//! metrics of the paper's evaluation.
 
 use crate::allocation::{AllocationProcedure, RefAllocation};
 use crate::constraint::ConstraintStrategy;
 use crate::context::ScheduleContext;
-use crate::mapping::{MappingConfig, Schedule};
+use crate::error::SchedError;
+use crate::mapping::{MappingConfig, OrderingMode, Schedule};
 use crate::metrics::{fairness_report, FairnessReport};
+use crate::policy::{AllocationPolicy, ConstraintPolicy, MappingPolicy, PolicyRegistry};
+use crate::workload::Workload;
 use mcsched_platform::Platform;
 use mcsched_ptg::Ptg;
-use mcsched_simx::{ExecutionTrace, SimError};
+use mcsched_simx::ExecutionTrace;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
-/// Configuration of the concurrent scheduler.
+/// Configuration of the concurrent scheduler, restricted to the serde-able
+/// built-in policy family. Arbitrary (possibly user-registered) policies are
+/// assembled with [`SchedulerBuilder`] instead.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SchedulerConfig {
     /// Strategy computing the per-application resource constraints.
@@ -33,6 +61,7 @@ impl Default for SchedulerConfig {
 
 /// Per-application outcome of a concurrent run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct AppReport {
     /// Application (PTG) name.
     pub name: String,
@@ -48,6 +77,7 @@ pub struct AppReport {
 
 /// Result of scheduling and simulating a set of PTGs together.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct ConcurrentRun {
     /// The schedule handed to the simulation engine.
     pub schedule: Schedule,
@@ -61,6 +91,7 @@ pub struct ConcurrentRun {
 
 impl ConcurrentRun {
     /// Concurrent makespans of all applications (`M_multi`).
+    #[must_use]
     pub fn app_makespans(&self) -> Vec<f64> {
         self.apps.iter().map(|a| a.makespan).collect()
     }
@@ -69,6 +100,7 @@ impl ConcurrentRun {
 /// A complete evaluation of one scenario: the concurrent run plus the
 /// dedicated-platform makespans and fairness metrics derived from them.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct EvaluatedRun {
     /// The concurrent run.
     pub run: ConcurrentRun,
@@ -80,38 +112,109 @@ pub struct EvaluatedRun {
 
 /// Two-step concurrent scheduler: constraint determination, constrained
 /// allocation, concurrent mapping, simulated execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ConcurrentScheduler {
     config: SchedulerConfig,
+    constraint: Arc<dyn ConstraintPolicy>,
+    allocation: Arc<dyn AllocationPolicy>,
+    mapping: Arc<dyn MappingPolicy>,
+}
+
+impl Default for ConcurrentScheduler {
+    fn default() -> Self {
+        Self::new(SchedulerConfig::default())
+    }
 }
 
 impl ConcurrentScheduler {
-    /// Creates a scheduler with an explicit configuration.
+    /// Creates a scheduler with an explicit enum-based configuration.
     pub fn new(config: SchedulerConfig) -> Self {
-        Self { config }
+        Self {
+            constraint: config.strategy.to_policy(),
+            allocation: config.allocation.to_policy(),
+            mapping: config.mapping.to_policy(),
+            config,
+        }
     }
 
     /// Creates a scheduler using the default pipeline (SCRAP-MAX allocation,
     /// ready-task mapping with packing) and the given constraint strategy.
     pub fn with_strategy(strategy: ConstraintStrategy) -> Self {
+        Self::new(SchedulerConfig {
+            strategy,
+            ..SchedulerConfig::default()
+        })
+    }
+
+    /// Starts assembling a scheduler from (possibly name-resolved) policies.
+    pub fn builder() -> SchedulerBuilder {
+        SchedulerBuilder::new()
+    }
+
+    /// Creates a scheduler directly from resolved policies. The enum-based
+    /// [`ConcurrentScheduler::config`] echo keeps its defaults.
+    pub fn from_policies(
+        constraint: Arc<dyn ConstraintPolicy>,
+        allocation: Arc<dyn AllocationPolicy>,
+        mapping: Arc<dyn MappingPolicy>,
+    ) -> Self {
         Self {
-            config: SchedulerConfig {
-                strategy,
-                ..SchedulerConfig::default()
-            },
+            config: SchedulerConfig::default(),
+            constraint,
+            allocation,
+            mapping,
         }
     }
 
-    /// The scheduler's configuration.
+    /// The scheduler's enum-based configuration echo. For schedulers built
+    /// from custom policies this reflects only the enum-expressible part
+    /// (defaults otherwise); the operative policies are exposed by
+    /// [`ConcurrentScheduler::constraint_policy`] and friends.
     pub fn config(&self) -> &SchedulerConfig {
         &self.config
+    }
+
+    /// The resolved constraint policy.
+    #[must_use]
+    pub fn constraint_policy(&self) -> &Arc<dyn ConstraintPolicy> {
+        &self.constraint
+    }
+
+    /// The resolved allocation policy.
+    #[must_use]
+    pub fn allocation_policy(&self) -> &Arc<dyn AllocationPolicy> {
+        &self.allocation
+    }
+
+    /// The resolved mapping policy.
+    #[must_use]
+    pub fn mapping_policy(&self) -> &Arc<dyn MappingPolicy> {
+        &self.mapping
     }
 
     /// Builds the memoized evaluation context for one scenario. The context
     /// can be shared by several schedulers that differ only in strategy, so
     /// that β vectors, allocations and dedicated baselines are computed once.
     pub fn context<'a>(&self, platform: &'a Platform, ptgs: &'a [Ptg]) -> ScheduleContext<'a> {
-        ScheduleContext::with_base(platform, ptgs, self.config)
+        ScheduleContext::with_policies(
+            platform,
+            ptgs,
+            self.config,
+            Arc::clone(&self.allocation),
+            Arc::clone(&self.mapping),
+        )
+    }
+
+    /// Builds the memoized evaluation context for one workload, carrying the
+    /// workload's release times.
+    pub fn workload_context<'a>(
+        &self,
+        platform: &'a Platform,
+        workload: &'a Workload,
+    ) -> ScheduleContext<'a> {
+        let mut ctx = self.context(platform, workload.ptgs());
+        ctx.set_release_times(workload.release_times().to_vec());
+        ctx
     }
 
     /// Computes the per-application allocations for a set of PTGs without
@@ -122,45 +225,57 @@ impl ConcurrentScheduler {
 
     /// Like [`ConcurrentScheduler::allocate`], but memoized through a shared
     /// [`ScheduleContext`].
-    pub fn allocate_in(&self, context: &ScheduleContext<'_>) -> std::sync::Arc<Vec<RefAllocation>> {
-        context.allocations(self.config.strategy, self.config.allocation)
+    pub fn allocate_in(&self, context: &ScheduleContext<'_>) -> Arc<Vec<RefAllocation>> {
+        context.allocations_for(self.constraint.as_ref(), self.allocation.as_ref())
     }
 
-    /// Schedules the PTGs concurrently (all submitted at time 0) and
-    /// simulates the resulting schedule.
+    /// Schedules a workload (a batch of PTGs, or PTGs with explicit release
+    /// times) and simulates the resulting schedule.
+    ///
+    /// Anything convertible into a [`Workload`] is accepted: a `Vec<Ptg>` or
+    /// `&[Ptg]` is treated as a batch released at time 0.
     ///
     /// # Errors
     ///
-    /// Propagates simulation validation errors (which indicate a scheduler
-    /// bug rather than a user error).
-    pub fn schedule(&self, platform: &Platform, ptgs: &[Ptg]) -> Result<ConcurrentRun, SimError> {
-        self.schedule_in(&self.context(platform, ptgs))
+    /// [`SchedError::EmptyWorkload`] for a workload without applications;
+    /// [`SchedError::Sim`] for simulation validation errors (which indicate
+    /// a scheduler bug rather than a user error).
+    pub fn schedule<W>(&self, platform: &Platform, workload: W) -> Result<ConcurrentRun, SchedError>
+    where
+        W: Into<Workload>,
+    {
+        let workload = workload.into();
+        self.schedule_in(&self.workload_context(platform, &workload))
     }
 
-    /// Schedules the PTGs with explicit per-application submission times
-    /// (the paper's future-work scenario; the evaluation uses all-zero
-    /// release times).
+    /// Schedules the PTGs with explicit per-application submission times.
     ///
     /// # Errors
     ///
-    /// Propagates simulation validation errors.
+    /// See [`ConcurrentScheduler::schedule`]; additionally
+    /// [`SchedError::InvalidConfig`] when the slice lengths differ.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `Workload::released(..)` and call `schedule` instead"
+    )]
     pub fn schedule_released(
         &self,
         platform: &Platform,
         ptgs: &[Ptg],
         release_times: &[f64],
-    ) -> Result<ConcurrentRun, SimError> {
-        self.schedule_released_in(&self.context(platform, ptgs), release_times)
+    ) -> Result<ConcurrentRun, SchedError> {
+        let workload = Workload::released(ptgs.to_vec(), release_times.to_vec())?;
+        self.schedule(platform, workload)
     }
 
-    /// Schedules the context's applications at time 0 through the context's
-    /// caches.
+    /// Schedules the context's applications (at the context's release times)
+    /// through the context's caches.
     ///
     /// # Errors
     ///
-    /// Propagates simulation validation errors.
-    pub fn schedule_in(&self, context: &ScheduleContext<'_>) -> Result<ConcurrentRun, SimError> {
-        self.schedule_released_in(context, &vec![0.0; context.ptgs().len()])
+    /// See [`ConcurrentScheduler::schedule`].
+    pub fn schedule_in(&self, context: &ScheduleContext<'_>) -> Result<ConcurrentRun, SchedError> {
+        self.schedule_released_in(context, context.release_times())
     }
 
     /// Schedules the context's applications with explicit release times.
@@ -169,16 +284,33 @@ impl ConcurrentScheduler {
     ///
     /// # Errors
     ///
-    /// Propagates simulation validation errors.
+    /// See [`ConcurrentScheduler::schedule`].
     pub fn schedule_released_in(
         &self,
         context: &ScheduleContext<'_>,
         release_times: &[f64],
-    ) -> Result<ConcurrentRun, SimError> {
+    ) -> Result<ConcurrentRun, SchedError> {
         let ptgs = context.ptgs();
-        let betas = context.betas(self.config.strategy);
-        let allocations = context.allocations(self.config.strategy, self.config.allocation);
-        let schedule = context.map(&self.config.mapping, &allocations, release_times);
+        if ptgs.is_empty() {
+            return Err(SchedError::EmptyWorkload);
+        }
+        if ptgs.len() != release_times.len() {
+            return Err(SchedError::InvalidConfig(format!(
+                "{} applications but {} release times",
+                ptgs.len(),
+                release_times.len()
+            )));
+        }
+        // Same contract as `Workload::released`, so the context path cannot
+        // smuggle values the workload path rejects.
+        if let Some(bad) = release_times.iter().find(|t| !t.is_finite() || **t < 0.0) {
+            return Err(SchedError::InvalidConfig(format!(
+                "release time {bad} is not a finite non-negative instant"
+            )));
+        }
+        let betas = context.betas_for(self.constraint.as_ref());
+        let allocations = self.allocate_in(context);
+        let schedule = context.map_with(self.mapping.as_ref(), &allocations, release_times);
         let outcome = context.execute(&schedule.workload)?;
 
         let apps = ptgs
@@ -211,21 +343,25 @@ impl ConcurrentScheduler {
     /// # Errors
     ///
     /// Propagates simulation validation errors.
-    pub fn dedicated_makespan(&self, platform: &Platform, ptg: &Ptg) -> Result<f64, SimError> {
+    pub fn dedicated_makespan(&self, platform: &Platform, ptg: &Ptg) -> Result<f64, SchedError> {
         self.context(platform, std::slice::from_ref(ptg))
             .dedicated_makespan(0)
     }
 
-    /// Runs the full evaluation of one scenario: concurrent run, dedicated
+    /// Runs the full evaluation of one workload: concurrent run, dedicated
     /// runs of every application and the derived fairness metrics. Each
     /// application's dedicated baseline is simulated exactly once, through a
     /// fresh [`ScheduleContext`].
     ///
     /// # Errors
     ///
-    /// Propagates simulation validation errors.
-    pub fn evaluate(&self, platform: &Platform, ptgs: &[Ptg]) -> Result<EvaluatedRun, SimError> {
-        self.evaluate_in(&self.context(platform, ptgs))
+    /// See [`ConcurrentScheduler::schedule`].
+    pub fn evaluate<W>(&self, platform: &Platform, workload: W) -> Result<EvaluatedRun, SchedError>
+    where
+        W: Into<Workload>,
+    {
+        let workload = workload.into();
+        self.evaluate_in(&self.workload_context(platform, &workload))
     }
 
     /// Evaluates this scheduler's strategy on a shared context. The
@@ -234,8 +370,8 @@ impl ConcurrentScheduler {
     ///
     /// # Errors
     ///
-    /// Propagates simulation validation errors.
-    pub fn evaluate_in(&self, context: &ScheduleContext<'_>) -> Result<EvaluatedRun, SimError> {
+    /// See [`ConcurrentScheduler::schedule`].
+    pub fn evaluate_in(&self, context: &ScheduleContext<'_>) -> Result<EvaluatedRun, SchedError> {
         let run = self.schedule_in(context)?;
         let dedicated = context.dedicated_makespans()?;
         let fairness = fairness_report(&dedicated, &run.app_makespans());
@@ -247,10 +383,176 @@ impl ConcurrentScheduler {
     }
 }
 
+/// Which way one of the three policies of a [`SchedulerBuilder`] was picked.
+#[derive(Debug)]
+enum Pick<T: ?Sized> {
+    /// Resolve from the builder's registry at `build` time.
+    Named(String),
+    /// Use this instance directly.
+    Instance(Arc<T>),
+}
+
+// Manual impl: `Arc<T>` clones without requiring `T: Clone`, which the
+// derive would demand.
+impl<T: ?Sized> Clone for Pick<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Pick::Named(n) => Pick::Named(n.clone()),
+            Pick::Instance(p) => Pick::Instance(Arc::clone(p)),
+        }
+    }
+}
+
+/// Assembles a [`ConcurrentScheduler`] from policies picked by enum, by
+/// registry name, or as ready-made instances.
+///
+/// Unset decision points fall back to the paper's defaults (equal share,
+/// SCRAP-MAX, ready-task mapping with packing). Name resolution uses
+/// [`PolicyRegistry::builtin`] unless a custom registry is supplied with
+/// [`SchedulerBuilder::registry`] — which is how user-registered policies
+/// enter the pipeline.
+#[derive(Debug, Clone, Default)]
+#[must_use = "a builder does nothing until `build()` is called"]
+pub struct SchedulerBuilder {
+    registry: Option<PolicyRegistry>,
+    constraint: Option<Pick<dyn ConstraintPolicy>>,
+    allocation: Option<Pick<dyn AllocationPolicy>>,
+    mapping: Option<Pick<dyn MappingPolicy>>,
+    config: SchedulerConfig,
+}
+
+impl SchedulerBuilder {
+    /// A builder with every decision point at the paper's default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Uses `registry` for all by-name resolutions (defaults to
+    /// [`PolicyRegistry::builtin`]).
+    pub fn registry(mut self, registry: PolicyRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Picks the constraint policy from a built-in strategy enum.
+    pub fn strategy(mut self, strategy: ConstraintStrategy) -> Self {
+        self.config.strategy = strategy;
+        self.constraint = Some(Pick::Instance(strategy.to_policy()));
+        self
+    }
+
+    /// Picks the constraint policy by registry name (e.g. `"wps-work@0.7"`).
+    pub fn constraint(mut self, name: impl Into<String>) -> Self {
+        self.constraint = Some(Pick::Named(name.into()));
+        self
+    }
+
+    /// Uses a ready-made constraint policy.
+    pub fn constraint_policy(mut self, policy: Arc<dyn ConstraintPolicy>) -> Self {
+        self.constraint = Some(Pick::Instance(policy));
+        self
+    }
+
+    /// Picks the allocation policy from a built-in procedure enum.
+    pub fn allocation_procedure(mut self, procedure: AllocationProcedure) -> Self {
+        self.config.allocation = procedure;
+        self.allocation = Some(Pick::Instance(procedure.to_policy()));
+        self
+    }
+
+    /// Picks the allocation policy by registry name (e.g. `"scrap-max"`).
+    pub fn allocation(mut self, name: impl Into<String>) -> Self {
+        self.allocation = Some(Pick::Named(name.into()));
+        self
+    }
+
+    /// Uses a ready-made allocation policy.
+    pub fn allocation_policy(mut self, policy: Arc<dyn AllocationPolicy>) -> Self {
+        self.allocation = Some(Pick::Instance(policy));
+        self
+    }
+
+    /// Picks the mapping policy by registry name (e.g. `"global"`).
+    pub fn mapping(mut self, name: impl Into<String>) -> Self {
+        self.mapping = Some(Pick::Named(name.into()));
+        self
+    }
+
+    /// Uses a ready-made mapping policy.
+    pub fn mapping_policy(mut self, policy: Arc<dyn MappingPolicy>) -> Self {
+        self.mapping = Some(Pick::Instance(policy));
+        self
+    }
+
+    /// Uses the built-in list mapping with explicit options. Overrides any
+    /// previously picked mapping policy.
+    pub fn mapping_config(mut self, config: MappingConfig) -> Self {
+        self.config.mapping = config;
+        self.mapping = None;
+        self
+    }
+
+    /// Tweaks the candidate ordering of the built-in list mapping.
+    /// Overrides any previously picked mapping policy.
+    pub fn ordering(mut self, ordering: OrderingMode) -> Self {
+        self.config.mapping.ordering = ordering;
+        self.mapping = None;
+        self
+    }
+
+    /// Enables or disables allocation packing in the built-in list mapping.
+    /// Overrides any previously picked mapping policy.
+    pub fn packing(mut self, packing: bool) -> Self {
+        self.config.mapping.packing = packing;
+        self.mapping = None;
+        self
+    }
+
+    /// Enables or disables communication-aware finish-time estimates in the
+    /// built-in list mapping. Overrides any previously picked mapping policy.
+    pub fn comm_aware(mut self, comm_aware: bool) -> Self {
+        self.config.mapping.comm_aware = comm_aware;
+        self.mapping = None;
+        self
+    }
+
+    /// Resolves every decision point and assembles the scheduler.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::UnknownPolicy`] when a by-name pick is not registered;
+    /// [`SchedError::InvalidConfig`] when a name's `@parameter` is rejected.
+    pub fn build(self) -> Result<ConcurrentScheduler, SchedError> {
+        let registry = self.registry.unwrap_or_else(PolicyRegistry::builtin);
+        let constraint = match self.constraint {
+            None => self.config.strategy.to_policy(),
+            Some(Pick::Instance(p)) => p,
+            Some(Pick::Named(name)) => registry.constraint(&name)?,
+        };
+        let allocation = match self.allocation {
+            None => self.config.allocation.to_policy(),
+            Some(Pick::Instance(p)) => p,
+            Some(Pick::Named(name)) => registry.allocation(&name)?,
+        };
+        let mapping = match self.mapping {
+            None => self.config.mapping.to_policy(),
+            Some(Pick::Instance(p)) => p,
+            Some(Pick::Named(name)) => registry.mapping(&name)?,
+        };
+        Ok(ConcurrentScheduler {
+            config: self.config,
+            constraint,
+            allocation,
+            mapping,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::constraint::Characteristic;
+    use crate::policy::ConstraintPolicy;
     use mcsched_platform::grid5000;
     use mcsched_ptg::gen::{random::RandomPtgConfig, random_ptg};
     use rand::SeedableRng;
@@ -346,18 +648,72 @@ mod tests {
     }
 
     #[test]
-    fn release_times_shift_application_makespans() {
+    fn workload_release_times_shift_application_makespans() {
         let platform = grid5000::lille();
         let apps = ptgs(2, 6);
         let scheduler = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare);
         let together = scheduler.schedule(&platform, &apps).unwrap();
         let staggered = scheduler
-            .schedule_released(&platform, &apps, &[0.0, 1000.0])
+            .schedule(
+                &platform,
+                Workload::released(apps.clone(), vec![0.0, 1000.0]).unwrap(),
+            )
             .unwrap();
         // The second application is released after the first one finished, so
         // its makespan should not be worse than in the simultaneous case.
         assert!(staggered.apps[1].makespan <= together.apps[1].makespan * 1.05 + 1e-6);
         assert!(staggered.global_makespan >= 1000.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_schedule_released_matches_workload_path() {
+        let platform = grid5000::lille();
+        let apps = ptgs(2, 6);
+        let scheduler = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare);
+        let via_shim = scheduler
+            .schedule_released(&platform, &apps, &[0.0, 500.0])
+            .unwrap();
+        let via_workload = scheduler
+            .schedule(
+                &platform,
+                Workload::released(apps.clone(), vec![0.0, 500.0]).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(via_shim.global_makespan, via_workload.global_makespan);
+        assert_eq!(via_shim.apps, via_workload.apps);
+    }
+
+    #[test]
+    fn context_path_rejects_invalid_release_times() {
+        let platform = grid5000::lille();
+        let apps = ptgs(2, 6);
+        let scheduler = ConcurrentScheduler::default();
+        let ctx = scheduler.context(&platform, &apps);
+        for bad in [
+            vec![0.0, f64::NAN],
+            vec![-1.0, 0.0],
+            vec![0.0, f64::INFINITY],
+        ] {
+            assert!(matches!(
+                scheduler.schedule_released_in(&ctx, &bad),
+                Err(SchedError::InvalidConfig(_))
+            ));
+        }
+        assert!(matches!(
+            scheduler.schedule_released_in(&ctx, &[0.0]),
+            Err(SchedError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn empty_workloads_are_rejected() {
+        let platform = grid5000::lille();
+        let scheduler = ConcurrentScheduler::default();
+        let err = scheduler
+            .schedule(&platform, Workload::batch(Vec::new()))
+            .unwrap_err();
+        assert_eq!(err, SchedError::EmptyWorkload);
     }
 
     #[test]
@@ -415,5 +771,103 @@ mod tests {
             crate::mapping::OrderingMode::ReadyTasks
         );
         assert!(cfg.mapping.packing);
+    }
+
+    #[test]
+    fn builder_resolves_policies_by_name() {
+        let platform = grid5000::lille();
+        let apps = ptgs(2, 10);
+        let by_name = ConcurrentScheduler::builder()
+            .constraint("es")
+            .allocation("scrap-max")
+            .mapping("ready-tasks")
+            .build()
+            .unwrap();
+        let by_enum = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare);
+        let a = by_name.schedule(&platform, &apps).unwrap();
+        let b = by_enum.schedule(&platform, &apps).unwrap();
+        assert_eq!(a.global_makespan, b.global_makespan);
+        assert_eq!(a.apps, b.apps);
+    }
+
+    #[test]
+    fn builder_rejects_unknown_names() {
+        let err = ConcurrentScheduler::builder()
+            .constraint("nonsense")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchedError::UnknownPolicy { .. }));
+        let err = ConcurrentScheduler::builder()
+            .allocation("scrappy")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchedError::UnknownPolicy { .. }));
+    }
+
+    #[test]
+    fn builder_defaults_match_the_default_scheduler() {
+        let platform = grid5000::nancy();
+        let apps = ptgs(2, 11);
+        let built = ConcurrentScheduler::builder().build().unwrap();
+        let default = ConcurrentScheduler::default();
+        let a = built.evaluate(&platform, &apps).unwrap();
+        let b = default.evaluate(&platform, &apps).unwrap();
+        assert_eq!(a.fairness, b.fairness);
+    }
+
+    #[test]
+    fn builder_mapping_tweaks_override_named_mapping() {
+        let scheduler = ConcurrentScheduler::builder()
+            .mapping("global")
+            .ordering(OrderingMode::ReadyTasks)
+            .packing(false)
+            .build()
+            .unwrap();
+        assert_eq!(scheduler.mapping_policy().name(), "ready-tasks-nopack");
+    }
+
+    #[test]
+    fn custom_policy_runs_through_evaluate_unmodified() {
+        // The acceptance scenario of the redesign: a policy the core crate
+        // has never heard of, registered by name, driven through the full
+        // pipeline (constraint → allocation → mapping → simulation →
+        // fairness metrics) without touching any core dispatch.
+        #[derive(Debug)]
+        struct SquareRootShare;
+        impl ConstraintPolicy for SquareRootShare {
+            fn name(&self) -> String {
+                "sqrt-share".to_string()
+            }
+            fn betas(&self, ptgs: &[Ptg], reference: &ReferencePlatform) -> Vec<f64> {
+                // β proportional to the square root of the work: a gentler
+                // proportional share.
+                let roots: Vec<f64> = ptgs.iter().map(|p| p.total_work().sqrt()).collect();
+                let total: f64 = roots.iter().sum();
+                roots
+                    .iter()
+                    .map(|r| {
+                        let _ = reference;
+                        (r / total).clamp(f64::MIN_POSITIVE, 1.0)
+                    })
+                    .collect()
+            }
+        }
+        use crate::allocation::ReferencePlatform;
+
+        let mut registry = PolicyRegistry::builtin();
+        registry.register_constraint_instance("sqrt-share", Arc::new(SquareRootShare));
+
+        let platform = grid5000::sophia();
+        let apps = ptgs(3, 12);
+        let scheduler = ConcurrentScheduler::builder()
+            .registry(registry)
+            .constraint("sqrt-share")
+            .build()
+            .unwrap();
+        let eval = scheduler.evaluate(&platform, &apps).unwrap();
+        assert_eq!(eval.fairness.slowdowns.len(), 3);
+        assert!(eval.run.global_makespan > 0.0);
+        let betas: Vec<f64> = eval.run.apps.iter().map(|a| a.beta).collect();
+        assert!((betas.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 }

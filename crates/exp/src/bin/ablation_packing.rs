@@ -12,7 +12,7 @@ fn main() {
         } else {
             CampaignConfig::quick(PtgClass::Random)
         };
-        let mut config = opts.configure_campaign(base);
+        let mut config = CliOptions::or_exit(opts.configure_campaign(base));
         config.base.mapping.packing = packing;
         eprintln!(
             "Ablation (packing = {packing}): {} combinations x 4 platforms, PTG counts {:?}",

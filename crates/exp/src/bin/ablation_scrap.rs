@@ -15,7 +15,7 @@ fn main() {
         } else {
             CampaignConfig::quick(PtgClass::Random)
         };
-        let mut config = opts.configure_campaign(base);
+        let mut config = CliOptions::or_exit(opts.configure_campaign(base));
         config.base.allocation = procedure;
         eprintln!(
             "Ablation ({}): {} combinations x 4 platforms, PTG counts {:?}",

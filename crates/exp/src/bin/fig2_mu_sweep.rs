@@ -14,7 +14,7 @@ fn main() {
     } else {
         MuSweepConfig::quick()
     };
-    let config = opts.configure_mu_sweep(base);
+    let config = CliOptions::or_exit(opts.configure_mu_sweep(base));
     eprintln!(
         "Figure 2: WPS-work mu sweep, {} combinations x 4 platforms, PTG counts {:?}, mu {:?}",
         config.combinations, config.ptg_counts, config.mu_values

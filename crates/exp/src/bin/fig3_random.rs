@@ -14,7 +14,7 @@ fn main() {
     } else {
         CampaignConfig::quick(PtgClass::Random)
     };
-    let config = opts.configure_campaign(base);
+    let config = CliOptions::or_exit(opts.configure_campaign(base));
     eprintln!(
         "Figure 3: random PTGs, {} combinations x 4 platforms, PTG counts {:?}, {} strategies",
         config.combinations,

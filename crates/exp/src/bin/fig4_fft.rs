@@ -12,7 +12,7 @@ fn main() {
     } else {
         CampaignConfig::quick(PtgClass::Fft)
     };
-    let config = opts.configure_campaign(base);
+    let config = CliOptions::or_exit(opts.configure_campaign(base));
     eprintln!(
         "Figure 4: FFT PTGs, {} combinations x 4 platforms, PTG counts {:?}, {} strategies",
         config.combinations,

@@ -14,7 +14,7 @@ fn main() {
     } else {
         CampaignConfig::quick(PtgClass::Strassen)
     };
-    let config = opts.configure_campaign(base);
+    let config = CliOptions::or_exit(opts.configure_campaign(base));
     eprintln!(
         "Figure 5: Strassen PTGs, {} combinations x 4 platforms, PTG counts {:?}, {} strategies",
         config.combinations,

@@ -2,9 +2,11 @@
 
 use crate::fanout::run_indexed;
 use crate::scenario::generate_scenarios;
+use mcsched_core::policy::ConstraintPolicy;
 use mcsched_core::{ConstraintStrategy, SchedulerConfig};
 use mcsched_ptg::gen::PtgClass;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Configuration of a strategy-comparison campaign.
 #[derive(Debug, Clone)]
@@ -16,8 +18,11 @@ pub struct CampaignConfig {
     /// Number of random application combinations per data point (25 in the
     /// paper, i.e. 100 runs per point once multiplied by the 4 platforms).
     pub combinations: usize,
-    /// The strategies to compare.
-    pub strategies: Vec<ConstraintStrategy>,
+    /// The constraint policies to compare. Built-in strategies convert with
+    /// [`ConstraintStrategy::to_policy`] (see [`CampaignConfig::policies`]);
+    /// policies registered on a [`mcsched_core::PolicyRegistry`] — including
+    /// user-defined ones — slot in by name.
+    pub strategies: Vec<Arc<dyn ConstraintPolicy>>,
     /// Base scheduler configuration shared by all strategies.
     pub base: SchedulerConfig,
     /// Base random seed.
@@ -27,6 +32,12 @@ pub struct CampaignConfig {
 }
 
 impl CampaignConfig {
+    /// Converts a set of built-in strategy constructors into campaign
+    /// policies.
+    pub fn policies(strategies: &[ConstraintStrategy]) -> Vec<Arc<dyn ConstraintPolicy>> {
+        strategies.iter().map(|s| s.to_policy()).collect()
+    }
+
     /// The paper's full configuration for one application class.
     pub fn paper(class: PtgClass) -> Self {
         let strategies = match class {
@@ -38,7 +49,7 @@ impl CampaignConfig {
             class,
             ptg_counts: vec![2, 4, 6, 8, 10],
             combinations: 25,
-            strategies,
+            strategies: Self::policies(&strategies),
             base: SchedulerConfig::default(),
             seed: 0x5EED,
             threads: 0,
@@ -120,6 +131,30 @@ struct CellAccumulator {
     runs: usize,
 }
 
+/// One report label per policy. Display names are used as-is when unique;
+/// policies sharing a display name (e.g. `wps-work@0.3` next to
+/// `wps-work@0.7`, whose names are both `WPS-work`) fall back to their
+/// parameter-carrying cache key so every row of the result stays
+/// distinguishable and addressable through [`CampaignResult::point`].
+fn strategy_labels(strategies: &[Arc<dyn ConstraintPolicy>]) -> Vec<String> {
+    let names: Vec<String> = strategies.iter().map(|p| p.name()).collect();
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let duplicated = names
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && other == name);
+            if duplicated {
+                strategies[i].cache_key()
+            } else {
+                name.clone()
+            }
+        })
+        .collect()
+}
+
 /// Runs a campaign: for every PTG count, every combination and every
 /// platform, evaluates all strategies and aggregates unfairness and
 /// (relative) makespans.
@@ -133,12 +168,13 @@ struct CellAccumulator {
 pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     // (num_ptgs, strategy index) -> accumulator.
     let mut cells: BTreeMap<(usize, usize), CellAccumulator> = BTreeMap::new();
+    let labels = strategy_labels(&config.strategies);
 
     for &num_ptgs in &config.ptg_counts {
         let scenarios =
             generate_scenarios(config.class, num_ptgs, config.combinations, config.seed);
         let per_scenario = run_indexed(config.threads, scenarios.len(), |i| {
-            scenarios[i].evaluate_all(&config.base, &config.strategies)
+            scenarios[i].evaluate_policies(&config.base, &config.strategies)
         });
 
         for outcomes in per_scenario {
@@ -167,7 +203,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
             let runs = cell.runs.max(1) as f64;
             StrategyPoint {
                 num_ptgs,
-                strategy: config.strategies[si].name(),
+                strategy: labels[si].clone(),
                 unfairness: cell.unfairness / runs,
                 makespan: cell.makespan / runs,
                 relative_makespan: cell.relative / runs,
@@ -190,7 +226,10 @@ mod tests {
         CampaignConfig {
             ptg_counts: vec![2],
             combinations: 1,
-            strategies: vec![ConstraintStrategy::Selfish, ConstraintStrategy::EqualShare],
+            strategies: CampaignConfig::policies(&[
+                ConstraintStrategy::Selfish,
+                ConstraintStrategy::EqualShare,
+            ]),
             threads: 2,
             ..CampaignConfig::paper(PtgClass::Strassen)
         }
@@ -245,6 +284,27 @@ mod tests {
         let quick = CampaignConfig::quick(PtgClass::Strassen);
         assert!(quick.combinations < paper.combinations);
         assert_eq!(quick.strategies.len(), 6);
+    }
+
+    #[test]
+    fn same_named_policies_get_disambiguated_labels() {
+        use mcsched_core::policy::WeightedShare;
+        use mcsched_core::Characteristic;
+        let config = CampaignConfig {
+            strategies: vec![
+                Arc::new(WeightedShare::new(Characteristic::Work, 0.3)),
+                Arc::new(WeightedShare::new(Characteristic::Work, 0.7)),
+            ],
+            ..tiny_config()
+        };
+        let result = run_campaign(&config);
+        assert_eq!(
+            result.strategies(),
+            vec!["WPS-work@0.3".to_string(), "WPS-work@0.7".to_string()]
+        );
+        let a = result.point(2, "WPS-work@0.3").unwrap();
+        let b = result.point(2, "WPS-work@0.7").unwrap();
+        assert!(a.makespan > 0.0 && b.makespan > 0.0);
     }
 
     #[test]

@@ -7,12 +7,18 @@
 //!   that the binaries finish in seconds;
 //! * `--combinations N` — override the number of random combinations;
 //! * `--ptgs a,b,c` — override the list of concurrent-PTG counts;
+//! * `--strategies a,b,c` — compare only the named constraint policies,
+//!   resolved through the built-in [`PolicyRegistry`] (e.g.
+//!   `--strategies es,wps-work@0.5`);
+//! * `--allocation NAME` — override the allocation procedure by name (e.g.
+//!   `--allocation scrap`);
 //! * `--threads N` — number of worker threads (0 = all cores);
 //! * `--seed S` — base random seed;
 //! * `--csv PATH` — also write the raw results as CSV to `PATH`.
 
 use crate::campaign::CampaignConfig;
 use crate::mu_sweep::MuSweepConfig;
+use mcsched_core::{AllocationProcedure, PolicyKind, PolicyRegistry, SchedError};
 use std::path::PathBuf;
 
 /// Parsed command-line options.
@@ -24,6 +30,10 @@ pub struct CliOptions {
     pub combinations: Option<usize>,
     /// Override for the PTG counts.
     pub ptg_counts: Option<Vec<usize>>,
+    /// Constraint-policy names to compare (resolved through the registry).
+    pub strategies: Option<Vec<String>>,
+    /// Allocation-procedure name override.
+    pub allocation: Option<String>,
     /// Worker threads (0 = all cores).
     pub threads: Option<usize>,
     /// Base random seed override.
@@ -49,6 +59,14 @@ impl CliOptions {
                         .next()
                         .map(|v| v.split(',').filter_map(|x| x.parse().ok()).collect());
                 }
+                "--strategies" => {
+                    opts.strategies = it
+                        .next()
+                        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
+                }
+                "--allocation" => {
+                    opts.allocation = it.next();
+                }
                 "--threads" => {
                     opts.threads = it.next().and_then(|v| v.parse().ok());
                 }
@@ -69,31 +87,49 @@ impl CliOptions {
         Self::parse(std::env::args().skip(1))
     }
 
-    /// Applies the options to a campaign configuration built from
-    /// `paper`/`quick` defaults.
-    pub fn configure_campaign(&self, mut config: CampaignConfig) -> CampaignConfig {
-        if let Some(c) = self.combinations {
-            config.combinations = c;
+    /// Resolves the `--allocation` override into the built-in procedure
+    /// family (custom allocation policies are dynamic and assembled through
+    /// `ConcurrentScheduler::builder`, not through `SchedulerConfig`).
+    fn resolve_allocation(&self) -> Result<Option<AllocationProcedure>, SchedError> {
+        match &self.allocation {
+            None => Ok(None),
+            Some(name) => AllocationProcedure::from_name(name)
+                .map(Some)
+                .ok_or_else(|| SchedError::UnknownPolicy {
+                    kind: PolicyKind::Allocation,
+                    name: name.clone(),
+                    known: PolicyRegistry::builtin().allocation_names(),
+                }),
         }
-        if let Some(p) = &self.ptg_counts {
-            config.ptg_counts = p.clone();
-        }
-        if let Some(t) = self.threads {
-            config.threads = t;
-        }
-        if let Some(s) = self.seed {
-            config.seed = s;
-        }
-        config
     }
 
-    /// Applies the options to a µ-sweep configuration.
-    pub fn configure_mu_sweep(&self, mut config: MuSweepConfig) -> MuSweepConfig {
+    /// Applies the options to a campaign configuration built from
+    /// `paper`/`quick` defaults. `--strategies` names are resolved through
+    /// the built-in [`PolicyRegistry`].
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::UnknownPolicy`] for unresolvable `--strategies` or
+    /// `--allocation` names.
+    pub fn configure_campaign(
+        &self,
+        mut config: CampaignConfig,
+    ) -> Result<CampaignConfig, SchedError> {
         if let Some(c) = self.combinations {
             config.combinations = c;
         }
         if let Some(p) = &self.ptg_counts {
             config.ptg_counts = p.clone();
+        }
+        if let Some(names) = &self.strategies {
+            let registry = PolicyRegistry::builtin();
+            config.strategies = names
+                .iter()
+                .map(|n| registry.constraint(n))
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(a) = self.resolve_allocation()? {
+            config.base.allocation = a;
         }
         if let Some(t) = self.threads {
             config.threads = t;
@@ -101,7 +137,46 @@ impl CliOptions {
         if let Some(s) = self.seed {
             config.seed = s;
         }
-        config
+        Ok(config)
+    }
+
+    /// Applies the options to a µ-sweep configuration (`--strategies` does
+    /// not apply: the sweep derives its policies from the µ grid).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::UnknownPolicy`] for an unresolvable `--allocation`
+    /// name.
+    pub fn configure_mu_sweep(
+        &self,
+        mut config: MuSweepConfig,
+    ) -> Result<MuSweepConfig, SchedError> {
+        if let Some(c) = self.combinations {
+            config.combinations = c;
+        }
+        if let Some(p) = &self.ptg_counts {
+            config.ptg_counts = p.clone();
+        }
+        if let Some(a) = self.resolve_allocation()? {
+            config.base.allocation = a;
+        }
+        if let Some(t) = self.threads {
+            config.threads = t;
+        }
+        if let Some(s) = self.seed {
+            config.seed = s;
+        }
+        Ok(config)
+    }
+
+    /// Unwraps a configuration result for the experiment binaries: prints
+    /// the error (e.g. an unknown `--strategies` name with the list of
+    /// registered policies) and exits with status 2 on failure.
+    pub fn or_exit<T>(result: Result<T, SchedError>) -> T {
+        result.unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
     }
 
     /// Writes `csv` to the configured path, if any, reporting errors on
@@ -165,7 +240,9 @@ mod tests {
     #[test]
     fn configure_campaign_applies_overrides() {
         let o = parse(&["--combinations", "3", "--ptgs", "4", "--seed", "9"]);
-        let cfg = o.configure_campaign(CampaignConfig::quick(PtgClass::Random));
+        let cfg = o
+            .configure_campaign(CampaignConfig::quick(PtgClass::Random))
+            .unwrap();
         assert_eq!(cfg.combinations, 3);
         assert_eq!(cfg.ptg_counts, vec![4]);
         assert_eq!(cfg.seed, 9);
@@ -174,8 +251,41 @@ mod tests {
     #[test]
     fn configure_mu_sweep_applies_overrides() {
         let o = parse(&["--combinations", "2", "--threads", "1"]);
-        let cfg = o.configure_mu_sweep(MuSweepConfig::quick());
+        let cfg = o.configure_mu_sweep(MuSweepConfig::quick()).unwrap();
         assert_eq!(cfg.combinations, 2);
         assert_eq!(cfg.threads, 1);
+    }
+
+    #[test]
+    fn strategies_resolve_by_registry_name() {
+        let o = parse(&["--strategies", "es, wps-work@0.5"]);
+        let cfg = o
+            .configure_campaign(CampaignConfig::quick(PtgClass::Random))
+            .unwrap();
+        let names: Vec<String> = cfg.strategies.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["ES".to_string(), "WPS-work".to_string()]);
+    }
+
+    #[test]
+    fn unknown_strategy_or_allocation_names_error_out() {
+        let o = parse(&["--strategies", "bogus"]);
+        assert!(matches!(
+            o.configure_campaign(CampaignConfig::quick(PtgClass::Random)),
+            Err(SchedError::UnknownPolicy { .. })
+        ));
+        let o = parse(&["--allocation", "bogus"]);
+        assert!(matches!(
+            o.configure_mu_sweep(MuSweepConfig::quick()),
+            Err(SchedError::UnknownPolicy { .. })
+        ));
+    }
+
+    #[test]
+    fn allocation_override_resolves_to_the_enum_family() {
+        let o = parse(&["--allocation", "scrap"]);
+        let cfg = o
+            .configure_campaign(CampaignConfig::quick(PtgClass::Random))
+            .unwrap();
+        assert_eq!(cfg.base.allocation, AllocationProcedure::Scrap);
     }
 }

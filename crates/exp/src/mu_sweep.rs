@@ -8,9 +8,11 @@
 
 use crate::fanout::run_indexed;
 use crate::scenario::generate_scenarios;
-use mcsched_core::{Characteristic, ConstraintStrategy, SchedulerConfig};
+use mcsched_core::policy::{ConstraintPolicy, WeightedShare};
+use mcsched_core::{Characteristic, SchedulerConfig};
 use mcsched_ptg::gen::PtgClass;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Configuration of a µ sweep.
 #[derive(Debug, Clone)]
@@ -90,17 +92,19 @@ pub fn run_mu_sweep(config: &MuSweepConfig) -> Vec<MuSweepPoint> {
     }
     let mut cells: BTreeMap<(usize, usize), Acc> = BTreeMap::new();
 
-    let strategies: Vec<ConstraintStrategy> = config
+    let policies: Vec<Arc<dyn ConstraintPolicy>> = config
         .mu_values
         .iter()
-        .map(|&mu| ConstraintStrategy::Weighted(config.characteristic, mu))
+        .map(|&mu| {
+            Arc::new(WeightedShare::new(config.characteristic, mu)) as Arc<dyn ConstraintPolicy>
+        })
         .collect();
 
     for &num_ptgs in &config.ptg_counts {
         let scenarios =
             generate_scenarios(config.class, num_ptgs, config.combinations, config.seed);
         let per_scenario = run_indexed(config.threads, scenarios.len(), |i| {
-            scenarios[i].evaluate_all(&config.base, &strategies)
+            scenarios[i].evaluate_policies(&config.base, &policies)
         });
 
         for outcomes in per_scenario {

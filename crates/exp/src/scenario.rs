@@ -1,13 +1,16 @@
 //! Scenario generation and per-scenario evaluation.
 
+use mcsched_core::policy::ConstraintPolicy;
 use mcsched_core::{
     ConcurrentScheduler, ConstraintStrategy, EvaluatedRun, ScheduleContext, SchedulerConfig,
+    Workload,
 };
 use mcsched_platform::{grid5000, Platform};
 use mcsched_ptg::gen::PtgClass;
 use mcsched_ptg::Ptg;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 /// One experimental scenario: a platform and a set of PTGs submitted
 /// together.
@@ -76,6 +79,12 @@ pub fn generate_scenarios(
 }
 
 impl Scenario {
+    /// The scenario's applications as a submission-ready [`Workload`]
+    /// (batch, labelled with the scenario name).
+    pub fn workload(&self) -> Workload {
+        Workload::batch(self.ptgs.clone()).with_label(self.name.clone())
+    }
+
     /// Builds the memoized [`ScheduleContext`] for this scenario: the single
     /// entry point through which every strategy evaluation runs, so that the
     /// platform views and the dedicated baselines (`M_own`) are computed once
@@ -92,29 +101,49 @@ impl Scenario {
             .expect("scheduler produces valid workloads")
     }
 
-    /// Evaluates every strategy on the scenario through one shared context:
-    /// the dedicated baselines are simulated once per application and reused
-    /// by all strategies. Returns one outcome per strategy, in input order.
+    /// Evaluates every built-in strategy on the scenario (enum convenience
+    /// over [`Scenario::evaluate_policies`]).
     pub fn evaluate_all(
         &self,
         base: &SchedulerConfig,
         strategies: &[ConstraintStrategy],
     ) -> Vec<ScenarioOutcome> {
-        let context = self.context(base);
-        strategies
+        let policies: Vec<Arc<dyn ConstraintPolicy>> =
+            strategies.iter().map(|s| s.to_policy()).collect();
+        self.evaluate_policies(base, &policies)
+    }
+
+    /// Evaluates every constraint policy on the scenario's workload through
+    /// one shared context: the dedicated baselines are simulated once per
+    /// application and reused by all policies. Returns one outcome per
+    /// policy, in input order.
+    pub fn evaluate_policies(
+        &self,
+        base: &SchedulerConfig,
+        policies: &[Arc<dyn ConstraintPolicy>],
+    ) -> Vec<ScenarioOutcome> {
+        let workload = self.workload();
+        let context = ScheduleContext::for_workload(&self.platform, &workload, *base);
+        policies
             .iter()
-            .map(|&strategy| {
-                let evaluation = ConcurrentScheduler::new(SchedulerConfig { strategy, ..*base })
+            .map(|policy| {
+                let scheduler = ConcurrentScheduler::builder()
+                    .constraint_policy(Arc::clone(policy))
+                    .allocation_procedure(base.allocation)
+                    .mapping_config(base.mapping)
+                    .build()
+                    .expect("builder picks are already resolved");
+                let evaluation = scheduler
                     .evaluate_in(&context)
                     .expect("scheduler produces valid workloads");
-                ScenarioOutcome::from_evaluation(strategy, &evaluation)
+                ScenarioOutcome::from_evaluation(policy.name(), &evaluation)
             })
             .collect()
     }
 
     /// Evaluates one strategy on the scenario given precomputed dedicated
     /// makespans (kept for ablation call sites that manage their own
-    /// baselines; campaigns should prefer [`Scenario::evaluate_all`]).
+    /// baselines; campaigns should prefer [`Scenario::evaluate_policies`]).
     pub fn evaluate_strategy(
         &self,
         strategy: ConstraintStrategy,
@@ -122,8 +151,11 @@ impl Scenario {
         dedicated: &[f64],
     ) -> ScenarioOutcome {
         let config = SchedulerConfig { strategy, ..*base };
-        let run = ConcurrentScheduler::new(config)
-            .schedule(&self.platform, &self.ptgs)
+        let scheduler = ConcurrentScheduler::new(config);
+        // Borrow the scenario's PTGs through a context instead of cloning
+        // them into a one-shot `Workload`.
+        let run = scheduler
+            .schedule_in(&scheduler.context(&self.platform, &self.ptgs))
             .expect("scheduler produces valid workloads");
         let fairness = mcsched_core::metrics::fairness_report(dedicated, &run.app_makespans());
         ScenarioOutcome {
@@ -137,9 +169,9 @@ impl Scenario {
 
 impl ScenarioOutcome {
     /// Extracts the campaign-level measurements from a full evaluation.
-    fn from_evaluation(strategy: ConstraintStrategy, evaluation: &EvaluatedRun) -> Self {
+    fn from_evaluation(strategy: String, evaluation: &EvaluatedRun) -> Self {
         ScenarioOutcome {
-            strategy: strategy.name(),
+            strategy,
             unfairness: evaluation.fairness.unfairness,
             makespan: evaluation.run.global_makespan,
             average_slowdown: evaluation.fairness.average_slowdown,

@@ -34,16 +34,21 @@ fn main() {
         );
     }
 
-    // 3. Schedule them concurrently with two strategies and compare.
-    for strategy in [
-        ConstraintStrategy::Selfish,
-        ConstraintStrategy::Weighted(Characteristic::Width, 0.5),
-    ] {
-        let scheduler = ConcurrentScheduler::with_strategy(strategy);
+    // 3. Schedule them concurrently with two strategies and compare. The
+    //    builder resolves constraint policies by registry name; `selfish`
+    //    is the dedicated-platform baseline, `wps-width@0.5` the paper's
+    //    recommended weighted proportional share.
+    let workload = Workload::batch(apps).with_label("quickstart");
+    for name in ["selfish", "wps-width@0.5"] {
+        let scheduler = ConcurrentScheduler::builder()
+            .constraint(name)
+            .allocation("scrap-max")
+            .build()
+            .expect("built-in policy names resolve");
         let evaluation = scheduler
-            .evaluate(&platform, &apps)
+            .evaluate(&platform, &workload)
             .expect("the scheduler always produces a simulable schedule");
-        println!("\nStrategy {}:", strategy.name());
+        println!("\nStrategy {}:", scheduler.constraint_policy().name());
         for (i, app) in evaluation.run.apps.iter().enumerate() {
             println!(
                 "  {:<12} beta {:.2}  makespan {:>8.1}s  dedicated {:>8.1}s  slowdown {:.2}",

@@ -21,6 +21,10 @@
 //!
 //! ## Quick start
 //!
+//! Schedulers are assembled with a builder — policies are picked by name
+//! from the [`core::policy::PolicyRegistry`] (or supplied as custom trait
+//! objects) — and work is submitted as a [`core::Workload`]:
+//!
 //! ```
 //! use mcsched::prelude::*;
 //! use rand::SeedableRng;
@@ -34,10 +38,13 @@
 //!     .collect();
 //!
 //! // Schedule them with the paper's recommended WPS-width strategy.
-//! let scheduler = ConcurrentScheduler::with_strategy(
-//!     ConstraintStrategy::Weighted(Characteristic::Width, 0.5),
-//! );
-//! let evaluation = scheduler.evaluate(&platform, &apps).unwrap();
+//! let scheduler = ConcurrentScheduler::builder()
+//!     .constraint("wps-width@0.5")
+//!     .allocation("scrap-max")
+//!     .build()
+//!     .unwrap();
+//! let workload = Workload::batch(apps).with_label("quickstart");
+//! let evaluation = scheduler.evaluate(&platform, &workload).unwrap();
 //! assert_eq!(evaluation.fairness.slowdowns.len(), 3);
 //! assert!(evaluation.run.global_makespan > 0.0);
 //! ```
@@ -54,9 +61,11 @@ pub use mcsched_simx as simx;
 /// The most commonly used items, re-exported for `use mcsched::prelude::*`.
 pub mod prelude {
     pub use mcsched_core::{
-        allocation::AllocationProcedure, Characteristic, ConcurrentRun, ConcurrentScheduler,
-        ConstraintStrategy, EvaluatedRun, MappingConfig, OrderingMode, RefAllocation,
-        ReferencePlatform, Schedule, ScheduleContext, SchedulerConfig,
+        allocation::AllocationProcedure, AllocationPolicy, Characteristic, ConcurrentRun,
+        ConcurrentScheduler, ConstraintPolicy, ConstraintStrategy, EvaluatedRun, MappingConfig,
+        MappingPolicy, MappingRequest, OrderingMode, PolicyKind, PolicyRegistry, RefAllocation,
+        ReferencePlatform, SchedError, Schedule, ScheduleContext, SchedulerBuilder,
+        SchedulerConfig, Workload,
     };
     pub use mcsched_exp::{CampaignConfig, MuSweepConfig};
     pub use mcsched_platform::{

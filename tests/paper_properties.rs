@@ -42,12 +42,18 @@ fn weighting_towards_equal_share_does_not_clearly_hurt_fairness() {
     let ps_work = result.point(8, "PS-work").unwrap().unfairness;
     let wps_work = result.point(8, "WPS-work").unwrap().unfairness;
     let es = result.point(8, "ES").unwrap().unfairness;
-    // At this reduced sample (12 runs per cell) the µ = 0.7 point is noisy:
-    // unfairness is a sum of absolute deviations, so a single dispersed run
-    // moves a cell by ~0.1. Only require WPS-work not to be *clearly* less
-    // fair than PS-work; the strict ordering is checked on the µ-sweep
-    // endpoints (µ = 0 vs µ = 1) in `mu_interpolates_fairness_against_makespan`,
-    // where the signal is unambiguous.
+    // Deliberately a *bound*, not the paper's strict WPS < PS ordering. The
+    // ordering was re-probed at paper scale (25 combinations × 4 platforms =
+    // 100 runs per cell, seeds 0x5EED/1/42/7, via
+    // `fig3_random --combinations 25 --ptgs 8 --strategies ps-work,wps-work,es`):
+    // WPS-work's unfairness exceeds PS-work's by a systematic 0.01–0.07 on
+    // every seed, so the reversal is a property of this reproduction's
+    // random-DAG width distribution, not sample noise, and a larger seeded
+    // sample cannot restore the strict assertion (tracked in ROADMAP.md).
+    // The µ endpoints (µ = 0 vs µ = 1), where the paper's signal is
+    // unambiguous, are asserted strictly in
+    // `mu_interpolates_fairness_against_makespan`; ES ≤ PS-work is asserted
+    // below and holds on every probed seed.
     assert!(
         wps_work <= ps_work * 1.15 + 0.05,
         "WPS-work ({wps_work:.3}) should not be clearly less fair than PS-work ({ps_work:.3})"
@@ -117,7 +123,7 @@ fn unfairness_grows_with_the_number_of_concurrent_ptgs() {
     let config = CampaignConfig {
         ptg_counts: vec![2, 8],
         combinations: 3,
-        strategies: vec![ConstraintStrategy::EqualShare],
+        strategies: CampaignConfig::policies(&[ConstraintStrategy::EqualShare]),
         ..CampaignConfig::paper(PtgClass::Random)
     };
     let result = run_campaign(&config);

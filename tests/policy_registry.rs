@@ -1,0 +1,156 @@
+//! Integration tests of the policy registry and the pluggable-policy entry
+//! surface: every built-in resolves by name and round-trips, unknown names
+//! produce typed errors, and a user-registered policy runs end-to-end
+//! through `evaluate` and through a campaign without touching core code.
+
+use mcsched::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn sample_apps(n: usize, seed: u64) -> Vec<Ptg> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| PtgClass::Random.sample(&mut rng, format!("app-{i}")))
+        .collect()
+}
+
+#[test]
+fn every_builtin_constraint_round_trips_name_to_policy_to_name() {
+    let registry = PolicyRegistry::builtin();
+    // The paper's eight strategies by display name...
+    for strategy in ConstraintStrategy::paper_set() {
+        let policy = registry
+            .constraint(&strategy.name())
+            .unwrap_or_else(|e| panic!("{}: {e}", strategy.name()));
+        assert_eq!(policy.name(), strategy.name());
+    }
+    // ...and every registered name resolves to a policy that resolves back
+    // to itself through its own display name.
+    for name in registry.constraint_names() {
+        let policy = registry.constraint(&name).unwrap();
+        let again = registry.constraint(&policy.name()).unwrap();
+        assert_eq!(policy.name(), again.name(), "via registered name {name}");
+    }
+}
+
+#[test]
+fn every_builtin_allocation_and_mapping_round_trips() {
+    let registry = PolicyRegistry::builtin();
+    for name in registry.allocation_names() {
+        let policy = registry.allocation(&name).unwrap();
+        let again = registry.allocation(&policy.name()).unwrap();
+        assert_eq!(policy.name(), again.name(), "via registered name {name}");
+    }
+    for name in registry.mapping_names() {
+        let policy = registry.mapping(&name).unwrap();
+        let again = registry.mapping(&policy.name()).unwrap();
+        assert_eq!(policy.name(), again.name(), "via registered name {name}");
+    }
+}
+
+#[test]
+fn unknown_names_yield_typed_unknown_policy_errors() {
+    let registry = PolicyRegistry::builtin();
+    match registry.constraint("definitely-not-a-policy") {
+        Err(SchedError::UnknownPolicy { kind, name, known }) => {
+            assert_eq!(kind, PolicyKind::Constraint);
+            assert_eq!(name, "definitely-not-a-policy");
+            assert!(!known.is_empty());
+        }
+        other => panic!("expected UnknownPolicy, got {other:?}"),
+    }
+    // The same error surfaces through the builder...
+    assert!(matches!(
+        ConcurrentScheduler::builder().constraint("nope").build(),
+        Err(SchedError::UnknownPolicy { .. })
+    ));
+    // ...and carries a readable message naming the family.
+    let msg = registry.mapping("nope").unwrap_err().to_string();
+    assert!(msg.contains("mapping"), "{msg}");
+    assert!(msg.contains("`nope`"), "{msg}");
+}
+
+/// A policy the core crates know nothing about: β decays geometrically with
+/// the submission rank (earlier applications get larger shares).
+#[derive(Debug)]
+struct RankDecay;
+
+impl ConstraintPolicy for RankDecay {
+    fn name(&self) -> String {
+        "rank-decay".to_string()
+    }
+
+    fn betas(&self, ptgs: &[Ptg], _reference: &ReferencePlatform) -> Vec<f64> {
+        (0..ptgs.len())
+            .map(|i| (0.5f64.powi(i as i32)).max(0.05))
+            .collect()
+    }
+}
+
+#[test]
+fn custom_registered_policy_runs_end_to_end_through_evaluate() {
+    let mut registry = PolicyRegistry::builtin();
+    registry.register_constraint_instance("rank-decay", Arc::new(RankDecay));
+
+    let platform = grid5000::sophia();
+    let apps = sample_apps(3, 0xDECAF);
+    let scheduler = ConcurrentScheduler::builder()
+        .registry(registry)
+        .constraint("rank-decay")
+        .build()
+        .unwrap();
+
+    let workload = Workload::batch(apps).with_label("custom-policy-e2e");
+    let evaluation = scheduler.evaluate(&platform, &workload).unwrap();
+
+    assert_eq!(evaluation.run.apps.len(), 3);
+    assert!(evaluation.run.global_makespan > 0.0);
+    assert_eq!(evaluation.fairness.slowdowns.len(), 3);
+    // The custom β vector actually drove the pipeline.
+    let betas: Vec<f64> = evaluation.run.apps.iter().map(|a| a.beta).collect();
+    assert_eq!(betas, vec![1.0, 0.5, 0.25]);
+    for s in &evaluation.fairness.slowdowns {
+        assert!(*s > 0.0 && *s <= 1.1);
+    }
+}
+
+#[test]
+fn custom_policy_slots_into_a_campaign_next_to_builtins() {
+    use mcsched::exp::{run_campaign, CampaignConfig};
+
+    let custom: Arc<dyn ConstraintPolicy> = Arc::new(RankDecay);
+    let mut strategies = CampaignConfig::policies(&[ConstraintStrategy::EqualShare]);
+    strategies.push(custom);
+    let config = CampaignConfig {
+        ptg_counts: vec![2],
+        combinations: 1,
+        strategies,
+        threads: 2,
+        ..CampaignConfig::paper(PtgClass::Strassen)
+    };
+    let result = run_campaign(&config);
+    assert_eq!(
+        result.strategies(),
+        vec!["ES".to_string(), "rank-decay".to_string()]
+    );
+    let custom_point = result.point(2, "rank-decay").expect("custom cell exists");
+    assert!(custom_point.makespan > 0.0);
+    assert!(custom_point.unfairness >= 0.0);
+}
+
+#[test]
+fn parameterised_names_reach_the_scheduler_pipeline() {
+    let platform = grid5000::lille();
+    let apps = sample_apps(2, 7);
+    let by_name = ConcurrentScheduler::builder()
+        .constraint("wps-work@0.7")
+        .build()
+        .unwrap();
+    let by_enum =
+        ConcurrentScheduler::with_strategy(ConstraintStrategy::Weighted(Characteristic::Work, 0.7));
+    let a = by_name.schedule(&platform, &apps).unwrap();
+    let b = by_enum.schedule(&platform, &apps).unwrap();
+    assert_eq!(a.apps, b.apps);
+    assert_eq!(a.global_makespan, b.global_makespan);
+}
