@@ -15,7 +15,7 @@ fn bench_fig2(c: &mut Criterion) {
     };
 
     // Emit one reduced-scale rendition of the figure alongside the timings.
-    let points = run_mu_sweep(&config);
+    let points = run_mu_sweep(&config).unwrap();
     eprintln!("{}", report::table_mu_sweep(&points));
 
     let mut group = c.benchmark_group("fig2_mu_sweep");

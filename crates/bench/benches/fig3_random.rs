@@ -14,7 +14,7 @@ fn bench_fig3(c: &mut Criterion) {
         ..CampaignConfig::quick(PtgClass::Random)
     };
 
-    let result = run_campaign(&config);
+    let result = run_campaign(&config).unwrap();
     eprintln!("{}", report::table_campaign(&result));
 
     let mut group = c.benchmark_group("fig3_random");

@@ -14,7 +14,7 @@ fn bench_fig5(c: &mut Criterion) {
         ..CampaignConfig::quick(PtgClass::Strassen)
     };
 
-    let result = run_campaign(&config);
+    let result = run_campaign(&config).unwrap();
     eprintln!("{}", report::table_campaign(&result));
 
     let mut group = c.benchmark_group("fig5_strassen");

@@ -133,6 +133,20 @@ impl<'a> ScheduleContext<'a> {
         self.release_times = release_times;
     }
 
+    /// Returns the context with explicit per-application release times, for
+    /// callers that borrow a plain PTG slice (e.g. a timed scenario) rather
+    /// than a [`Workload`].
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidConfig`] when the lengths differ or a release
+    /// time is negative or non-finite (the [`Workload::released`] contract).
+    pub fn with_release_times(mut self, release_times: Vec<f64>) -> Result<Self, SchedError> {
+        crate::workload::validate_release_times(self.ptgs.len(), &release_times)?;
+        self.release_times = release_times;
+        Ok(self)
+    }
+
     /// The scenario's platform.
     pub fn platform(&self) -> &'a Platform {
         self.platform

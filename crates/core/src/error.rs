@@ -16,6 +16,9 @@ pub enum PolicyKind {
     Allocation,
     /// Concurrent mapping policies.
     Mapping,
+    /// Workload sources and arrival processes (resolved by the
+    /// `mcsched-workload` catalog, upstream of the scheduler).
+    WorkloadSource,
 }
 
 impl std::fmt::Display for PolicyKind {
@@ -24,6 +27,7 @@ impl std::fmt::Display for PolicyKind {
             PolicyKind::Constraint => "constraint",
             PolicyKind::Allocation => "allocation",
             PolicyKind::Mapping => "mapping",
+            PolicyKind::WorkloadSource => "workload-source",
         })
     }
 }

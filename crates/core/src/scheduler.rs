@@ -294,20 +294,9 @@ impl ConcurrentScheduler {
         if ptgs.is_empty() {
             return Err(SchedError::EmptyWorkload);
         }
-        if ptgs.len() != release_times.len() {
-            return Err(SchedError::InvalidConfig(format!(
-                "{} applications but {} release times",
-                ptgs.len(),
-                release_times.len()
-            )));
-        }
         // Same contract as `Workload::released`, so the context path cannot
         // smuggle values the workload path rejects.
-        if let Some(bad) = release_times.iter().find(|t| !t.is_finite() || **t < 0.0) {
-            return Err(SchedError::InvalidConfig(format!(
-                "release time {bad} is not a finite non-negative instant"
-            )));
-        }
+        crate::workload::validate_release_times(ptgs.len(), release_times)?;
         let betas = context.betas_for(self.constraint.as_ref());
         let allocations = self.allocate_in(context);
         let schedule = context.map_with(self.mapping.as_ref(), &allocations, release_times);

@@ -40,18 +40,7 @@ impl Workload {
     /// [`SchedError::InvalidConfig`] when the lengths differ or a release
     /// time is negative or non-finite.
     pub fn released(ptgs: Vec<Ptg>, release_times: Vec<f64>) -> Result<Self, SchedError> {
-        if ptgs.len() != release_times.len() {
-            return Err(SchedError::InvalidConfig(format!(
-                "{} applications but {} release times",
-                ptgs.len(),
-                release_times.len()
-            )));
-        }
-        if let Some(bad) = release_times.iter().find(|t| !t.is_finite() || **t < 0.0) {
-            return Err(SchedError::InvalidConfig(format!(
-                "release time {bad} is not a finite non-negative instant"
-            )));
-        }
+        validate_release_times(ptgs.len(), &release_times)?;
         Ok(Self {
             ptgs,
             release_times,
@@ -102,6 +91,24 @@ impl Workload {
     pub fn is_batch(&self) -> bool {
         self.release_times.iter().all(|&t| t == 0.0)
     }
+}
+
+/// The single source of truth for the release-time contract shared by every
+/// submission boundary ([`Workload::released`], the context and scheduler
+/// entry points): one finite, non-negative instant per application.
+pub(crate) fn validate_release_times(apps: usize, release_times: &[f64]) -> Result<(), SchedError> {
+    if apps != release_times.len() {
+        return Err(SchedError::InvalidConfig(format!(
+            "{apps} applications but {} release times",
+            release_times.len()
+        )));
+    }
+    if let Some(bad) = release_times.iter().find(|t| !t.is_finite() || **t < 0.0) {
+        return Err(SchedError::InvalidConfig(format!(
+            "release time {bad} is not a finite non-negative instant"
+        )));
+    }
+    Ok(())
 }
 
 // The borrowing conversions below clone the PTGs: they exist so that the

@@ -14,11 +14,15 @@ fn main() {
         };
         let mut config = CliOptions::or_exit(opts.configure_campaign(base));
         config.base.mapping.packing = packing;
+        // Both arms consume identical workloads; export once, up front.
+        if packing {
+            opts.maybe_export_campaign_trace(&config);
+        }
         eprintln!(
             "Ablation (packing = {packing}): {} combinations x 4 platforms, PTG counts {:?}",
             config.combinations, config.ptg_counts
         );
-        let result = mcsched_exp::run_campaign(&config);
+        let result = CliOptions::or_exit(mcsched_exp::run_campaign(&config));
         println!("#### allocation packing: {packing} ####");
         println!("{}", report::table_campaign(&result));
     }

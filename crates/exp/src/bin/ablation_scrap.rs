@@ -17,13 +17,17 @@ fn main() {
         };
         let mut config = CliOptions::or_exit(opts.configure_campaign(base));
         config.base.allocation = procedure;
+        // Both arms consume identical workloads; export once, up front.
+        if procedure == AllocationProcedure::Scrap {
+            opts.maybe_export_campaign_trace(&config);
+        }
         eprintln!(
             "Ablation ({}): {} combinations x 4 platforms, PTG counts {:?}",
             procedure.label(),
             config.combinations,
             config.ptg_counts
         );
-        let result = mcsched_exp::run_campaign(&config);
+        let result = CliOptions::or_exit(mcsched_exp::run_campaign(&config));
         println!("#### allocation procedure: {} ####", procedure.label());
         println!("{}", report::table_campaign(&result));
     }

@@ -19,7 +19,8 @@ fn main() {
         "Figure 2: WPS-work mu sweep, {} combinations x 4 platforms, PTG counts {:?}, mu {:?}",
         config.combinations, config.ptg_counts, config.mu_values
     );
-    let points = mcsched_exp::run_mu_sweep(&config);
+    opts.maybe_export_mu_sweep_trace(&config);
+    let points = CliOptions::or_exit(mcsched_exp::run_mu_sweep(&config));
     println!("{}", report::table_mu_sweep(&points));
     println!(
         "Expected shape (paper): unfairness decreases as mu -> 1 while the average makespan\n\

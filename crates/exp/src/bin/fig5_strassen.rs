@@ -21,7 +21,8 @@ fn main() {
         config.ptg_counts,
         config.strategies.len()
     );
-    let result = mcsched_exp::run_campaign(&config);
+    opts.maybe_export_campaign_trace(&config);
+    let result = CliOptions::or_exit(mcsched_exp::run_campaign(&config));
     println!("{}", report::table_campaign(&result));
     println!(
         "Expected shape (paper): WPS-work is ~25% less fair than ES but ~35% better on\n\

@@ -1,18 +1,22 @@
 //! Strategy-comparison campaigns (Figures 3, 4 and 5).
 
 use crate::fanout::run_indexed;
-use crate::scenario::generate_scenarios;
+use crate::scenario::generate_scenarios_with;
 use mcsched_core::policy::ConstraintPolicy;
-use mcsched_core::{ConstraintStrategy, SchedulerConfig};
+use mcsched_core::{ConstraintStrategy, SchedError, SchedulerConfig};
 use mcsched_ptg::gen::PtgClass;
+use mcsched_workload::{GeneratorSource, WorkloadSource};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Configuration of a strategy-comparison campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
-    /// Application class (random, FFT, Strassen).
-    pub class: PtgClass,
+    /// The workload source producing the concurrent applications. The
+    /// paper's classes map to [`GeneratorSource::from_class`]; any source
+    /// resolved from the `mcsched-workload` catalog (DAGGEN configurations,
+    /// mixtures, timed arrivals, replayed traces) slots in here.
+    pub source: Arc<dyn WorkloadSource>,
     /// Numbers of concurrent PTGs to evaluate (the paper uses 2, 4, 6, 8, 10).
     pub ptg_counts: Vec<usize>,
     /// Number of random application combinations per data point (25 in the
@@ -46,7 +50,7 @@ impl CampaignConfig {
             PtgClass::Random => ConstraintStrategy::paper_set(),
         };
         Self {
-            class,
+            source: Arc::new(GeneratorSource::from_class(class)),
             ptg_counts: vec![2, 4, 6, 8, 10],
             combinations: 25,
             strategies: Self::policies(&strategies),
@@ -165,14 +169,24 @@ fn strategy_labels(strategies: &[Arc<dyn ConstraintPolicy>]) -> Vec<String> {
 /// baselines are simulated once per (platform, application) pair. Results
 /// are deterministic because aggregation follows scenario order, not
 /// completion order.
-pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
+///
+/// # Errors
+///
+/// Propagates workload-generation failures from
+/// [`CampaignConfig::source`] (e.g. a replayed trace missing a requested
+/// combination).
+pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, SchedError> {
     // (num_ptgs, strategy index) -> accumulator.
     let mut cells: BTreeMap<(usize, usize), CellAccumulator> = BTreeMap::new();
     let labels = strategy_labels(&config.strategies);
 
     for &num_ptgs in &config.ptg_counts {
-        let scenarios =
-            generate_scenarios(config.class, num_ptgs, config.combinations, config.seed);
+        let scenarios = generate_scenarios_with(
+            config.source.as_ref(),
+            num_ptgs,
+            config.combinations,
+            config.seed,
+        )?;
         let per_scenario = run_indexed(config.threads, scenarios.len(), |i| {
             scenarios[i].evaluate_policies(&config.base, &config.strategies)
         });
@@ -212,10 +226,10 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         })
         .collect();
 
-    CampaignResult {
-        class: config.class.label().to_string(),
+    Ok(CampaignResult {
+        class: config.source.short_label(),
         points,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -237,7 +251,7 @@ mod tests {
 
     #[test]
     fn campaign_produces_one_point_per_cell() {
-        let result = run_campaign(&tiny_config());
+        let result = run_campaign(&tiny_config()).unwrap();
         assert_eq!(result.points.len(), 2);
         assert_eq!(result.strategies(), vec!["S".to_string(), "ES".to_string()]);
         assert_eq!(result.ptg_counts(), vec![2]);
@@ -252,7 +266,7 @@ mod tests {
 
     #[test]
     fn relative_makespan_best_strategy_close_to_one() {
-        let result = run_campaign(&tiny_config());
+        let result = run_campaign(&tiny_config()).unwrap();
         let best: f64 = result
             .points
             .iter()
@@ -269,9 +283,9 @@ mod tests {
     fn campaign_is_deterministic_regardless_of_threads() {
         let mut cfg = tiny_config();
         cfg.threads = 1;
-        let a = run_campaign(&cfg);
+        let a = run_campaign(&cfg).unwrap();
         cfg.threads = 4;
-        let b = run_campaign(&cfg);
+        let b = run_campaign(&cfg).unwrap();
         assert_eq!(a, b);
     }
 
@@ -297,7 +311,7 @@ mod tests {
             ],
             ..tiny_config()
         };
-        let result = run_campaign(&config);
+        let result = run_campaign(&config).unwrap();
         assert_eq!(
             result.strategies(),
             vec!["WPS-work@0.3".to_string(), "WPS-work@0.7".to_string()]
@@ -309,7 +323,7 @@ mod tests {
 
     #[test]
     fn point_lookup() {
-        let result = run_campaign(&tiny_config());
+        let result = run_campaign(&tiny_config()).unwrap();
         assert!(result.point(2, "S").is_some());
         assert!(result.point(2, "WPS-width").is_none());
         assert!(result.point(4, "S").is_none());

@@ -12,14 +12,24 @@
 //!   `--strategies es,wps-work@0.5`);
 //! * `--allocation NAME` — override the allocation procedure by name (e.g.
 //!   `--allocation scrap`);
+//! * `--workload SPEC` — override the workload source with a spec resolved
+//!   through the [`WorkloadCatalog`] (e.g. `daggen@n=50,width=0.5`,
+//!   `random/poisson@lambda=0.1`);
+//! * `--trace PATH` — replay the workloads recorded in a trace file instead
+//!   of generating them (see `--export-trace`);
+//! * `--export-trace PATH` — write every workload the run would consume as
+//!   a replayable JSON trace to `PATH`;
 //! * `--threads N` — number of worker threads (0 = all cores);
 //! * `--seed S` — base random seed;
 //! * `--csv PATH` — also write the raw results as CSV to `PATH`.
 
 use crate::campaign::CampaignConfig;
 use crate::mu_sweep::MuSweepConfig;
+use crate::scenario::combo_requests;
 use mcsched_core::{AllocationProcedure, PolicyKind, PolicyRegistry, SchedError};
+use mcsched_workload::{Trace, TraceSource, WorkloadCatalog, WorkloadRequest, WorkloadSource};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -34,6 +44,12 @@ pub struct CliOptions {
     pub strategies: Option<Vec<String>>,
     /// Allocation-procedure name override.
     pub allocation: Option<String>,
+    /// Workload-source spec override (resolved through the catalog).
+    pub workload: Option<String>,
+    /// Trace file to replay instead of generating workloads.
+    pub trace: Option<PathBuf>,
+    /// Path to export the run's workloads as a replayable trace.
+    pub export_trace: Option<PathBuf>,
     /// Worker threads (0 = all cores).
     pub threads: Option<usize>,
     /// Base random seed override.
@@ -66,6 +82,15 @@ impl CliOptions {
                 }
                 "--allocation" => {
                     opts.allocation = it.next();
+                }
+                "--workload" => {
+                    opts.workload = it.next();
+                }
+                "--trace" => {
+                    opts.trace = it.next().map(PathBuf::from);
+                }
+                "--export-trace" => {
+                    opts.export_trace = it.next().map(PathBuf::from);
                 }
                 "--threads" => {
                     opts.threads = it.next().and_then(|v| v.parse().ok());
@@ -103,20 +128,38 @@ impl CliOptions {
         }
     }
 
+    /// Resolves the `--trace` / `--workload` overrides into a workload
+    /// source: a replayed trace takes precedence over a generated spec.
+    fn resolve_source(&self) -> Result<Option<Arc<dyn WorkloadSource>>, SchedError> {
+        if let Some(path) = &self.trace {
+            let trace = Trace::read_file(path)?;
+            return Ok(Some(Arc::new(TraceSource::new(trace))));
+        }
+        match &self.workload {
+            None => Ok(None),
+            Some(spec) => WorkloadCatalog::builtin().resolve(spec).map(Some),
+        }
+    }
+
     /// Applies the options to a campaign configuration built from
     /// `paper`/`quick` defaults. `--strategies` names are resolved through
-    /// the built-in [`PolicyRegistry`].
+    /// the built-in [`PolicyRegistry`], `--workload`/`--trace` through the
+    /// [`WorkloadCatalog`].
     ///
     /// # Errors
     ///
-    /// [`SchedError::UnknownPolicy`] for unresolvable `--strategies` or
-    /// `--allocation` names.
+    /// [`SchedError::UnknownPolicy`] for unresolvable `--strategies`,
+    /// `--allocation` or `--workload` names; [`SchedError::InvalidConfig`]
+    /// for malformed specs or unreadable traces.
     pub fn configure_campaign(
         &self,
         mut config: CampaignConfig,
     ) -> Result<CampaignConfig, SchedError> {
         if let Some(c) = self.combinations {
             config.combinations = c;
+        }
+        if let Some(source) = self.resolve_source()? {
+            config.source = source;
         }
         if let Some(p) = &self.ptg_counts {
             config.ptg_counts = p.clone();
@@ -154,6 +197,9 @@ impl CliOptions {
         if let Some(c) = self.combinations {
             config.combinations = c;
         }
+        if let Some(source) = self.resolve_source()? {
+            config.source = source;
+        }
         if let Some(p) = &self.ptg_counts {
             config.ptg_counts = p.clone();
         }
@@ -177,6 +223,56 @@ impl CliOptions {
             eprintln!("error: {e}");
             std::process::exit(2);
         })
+    }
+
+    /// Exports every workload a run with this shape would consume —
+    /// `ptg_counts × combinations` generation requests against `source` —
+    /// as a replayable JSON trace to the `--export-trace` path, if any.
+    /// Errors are reported on stderr rather than panicking, mirroring
+    /// [`CliOptions::maybe_write_csv`].
+    pub fn maybe_export_trace(
+        &self,
+        source: &dyn WorkloadSource,
+        ptg_counts: &[usize],
+        combinations: usize,
+        seed: u64,
+    ) {
+        let Some(path) = &self.export_trace else {
+            return;
+        };
+        let label = source.short_label();
+        let requests: Vec<WorkloadRequest> = ptg_counts
+            .iter()
+            .flat_map(|&count| combo_requests(&label, count, combinations, seed))
+            .collect();
+        match Trace::record(source, &requests, seed).and_then(|t| t.write_file(path)) {
+            Ok(()) => println!(
+                "trace with {} workloads written to {}",
+                requests.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("warning: could not export trace {}: {e}", path.display()),
+        }
+    }
+
+    /// [`CliOptions::maybe_export_trace`] for a campaign configuration.
+    pub fn maybe_export_campaign_trace(&self, config: &CampaignConfig) {
+        self.maybe_export_trace(
+            config.source.as_ref(),
+            &config.ptg_counts,
+            config.combinations,
+            config.seed,
+        );
+    }
+
+    /// [`CliOptions::maybe_export_trace`] for a µ-sweep configuration.
+    pub fn maybe_export_mu_sweep_trace(&self, config: &MuSweepConfig) {
+        self.maybe_export_trace(
+            config.source.as_ref(),
+            &config.ptg_counts,
+            config.combinations,
+            config.seed,
+        );
     }
 
     /// Writes `csv` to the configured path, if any, reporting errors on
@@ -278,6 +374,46 @@ mod tests {
             o.configure_mu_sweep(MuSweepConfig::quick()),
             Err(SchedError::UnknownPolicy { .. })
         ));
+    }
+
+    #[test]
+    fn workload_spec_overrides_the_campaign_source() {
+        let o = parse(&["--workload", "daggen@n=10,width=0.5"]);
+        let cfg = o
+            .configure_campaign(CampaignConfig::quick(PtgClass::Random))
+            .unwrap();
+        assert_eq!(cfg.source.short_label(), "daggen");
+        let sweep = o.configure_mu_sweep(MuSweepConfig::quick()).unwrap();
+        assert_eq!(sweep.source.short_label(), "daggen");
+    }
+
+    #[test]
+    fn bogus_workload_specs_and_missing_traces_error_out() {
+        let o = parse(&["--workload", "bogus@x=1"]);
+        assert!(matches!(
+            o.configure_campaign(CampaignConfig::quick(PtgClass::Random)),
+            Err(SchedError::UnknownPolicy { .. })
+        ));
+        let o = parse(&["--trace", "/nonexistent/trace.json"]);
+        assert!(matches!(
+            o.configure_campaign(CampaignConfig::quick(PtgClass::Random)),
+            Err(SchedError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let o = parse(&[
+            "--workload",
+            "strassen",
+            "--trace",
+            "in.json",
+            "--export-trace",
+            "out.json",
+        ]);
+        assert_eq!(o.workload.as_deref(), Some("strassen"));
+        assert_eq!(o.trace, Some(PathBuf::from("in.json")));
+        assert_eq!(o.export_trace, Some(PathBuf::from("out.json")));
     }
 
     #[test]

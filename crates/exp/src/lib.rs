@@ -21,6 +21,12 @@
 //! as aligned text tables and CSV suitable for regenerating every figure of
 //! the paper.
 //!
+//! Workload production is delegated to the `mcsched-workload` subsystem:
+//! campaigns and sweeps consume any `WorkloadSource` (legacy class
+//! generators, DAGGEN configurations, timed arrivals, replayed traces), and
+//! the binaries expose it through `--workload <spec>`, `--trace <file>` and
+//! `--export-trace <file>`.
+//!
 //! Both harnesses fan scenarios out over the worker pool of [`fanout`]
 //! (honouring the configs' `threads` fields) and evaluate every strategy of
 //! a scenario through one shared [`mcsched_core::ScheduleContext`], so each
@@ -40,4 +46,6 @@ pub use campaign::{run_campaign, CampaignConfig, CampaignResult, StrategyPoint};
 pub use cli::CliOptions;
 pub use mu_sweep::{run_mu_sweep, MuSweepConfig, MuSweepPoint};
 pub use report::{csv_campaign, csv_mu_sweep, table_campaign, table_mu_sweep};
-pub use scenario::{generate_scenarios, Scenario, ScenarioOutcome};
+pub use scenario::{
+    combo_requests, generate_scenarios, generate_scenarios_with, Scenario, ScenarioOutcome,
+};

@@ -7,18 +7,20 @@
 //! makespan increases, and µ = 0.7 is chosen as the sweet spot.
 
 use crate::fanout::run_indexed;
-use crate::scenario::generate_scenarios;
+use crate::scenario::generate_scenarios_with;
 use mcsched_core::policy::{ConstraintPolicy, WeightedShare};
-use mcsched_core::{Characteristic, SchedulerConfig};
+use mcsched_core::{Characteristic, SchedError, SchedulerConfig};
 use mcsched_ptg::gen::PtgClass;
+use mcsched_workload::{GeneratorSource, WorkloadSource};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Configuration of a µ sweep.
 #[derive(Debug, Clone)]
 pub struct MuSweepConfig {
-    /// Application class (Figure 2 uses random PTGs).
-    pub class: PtgClass,
+    /// The workload source (Figure 2 uses the random class; any
+    /// `mcsched-workload` catalog source slots in).
+    pub source: Arc<dyn WorkloadSource>,
     /// Characteristic of the WPS variant being calibrated.
     pub characteristic: Characteristic,
     /// µ values to evaluate.
@@ -39,7 +41,7 @@ impl MuSweepConfig {
     /// The paper's Figure 2 configuration (WPS-work, random PTGs).
     pub fn paper() -> Self {
         Self {
-            class: PtgClass::Random,
+            source: Arc::new(GeneratorSource::from_class(PtgClass::Random)),
             characteristic: Characteristic::Work,
             mu_values: vec![0.0, 0.3, 0.5, 0.7, 0.8, 0.9, 1.0],
             ptg_counts: vec![2, 4, 6, 8, 10],
@@ -83,7 +85,11 @@ pub struct MuSweepPoint {
 /// shared [`mcsched_core::ScheduleContext`], so the dedicated baselines are
 /// simulated once per (platform, application) pair. Aggregation follows
 /// scenario order, keeping the result independent of thread interleaving.
-pub fn run_mu_sweep(config: &MuSweepConfig) -> Vec<MuSweepPoint> {
+///
+/// # Errors
+///
+/// Propagates workload-generation failures from [`MuSweepConfig::source`].
+pub fn run_mu_sweep(config: &MuSweepConfig) -> Result<Vec<MuSweepPoint>, SchedError> {
     #[derive(Default, Clone)]
     struct Acc {
         unfairness: f64,
@@ -101,8 +107,12 @@ pub fn run_mu_sweep(config: &MuSweepConfig) -> Vec<MuSweepPoint> {
         .collect();
 
     for &num_ptgs in &config.ptg_counts {
-        let scenarios =
-            generate_scenarios(config.class, num_ptgs, config.combinations, config.seed);
+        let scenarios = generate_scenarios_with(
+            config.source.as_ref(),
+            num_ptgs,
+            config.combinations,
+            config.seed,
+        )?;
         let per_scenario = run_indexed(config.threads, scenarios.len(), |i| {
             scenarios[i].evaluate_policies(&config.base, &policies)
         });
@@ -117,7 +127,7 @@ pub fn run_mu_sweep(config: &MuSweepConfig) -> Vec<MuSweepPoint> {
         }
     }
 
-    cells
+    Ok(cells
         .into_iter()
         .map(|((mi, num_ptgs), acc)| {
             let runs = acc.runs.max(1) as f64;
@@ -129,7 +139,7 @@ pub fn run_mu_sweep(config: &MuSweepConfig) -> Vec<MuSweepPoint> {
                 runs: acc.runs,
             }
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -142,14 +152,14 @@ mod tests {
             ptg_counts: vec![2],
             combinations: 1,
             threads: 2,
-            class: PtgClass::Random,
+            source: Arc::new(GeneratorSource::from_class(PtgClass::Random)),
             ..MuSweepConfig::quick()
         }
     }
 
     #[test]
     fn sweep_produces_one_point_per_mu_and_count() {
-        let points = run_mu_sweep(&tiny());
+        let points = run_mu_sweep(&tiny()).unwrap();
         assert_eq!(points.len(), 2);
         for p in &points {
             assert_eq!(p.runs, 4);
@@ -163,7 +173,7 @@ mod tests {
         // µ = 1 is the equal share, which the paper shows to be fairer than
         // the pure proportional share (µ = 0). With a single combination this
         // should already hold or at least not be dramatically reversed.
-        let points = run_mu_sweep(&tiny());
+        let points = run_mu_sweep(&tiny()).unwrap();
         let at = |mu: f64| {
             points
                 .iter()
@@ -184,8 +194,8 @@ mod tests {
 
     #[test]
     fn sweep_is_deterministic() {
-        let a = run_mu_sweep(&tiny());
-        let b = run_mu_sweep(&tiny());
+        let a = run_mu_sweep(&tiny()).unwrap();
+        let b = run_mu_sweep(&tiny()).unwrap();
         assert_eq!(a, b);
     }
 }

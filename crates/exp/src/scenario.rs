@@ -1,19 +1,22 @@
 //! Scenario generation and per-scenario evaluation.
+//!
+//! Scenarios are produced by a [`WorkloadSource`] (see `mcsched-workload`):
+//! the legacy [`PtgClass`]-based entry point remains as a thin wrapper over
+//! the class-equivalent source, drawing byte-identical applications.
 
 use mcsched_core::policy::ConstraintPolicy;
 use mcsched_core::{
-    ConcurrentScheduler, ConstraintStrategy, EvaluatedRun, ScheduleContext, SchedulerConfig,
-    Workload,
+    ConcurrentScheduler, ConstraintStrategy, EvaluatedRun, SchedError, ScheduleContext,
+    SchedulerConfig, Workload,
 };
 use mcsched_platform::{grid5000, Platform};
 use mcsched_ptg::gen::PtgClass;
 use mcsched_ptg::Ptg;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use mcsched_workload::{GeneratorSource, WorkloadRequest, WorkloadSource};
 use std::sync::Arc;
 
 /// One experimental scenario: a platform and a set of PTGs submitted
-/// together.
+/// together (with their release times).
 #[derive(Debug, Clone)]
 pub struct Scenario {
     /// Human readable identifier (class, combination index, platform).
@@ -22,6 +25,12 @@ pub struct Scenario {
     pub platform: Platform,
     /// The concurrent applications.
     pub ptgs: Vec<Ptg>,
+    /// Release time of each application (all zero for the paper's batch
+    /// scenarios). Must satisfy the [`Workload::released`] contract — one
+    /// finite, non-negative instant per application; [`Scenario::workload`]
+    /// and [`Scenario::context`] panic on a hand-built scenario that
+    /// violates it.
+    pub release_times: Vec<f64>,
     /// Seed used to draw the applications (for reproducibility).
     pub seed: u64,
 }
@@ -39,58 +48,114 @@ pub struct ScenarioOutcome {
     pub average_slowdown: f64,
 }
 
+/// The deterministic generation requests of one data point: `combinations`
+/// draws of `num_ptgs` applications, seeded exactly like the original
+/// harness and labelled `{label_prefix}-{combo}`. Campaigns, µ-sweeps and
+/// trace export all derive their workloads from this one request list, which
+/// is what makes a `--trace` replay line up with a live generation run.
+pub fn combo_requests(
+    label_prefix: &str,
+    num_ptgs: usize,
+    combinations: usize,
+    base_seed: u64,
+) -> Vec<WorkloadRequest> {
+    (0..combinations)
+        .map(|combo| {
+            let seed = base_seed
+                .wrapping_mul(1_000_003)
+                .wrapping_add((num_ptgs as u64) << 32)
+                .wrapping_add(combo as u64);
+            WorkloadRequest::new(seed, num_ptgs, format!("{label_prefix}-{combo}"))
+        })
+        .collect()
+}
+
+/// Generates the scenarios of one data point from a [`WorkloadSource`]:
+/// `combinations` workload requests, each paired with every one of the four
+/// Grid'5000 subsets (`combinations × 4` scenarios in total).
+///
+/// # Errors
+///
+/// Propagates the first workload-generation failure (e.g. a replayed trace
+/// that does not contain a requested combination).
+pub fn generate_scenarios_with(
+    source: &dyn WorkloadSource,
+    num_ptgs: usize,
+    combinations: usize,
+    base_seed: u64,
+) -> Result<Vec<Scenario>, SchedError> {
+    let platforms = grid5000::all_sites();
+    let label = source.short_label();
+    let mut scenarios = Vec::with_capacity(combinations * platforms.len());
+    for (combo, request) in combo_requests(&label, num_ptgs, combinations, base_seed)
+        .iter()
+        .enumerate()
+    {
+        let workload = source.generate(request)?;
+        for platform in &platforms {
+            scenarios.push(Scenario {
+                name: format!("{label}-n{num_ptgs}-c{combo}-{}", platform.name()),
+                platform: platform.clone(),
+                ptgs: workload.ptgs().to_vec(),
+                release_times: workload.release_times().to_vec(),
+                seed: request.seed,
+            });
+        }
+    }
+    Ok(scenarios)
+}
+
 /// Generates the scenarios of one data point of the paper's evaluation:
 /// `combinations` random draws of `num_ptgs` applications of class `class`,
 /// each paired with every one of the four Grid'5000 subsets
-/// (`combinations × 4` scenarios in total).
+/// (`combinations × 4` scenarios in total). Equivalent to
+/// [`generate_scenarios_with`] over the class's [`GeneratorSource`] (the
+/// draws are byte-identical).
 pub fn generate_scenarios(
     class: PtgClass,
     num_ptgs: usize,
     combinations: usize,
     base_seed: u64,
 ) -> Vec<Scenario> {
-    let platforms = grid5000::all_sites();
-    let mut scenarios = Vec::with_capacity(combinations * platforms.len());
-    for combo in 0..combinations {
-        let seed = base_seed
-            .wrapping_mul(1_000_003)
-            .wrapping_add((num_ptgs as u64) << 32)
-            .wrapping_add(combo as u64);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let ptgs: Vec<Ptg> = (0..num_ptgs)
-            .map(|i| class.sample(&mut rng, format!("{}-{}-{}", class.label(), combo, i)))
-            .collect();
-        for platform in &platforms {
-            scenarios.push(Scenario {
-                name: format!(
-                    "{}-n{}-c{}-{}",
-                    class.label(),
-                    num_ptgs,
-                    combo,
-                    platform.name()
-                ),
-                platform: platform.clone(),
-                ptgs: ptgs.clone(),
-                seed,
-            });
-        }
-    }
-    scenarios
+    generate_scenarios_with(
+        &GeneratorSource::from_class(class),
+        num_ptgs,
+        combinations,
+        base_seed,
+    )
+    .expect("class-backed generator sources cannot fail")
 }
 
 impl Scenario {
     /// The scenario's applications as a submission-ready [`Workload`]
-    /// (batch, labelled with the scenario name).
+    /// (labelled with the scenario name, carrying the scenario's release
+    /// times — all zero for the paper's batch scenarios).
+    ///
+    /// # Panics
+    ///
+    /// When [`Scenario::release_times`] violates the [`Workload::released`]
+    /// contract (generated scenarios always satisfy it).
     pub fn workload(&self) -> Workload {
-        Workload::batch(self.ptgs.clone()).with_label(self.name.clone())
+        Workload::released(self.ptgs.clone(), self.release_times.clone())
+            .expect("Scenario::release_times must be finite, non-negative, one per application")
+            .with_label(self.name.clone())
     }
 
     /// Builds the memoized [`ScheduleContext`] for this scenario: the single
     /// entry point through which every strategy evaluation runs, so that the
     /// platform views and the dedicated baselines (`M_own`) are computed once
-    /// per scenario.
+    /// per scenario. Carries the scenario's release times, so every
+    /// evaluation path (including the ablation two-step path) schedules
+    /// timed scenarios identically.
+    ///
+    /// # Panics
+    ///
+    /// When [`Scenario::release_times`] violates the [`Workload::released`]
+    /// contract (generated scenarios always satisfy it).
     pub fn context<'a>(&'a self, base: &SchedulerConfig) -> ScheduleContext<'a> {
         ScheduleContext::with_base(&self.platform, &self.ptgs, *base)
+            .with_release_times(self.release_times.clone())
+            .expect("Scenario::release_times must be finite, non-negative, one per application")
     }
 
     /// Dedicated-platform makespans of every application of the scenario
@@ -152,10 +217,10 @@ impl Scenario {
     ) -> ScenarioOutcome {
         let config = SchedulerConfig { strategy, ..*base };
         let scheduler = ConcurrentScheduler::new(config);
-        // Borrow the scenario's PTGs through a context instead of cloning
-        // them into a one-shot `Workload`.
+        // Borrow the scenario's PTGs (and release times) through a context
+        // instead of cloning them into a one-shot `Workload`.
         let run = scheduler
-            .schedule_in(&scheduler.context(&self.platform, &self.ptgs))
+            .schedule_in(&self.context(base))
             .expect("scheduler produces valid workloads");
         let fairness = mcsched_core::metrics::fairness_report(dedicated, &run.app_makespans());
         ScenarioOutcome {
@@ -213,6 +278,35 @@ mod tests {
     }
 
     #[test]
+    fn class_wrapper_matches_the_source_backed_path() {
+        let legacy = generate_scenarios(PtgClass::Fft, 3, 2, 99);
+        let source = GeneratorSource::from_class(PtgClass::Fft);
+        let routed = generate_scenarios_with(&source, 3, 2, 99).unwrap();
+        assert_eq!(legacy.len(), routed.len());
+        for (a, b) in legacy.iter().zip(&routed) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.ptgs, b.ptgs);
+            assert_eq!(a.release_times, b.release_times);
+            assert!(a.release_times.iter().all(|&t| t == 0.0));
+        }
+    }
+
+    #[test]
+    fn timed_sources_carry_release_times_into_the_workload() {
+        use mcsched_workload::{AppGenerator, ArrivalProcess};
+        let source =
+            GeneratorSource::new(AppGenerator::Strassen).with_arrival(ArrivalProcess::Bursty {
+                burst: 1,
+                gap: 25.0,
+            });
+        let scenarios = generate_scenarios_with(&source, 3, 1, 5).unwrap();
+        let w = scenarios[0].workload();
+        assert!(!w.is_batch());
+        assert_eq!(w.release_times(), &[0.0, 25.0, 50.0]);
+    }
+
+    #[test]
     fn evaluate_strategy_produces_finite_metrics() {
         let scenarios = generate_scenarios(PtgClass::Strassen, 2, 1, 5);
         let scenario = &scenarios[0];
@@ -238,6 +332,32 @@ mod tests {
             let reference = scenario.evaluate_strategy(strategy, &base, &dedicated);
             assert_eq!(*outcome, reference);
         }
+    }
+
+    #[test]
+    fn timed_scenarios_evaluate_identically_on_both_paths() {
+        use mcsched_workload::{AppGenerator, ArrivalProcess};
+        // The two-step ablation path (context + evaluate_strategy) must
+        // honour the scenario's release times exactly like evaluate_policies
+        // does, or the same Scenario would yield two different results.
+        let source =
+            GeneratorSource::new(AppGenerator::Strassen).with_arrival(ArrivalProcess::Bursty {
+                burst: 1,
+                gap: 500.0,
+            });
+        let scenarios = generate_scenarios_with(&source, 3, 1, 11).unwrap();
+        let scenario = &scenarios[0];
+        assert!(scenario.release_times.iter().any(|&t| t > 0.0));
+        let base = SchedulerConfig::default();
+        let dedicated = scenario.dedicated_makespans(&base);
+        let strategies = [ConstraintStrategy::Selfish, ConstraintStrategy::EqualShare];
+        let combined = scenario.evaluate_all(&base, &strategies);
+        for (outcome, &strategy) in combined.iter().zip(&strategies) {
+            let reference = scenario.evaluate_strategy(strategy, &base, &dedicated);
+            assert_eq!(*outcome, reference);
+        }
+        // A released application cannot start before its release instant.
+        assert!(combined[0].makespan >= 1000.0);
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //! `[4·10^6, 121·10^6]` elements, computational complexity `a·d`,
 //! `a·d·log d` or `d^{3/2}` with `a` uniform in `[2^6, 2^9]`, Amdahl
 //! fraction `α` uniform in `[0, 0.25]`, edge volume `8·d` bytes.
+//!
+//! **Fidelity caveat:** this generator's mean level width is `n^width`,
+//! while the authors' DAGGEN program uses `fat · √n` — substantially
+//! narrower for the paper's parameter values. The `mcsched-workload` crate
+//! provides a calibrated DAGGEN-style generator (`daggen` spec) plus a
+//! calibration module quantifying the width-distribution gap; prefer it when
+//! reproducing the paper's figures (see the ROADMAP fidelity item).
 
 use crate::graph::{Ptg, PtgBuilder, TaskId};
 use crate::task::{CostModel, DataParallelTask};
@@ -54,7 +61,10 @@ impl CostScenario {
         ]
     }
 
-    fn draw_model<R: Rng>(&self, rng: &mut R) -> CostModel {
+    /// Draws one concrete [`CostModel`] for a task under this scenario (the
+    /// iteration multiplier `a` is drawn in the paper's `[2^6, 2^9]` range).
+    /// Shared with the DAGGEN-style generator of `mcsched-workload`.
+    pub fn draw_model<R: Rng>(&self, rng: &mut R) -> CostModel {
         let a = rng.gen_range(64.0..=512.0);
         match self {
             CostScenario::Linear => CostModel::Linear { a },

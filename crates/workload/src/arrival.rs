@@ -1,0 +1,235 @@
+//! Seeded arrival processes producing deterministic release times.
+//!
+//! The paper's evaluation submits every application at time 0 (a batch) and
+//! sketches timed releases as future work. The processes below produce the
+//! `release_times` vector of a timed [`mcsched_core::Workload`]; all of them
+//! anchor the first application at `t = 0` so that batch and timed scenarios
+//! stay directly comparable, and all draws go through the caller's seeded
+//! RNG, so a (spec, seed) pair always reproduces the same schedule.
+
+use mcsched_core::SchedError;
+use rand::Rng;
+
+/// An arrival process: how the release times of `n` concurrent applications
+/// are spaced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ArrivalProcess {
+    /// Everything released at time 0 (the paper's scenario).
+    Batch,
+    /// Poisson process: i.i.d. exponential interarrival times with rate
+    /// `lambda` (mean spacing `1/λ` seconds).
+    Poisson {
+        /// Arrival rate λ in applications per second (> 0).
+        lambda: f64,
+    },
+    /// Independent uniform interarrival times in `[lo, hi]` seconds.
+    Uniform {
+        /// Smallest interarrival gap (≥ 0).
+        lo: f64,
+        /// Largest interarrival gap (≥ `lo`).
+        hi: f64,
+    },
+    /// Deterministic bursts: applications arrive in groups of `burst`, one
+    /// group every `gap` seconds (group `k` at `k · gap`).
+    Bursty {
+        /// Applications per burst (≥ 1).
+        burst: usize,
+        /// Seconds between consecutive bursts (> 0).
+        gap: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Validates the process parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidConfig`] when a parameter is outside its domain.
+    pub fn validate(&self) -> Result<(), SchedError> {
+        let err = |what: String| Err(SchedError::InvalidConfig(what));
+        match *self {
+            ArrivalProcess::Batch => Ok(()),
+            ArrivalProcess::Poisson { lambda } => {
+                if lambda > 0.0 && lambda.is_finite() {
+                    Ok(())
+                } else {
+                    err(format!("poisson: lambda {lambda} must be finite and > 0"))
+                }
+            }
+            ArrivalProcess::Uniform { lo, hi } => {
+                if lo >= 0.0 && hi >= lo && hi.is_finite() {
+                    Ok(())
+                } else {
+                    err(format!("uniform: invalid interarrival range [{lo}, {hi}]"))
+                }
+            }
+            ArrivalProcess::Bursty { burst, gap } => {
+                if burst == 0 {
+                    err("bursty: burst size must be at least 1".into())
+                } else if gap > 0.0 && gap.is_finite() {
+                    Ok(())
+                } else {
+                    err(format!("bursty: gap {gap} must be finite and > 0"))
+                }
+            }
+        }
+    }
+
+    /// Draws `n` non-decreasing release times, the first at `t = 0`.
+    ///
+    /// The batch process draws nothing from `rng`, so a batch source is
+    /// byte-identical to the legacy no-arrival generation path.
+    pub fn release_times<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        match *self {
+            ArrivalProcess::Batch => vec![0.0; n],
+            ArrivalProcess::Poisson { lambda } => {
+                let mut t = 0.0f64;
+                (0..n)
+                    .map(|i| {
+                        if i > 0 {
+                            let u: f64 = rng.gen_range(0.0..1.0);
+                            t += -(1.0 - u).ln() / lambda;
+                        }
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Uniform { lo, hi } => {
+                let mut t = 0.0f64;
+                (0..n)
+                    .map(|i| {
+                        if i > 0 {
+                            t += if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+                        }
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Bursty { burst, gap } => {
+                (0..n).map(|i| (i / burst) as f64 * gap).collect()
+            }
+        }
+    }
+
+    /// The canonical spec string of the process (parsable by the
+    /// [`crate::catalog::WorkloadCatalog`]).
+    #[must_use]
+    pub fn spec(&self) -> String {
+        match *self {
+            ArrivalProcess::Batch => "batch".to_string(),
+            ArrivalProcess::Poisson { lambda } => format!("poisson@lambda={lambda}"),
+            ArrivalProcess::Uniform { lo, hi } => format!("uniform@lo={lo},hi={hi}"),
+            ArrivalProcess::Bursty { burst, gap } => format!("bursty@burst={burst},gap={gap}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn batch_is_all_zero_and_draws_nothing() {
+        let mut r1 = rng(1);
+        let times = ArrivalProcess::Batch.release_times(5, &mut r1);
+        assert_eq!(times, vec![0.0; 5]);
+        // The RNG stream is untouched: the next draw matches a fresh RNG.
+        let mut r2 = rng(1);
+        assert_eq!(r1.gen_range(0..100u32), r2.gen_range(0..100u32));
+    }
+
+    #[test]
+    fn poisson_is_non_decreasing_deterministic_and_anchored_at_zero() {
+        let p = ArrivalProcess::Poisson { lambda: 0.05 };
+        let a = p.release_times(10, &mut rng(9));
+        let b = p.release_times(10, &mut rng(9));
+        assert_eq!(a, b);
+        assert_eq!(a[0], 0.0);
+        for w in a.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(a[9] > 0.0);
+    }
+
+    #[test]
+    fn poisson_mean_spacing_tracks_one_over_lambda() {
+        let p = ArrivalProcess::Poisson { lambda: 0.1 };
+        let times = p.release_times(2000, &mut rng(3));
+        let mean_gap = times[1999] / 1999.0;
+        assert!(
+            (mean_gap - 10.0).abs() < 1.0,
+            "mean gap {mean_gap:.2} should be near 1/λ = 10"
+        );
+    }
+
+    #[test]
+    fn uniform_gaps_stay_in_range() {
+        let p = ArrivalProcess::Uniform { lo: 2.0, hi: 5.0 };
+        let times = p.release_times(50, &mut rng(4));
+        for w in times.windows(2) {
+            let gap = w[1] - w[0];
+            assert!((2.0..=5.0).contains(&gap), "gap {gap}");
+        }
+        let degenerate = ArrivalProcess::Uniform { lo: 3.0, hi: 3.0 };
+        let times = degenerate.release_times(4, &mut rng(4));
+        assert_eq!(times, vec![0.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn bursty_groups_share_release_times() {
+        let p = ArrivalProcess::Bursty {
+            burst: 3,
+            gap: 100.0,
+        };
+        let times = p.release_times(7, &mut rng(0));
+        assert_eq!(times, vec![0.0, 0.0, 0.0, 100.0, 100.0, 100.0, 200.0]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(ArrivalProcess::Poisson { lambda: 0.0 }.validate().is_err());
+        assert!(ArrivalProcess::Poisson { lambda: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(ArrivalProcess::Uniform { lo: -1.0, hi: 2.0 }
+            .validate()
+            .is_err());
+        assert!(ArrivalProcess::Uniform { lo: 5.0, hi: 2.0 }
+            .validate()
+            .is_err());
+        assert!(ArrivalProcess::Bursty {
+            burst: 0,
+            gap: 10.0
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Bursty { burst: 2, gap: 0.0 }
+            .validate()
+            .is_err());
+        assert!(ArrivalProcess::Batch.validate().is_ok());
+    }
+
+    #[test]
+    fn specs_render_canonically() {
+        assert_eq!(ArrivalProcess::Batch.spec(), "batch");
+        assert_eq!(
+            ArrivalProcess::Poisson { lambda: 0.1 }.spec(),
+            "poisson@lambda=0.1"
+        );
+        assert_eq!(
+            ArrivalProcess::Bursty {
+                burst: 4,
+                gap: 60.0
+            }
+            .spec(),
+            "bursty@burst=4,gap=60"
+        );
+    }
+}

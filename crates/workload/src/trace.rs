@@ -1,0 +1,620 @@
+//! Replayable workload traces: JSON export/import of complete workloads.
+//!
+//! A trace captures everything a campaign consumed upstream of the
+//! scheduler — application graphs with their exact task costs, edge volumes,
+//! release times, plus the seed provenance of every generation request — so
+//! an experiment can be re-run bit-identically on another machine, shared
+//! alongside a paper, or replayed against a modified scheduler.
+//!
+//! Numbers are serialized with Rust's shortest round-trip `f64` formatting
+//! and parsed back verbatim (see [`crate::json`]), so an export → import
+//! cycle reproduces every cost bit-exactly and therefore every downstream
+//! schedule decision. Imports re-validate everything: graphs go through
+//! [`PtgBuilder::build`] (DAG checks), release times through
+//! [`Workload::released`] (finite, non-negative), and task costs and edge
+//! volumes against the task-model domains, so a hand-edited trace cannot
+//! smuggle an invalid workload past the scheduler.
+
+use crate::json::Json;
+use crate::source::{WorkloadRequest, WorkloadSource};
+use mcsched_core::{SchedError, Workload};
+use mcsched_ptg::{CostModel, DataParallelTask, Ptg, PtgBuilder};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Identifier of the current trace format.
+pub const TRACE_FORMAT: &str = "mcsched-trace/v1";
+
+/// One recorded generation request and the workload it produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// The request that produced the workload (seed provenance).
+    pub request: WorkloadRequest,
+    /// The complete workload (graphs, costs, release times, label).
+    pub workload: Workload,
+}
+
+/// A replayable set of workloads with their generation provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Canonical spec of the source that produced the trace.
+    pub spec: String,
+    /// The campaign's base seed (entry seeds derive from it).
+    pub base_seed: u64,
+    /// The recorded workloads, in generation order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// An empty trace for the given provenance.
+    #[must_use]
+    pub fn new(spec: impl Into<String>, base_seed: u64) -> Self {
+        Self {
+            spec: spec.into(),
+            base_seed,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Generates and records every request against `source`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first generation failure.
+    pub fn record(
+        source: &dyn WorkloadSource,
+        requests: &[WorkloadRequest],
+        base_seed: u64,
+    ) -> Result<Self, SchedError> {
+        let mut trace = Trace::new(source.spec(), base_seed);
+        for request in requests {
+            let workload = source.generate(request)?;
+            trace.entries.push(TraceEntry {
+                request: request.clone(),
+                workload,
+            });
+        }
+        Ok(trace)
+    }
+
+    /// Looks up the entry recorded for `(count, label)`.
+    #[must_use]
+    pub fn find(&self, count: usize, label: &str) -> Option<&TraceEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.request.count == count && e.request.label == label)
+    }
+
+    /// Serializes the trace as a JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let entries: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("seed".into(), Json::num_u64(e.request.seed)),
+                    ("count".into(), Json::num_usize(e.request.count)),
+                    ("label".into(), Json::Str(e.request.label.clone())),
+                    ("workload".into(), workload_to_json(&e.workload)),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("format".into(), Json::Str(TRACE_FORMAT.into())),
+            ("spec".into(), Json::Str(self.spec.clone())),
+            ("base_seed".into(), Json::num_u64(self.base_seed)),
+            ("entries".into(), Json::Arr(entries)),
+        ]);
+        doc.render()
+    }
+
+    /// Parses a trace from a JSON document produced by [`Trace::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidConfig`] on syntax errors, format mismatches,
+    /// invalid graphs or invalid release times.
+    pub fn from_json(text: &str) -> Result<Self, SchedError> {
+        let doc = Json::parse(text)
+            .map_err(|e| SchedError::InvalidConfig(format!("trace is not valid JSON: {e}")))?;
+        let format = doc
+            .get("format")
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid("missing `format`"))?;
+        if format != TRACE_FORMAT {
+            return Err(invalid(&format!(
+                "unsupported trace format `{format}` (expected `{TRACE_FORMAT}`)"
+            )));
+        }
+        let spec = doc
+            .get("spec")
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid("missing `spec`"))?
+            .to_string();
+        let base_seed = doc
+            .get("base_seed")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| invalid("missing `base_seed`"))?;
+        let mut entries = Vec::new();
+        for entry in doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| invalid("missing `entries`"))?
+        {
+            let seed = entry
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| invalid("entry missing `seed`"))?;
+            let count = entry
+                .get("count")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| invalid("entry missing `count`"))?;
+            let label = entry
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or_else(|| invalid("entry missing `label`"))?
+                .to_string();
+            let workload = workload_from_json(
+                entry
+                    .get("workload")
+                    .ok_or_else(|| invalid("entry missing `workload`"))?,
+            )?;
+            if workload.len() != count {
+                return Err(invalid(&format!(
+                    "entry `{label}` records count {count} but holds {} applications",
+                    workload.len()
+                )));
+            }
+            entries.push(TraceEntry {
+                request: WorkloadRequest::new(seed, count, label),
+                workload,
+            });
+        }
+        Ok(Self {
+            spec,
+            base_seed,
+            entries,
+        })
+    }
+
+    /// Writes the trace to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidConfig`] describing the I/O failure.
+    pub fn write_file(&self, path: impl AsRef<Path>) -> Result<(), SchedError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_json()).map_err(|e| {
+            SchedError::InvalidConfig(format!("cannot write trace {}: {e}", path.display()))
+        })
+    }
+
+    /// Reads a trace from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidConfig`] on I/O or parse failures.
+    pub fn read_file(path: impl AsRef<Path>) -> Result<Self, SchedError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            SchedError::InvalidConfig(format!("cannot read trace {}: {e}", path.display()))
+        })?;
+        Self::from_json(&text)
+    }
+}
+
+fn invalid(what: &str) -> SchedError {
+    SchedError::InvalidConfig(format!("trace: {what}"))
+}
+
+fn workload_to_json(workload: &Workload) -> Json {
+    let apps: Vec<Json> = workload
+        .ptgs()
+        .iter()
+        .zip(workload.release_times())
+        .map(|(ptg, &release)| {
+            let tasks: Vec<Json> = ptg.tasks().iter().map(task_to_json).collect();
+            let edges: Vec<Json> = ptg
+                .edges()
+                .iter()
+                .map(|e| {
+                    Json::Arr(vec![
+                        Json::num_usize(e.src),
+                        Json::num_usize(e.dst),
+                        Json::num_f64(e.bytes),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("name".into(), Json::Str(ptg.name().to_string())),
+                ("release".into(), Json::num_f64(release)),
+                ("tasks".into(), Json::Arr(tasks)),
+                ("edges".into(), Json::Arr(edges)),
+            ])
+        })
+        .collect();
+    let mut members = vec![("apps".to_string(), Json::Arr(apps))];
+    if let Some(label) = workload.label() {
+        members.insert(0, ("label".to_string(), Json::Str(label.to_string())));
+    }
+    Json::Obj(members)
+}
+
+fn task_to_json(task: &DataParallelTask) -> Json {
+    let mut members = vec![
+        ("name".to_string(), Json::Str(task.name().to_string())),
+        ("d".to_string(), Json::num_f64(task.data_elems())),
+        ("alpha".to_string(), Json::num_f64(task.alpha())),
+    ];
+    match task.cost_model() {
+        CostModel::Linear { a } => {
+            members.push(("cost".into(), Json::Str("linear".into())));
+            members.push(("a".into(), Json::num_f64(a)));
+        }
+        CostModel::LogLinear { a } => {
+            members.push(("cost".into(), Json::Str("loglinear".into())));
+            members.push(("a".into(), Json::num_f64(a)));
+        }
+        CostModel::MatrixProduct => {
+            members.push(("cost".into(), Json::Str("matrix".into())));
+        }
+    }
+    Json::Obj(members)
+}
+
+fn workload_from_json(value: &Json) -> Result<Workload, SchedError> {
+    let apps = value
+        .get("apps")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| invalid("workload missing `apps`"))?;
+    let mut ptgs: Vec<Ptg> = Vec::with_capacity(apps.len());
+    let mut releases: Vec<f64> = Vec::with_capacity(apps.len());
+    for app in apps {
+        let name = app
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid("app missing `name`"))?;
+        let release = app
+            .get("release")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| invalid("app missing `release`"))?;
+        let mut builder = PtgBuilder::new(name);
+        for task in app
+            .get("tasks")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| invalid("app missing `tasks`"))?
+        {
+            builder.add_task(task_from_json(task)?);
+        }
+        for edge in app
+            .get("edges")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| invalid("app missing `edges`"))?
+        {
+            let triple = edge
+                .as_arr()
+                .ok_or_else(|| invalid("edge is not a triple"))?;
+            let (src, dst, bytes) = match triple {
+                [s, d, b] => (
+                    s.as_usize().ok_or_else(|| invalid("edge src"))?,
+                    d.as_usize().ok_or_else(|| invalid("edge dst"))?,
+                    b.as_f64().ok_or_else(|| invalid("edge bytes"))?,
+                ),
+                _ => return Err(invalid("edge is not a [src, dst, bytes] triple")),
+            };
+            if !bytes.is_finite() || bytes < 0.0 {
+                return Err(invalid(&format!(
+                    "edge volume {bytes} is not a finite non-negative byte count"
+                )));
+            }
+            builder.add_edge(src, dst, bytes);
+        }
+        let ptg = builder
+            .build()
+            .map_err(|e| invalid(&format!("app `{name}` is not a valid PTG: {e}")))?;
+        ptgs.push(ptg);
+        releases.push(release);
+    }
+    // Route through `Workload::released` so invalid release times in a
+    // hand-edited trace are rejected with `InvalidConfig`.
+    let workload = Workload::released(ptgs, releases)?;
+    Ok(match value.get("label").and_then(Json::as_str) {
+        Some(label) => workload.with_label(label),
+        None => workload,
+    })
+}
+
+fn task_from_json(value: &Json) -> Result<DataParallelTask, SchedError> {
+    let name = value
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| invalid("task missing `name`"))?;
+    let d = value
+        .get("d")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| invalid("task missing `d`"))?;
+    let alpha = value
+        .get("alpha")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| invalid("task missing `alpha`"))?;
+    // `DataParallelTask::new` accepts anything; enforce the task-model
+    // domains here so a hand-edited trace (e.g. `"d":1e999`, `"alpha":7`)
+    // cannot smuggle infinite or negative costs past the import boundary.
+    if !d.is_finite() || d <= 0.0 {
+        return Err(invalid(&format!(
+            "task `{name}` dataset size {d} is not a finite positive element count"
+        )));
+    }
+    if !alpha.is_finite() || !(0.0..=1.0).contains(&alpha) {
+        return Err(invalid(&format!(
+            "task `{name}` Amdahl fraction {alpha} is outside [0, 1]"
+        )));
+    }
+    let a = value.get("a").and_then(Json::as_f64);
+    if let Some(a) = a {
+        if !a.is_finite() || a <= 0.0 {
+            return Err(invalid(&format!(
+                "task `{name}` cost multiplier {a} is not a finite positive factor"
+            )));
+        }
+    }
+    let cost = match value.get("cost").and_then(Json::as_str) {
+        Some("linear") => CostModel::Linear {
+            a: a.ok_or_else(|| invalid("linear cost missing `a`"))?,
+        },
+        Some("loglinear") => CostModel::LogLinear {
+            a: a.ok_or_else(|| invalid("loglinear cost missing `a`"))?,
+        },
+        Some("matrix") => CostModel::MatrixProduct,
+        Some(other) => return Err(invalid(&format!("unknown cost model `{other}`"))),
+        None => return Err(invalid("task missing `cost`")),
+    };
+    Ok(DataParallelTask::new(name, d, cost, alpha))
+}
+
+/// A [`WorkloadSource`] replaying a recorded [`Trace`]: requests are matched
+/// on `(count, label)`, so a campaign replayed with the same shape consumes
+/// the recorded workloads instead of generating fresh ones.
+#[derive(Debug, Clone)]
+pub struct TraceSource {
+    trace: Arc<Trace>,
+}
+
+impl TraceSource {
+    /// Wraps a loaded trace.
+    #[must_use]
+    pub fn new(trace: Trace) -> Self {
+        Self {
+            trace: Arc::new(trace),
+        }
+    }
+
+    /// The wrapped trace.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl WorkloadSource for TraceSource {
+    fn spec(&self) -> String {
+        // Re-exporting a replay must not stack `trace:` prefixes, or the
+        // second-generation trace would stop resolving.
+        if self.trace.spec.starts_with("trace:") {
+            self.trace.spec.clone()
+        } else {
+            format!("trace:{}", self.trace.spec)
+        }
+    }
+
+    fn short_label(&self) -> String {
+        // Replayed requests are looked up by `(count, label)`, and the
+        // harness labels requests `{short_label}-{combo}` — so the label must
+        // be recovered from the recorded entries, not re-derived from the
+        // spec (a mixture records `mixed-0` under the spec `random+fft`).
+        match self.trace.entries.first() {
+            Some(entry) => match entry.request.label.rsplit_once('-') {
+                Some((prefix, combo))
+                    if !prefix.is_empty() && combo.bytes().all(|b| b.is_ascii_digit()) =>
+                {
+                    prefix.to_string()
+                }
+                _ => entry.request.label.clone(),
+            },
+            None => "trace".to_string(),
+        }
+    }
+
+    fn generate(&self, request: &WorkloadRequest) -> Result<Workload, SchedError> {
+        self.trace
+            .find(request.count, &request.label)
+            .map(|e| e.workload.clone())
+            .ok_or_else(|| {
+                SchedError::InvalidConfig(format!(
+                    "trace has no entry for {} applications labelled `{}` \
+                     ({} entries recorded from `{}`)",
+                    request.count,
+                    request.label,
+                    self.trace.entries.len(),
+                    self.trace.spec
+                ))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::ArrivalProcess;
+    use crate::source::{AppGenerator, GeneratorSource};
+
+    fn sample_trace() -> Trace {
+        let source = GeneratorSource::new(AppGenerator::Random)
+            .with_arrival(ArrivalProcess::Poisson { lambda: 0.001 });
+        let requests = vec![
+            WorkloadRequest::new(11, 2, "random-0"),
+            WorkloadRequest::new(12, 2, "random-1"),
+        ];
+        Trace::record(&source, &requests, 7).unwrap()
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let trace = sample_trace();
+        let text = trace.to_json();
+        let back = Trace::from_json(&text).unwrap();
+        assert_eq!(trace, back);
+        // Second generation differs from first (different seeds) but both
+        // survive the round trip, including exact f64 costs.
+        assert_ne!(back.entries[0].workload, back.entries[1].workload);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let trace = sample_trace();
+        let path = std::env::temp_dir().join("mcsched_trace_test.json");
+        trace.write_file(&path).unwrap();
+        let back = Trace::read_file(&path).unwrap();
+        assert_eq!(trace, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_source_replays_recorded_workloads() {
+        let trace = sample_trace();
+        let source = TraceSource::new(trace.clone());
+        let replayed = source
+            .generate(&WorkloadRequest::new(999, 2, "random-1"))
+            .unwrap();
+        assert_eq!(replayed, trace.entries[1].workload);
+        assert_eq!(source.short_label(), "random");
+        assert!(source.spec().starts_with("trace:"));
+        assert!(source
+            .generate(&WorkloadRequest::new(0, 5, "missing"))
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_format_and_syntax() {
+        assert!(matches!(
+            Trace::from_json("not json"),
+            Err(SchedError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Trace::from_json("{\"format\":\"other/v9\"}"),
+            Err(SchedError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Trace::from_json("{\"format\":\"mcsched-trace/v1\",\"spec\":\"x\"}"),
+            Err(SchedError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn mixture_traces_replay_under_the_recorded_labels() {
+        // A mixture source labels its requests `mixed-{combo}`; the replay
+        // must re-derive that prefix from the entries, not from the spec
+        // head (`random+fft` would yield `random-0` and never match).
+        let source = GeneratorSource::mixed(vec![
+            AppGenerator::Random,
+            AppGenerator::Fft { points: Some(4) },
+        ])
+        .unwrap();
+        let label = source.short_label();
+        let requests = vec![WorkloadRequest::new(3, 2, format!("{label}-0"))];
+        let trace = Trace::record(&source, &requests, 3).unwrap();
+        let replay = TraceSource::new(trace.clone());
+        assert_eq!(replay.short_label(), label);
+        let replayed = replay
+            .generate(&WorkloadRequest::new(0, 2, format!("{label}-0")))
+            .unwrap();
+        assert_eq!(replayed, trace.entries[0].workload);
+    }
+
+    #[test]
+    fn replays_re_export_and_replay_again() {
+        // `--trace a.json --export-trace b.json` records the replay source
+        // itself; the second-generation trace must still resolve.
+        let first = sample_trace();
+        let label = TraceSource::new(first.clone()).short_label();
+        let requests: Vec<WorkloadRequest> =
+            first.entries.iter().map(|e| e.request.clone()).collect();
+        let second = Trace::record(&TraceSource::new(first.clone()), &requests, 7).unwrap();
+        let replay = TraceSource::new(second);
+        assert_eq!(replay.spec(), format!("trace:{}", first.spec));
+        assert_eq!(replay.short_label(), label);
+        let replayed = replay
+            .generate(&WorkloadRequest::new(0, 2, "random-1"))
+            .unwrap();
+        assert_eq!(replayed, first.entries[1].workload);
+    }
+
+    #[test]
+    fn rejects_invalid_costs_on_import() {
+        let pristine = sample_trace().to_json();
+        // `1e999` parses to +inf through the raw-token f64 reader; negative
+        // dataset sizes and out-of-range Amdahl fractions are plain edits.
+        for (needle, patch) in [
+            ("\"d\":", "\"d\":1e999,\"_d\":"),
+            ("\"d\":", "\"d\":-5,\"_d\":"),
+            ("\"alpha\":", "\"alpha\":7,\"_alpha\":"),
+            ("\"a\":", "\"a\":-1,\"_a\":"),
+        ] {
+            let text = pristine.replacen(needle, patch, 1);
+            assert_ne!(text, pristine);
+            assert!(
+                matches!(Trace::from_json(&text), Err(SchedError::InvalidConfig(_))),
+                "patch {patch} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_negative_release_times_on_import() {
+        // Satellite: hand-edited traces cannot smuggle invalid release times
+        // past `Workload::released`.
+        let mut text = sample_trace().to_json();
+        let needle = "\"release\":0";
+        assert!(text.contains(needle));
+        text = text.replacen(needle, "\"release\":-5", 1);
+        assert!(matches!(
+            Trace::from_json(&text),
+            Err(SchedError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_cyclic_graphs_on_import() {
+        let trace = sample_trace();
+        let mut text = trace.to_json();
+        // Add a back edge duplicating the first edge reversed: [dst,src,...]
+        // of an existing [src,dst,...] pair would need knowledge of the
+        // graph; instead corrupt an edge to point at itself.
+        let first_edge = text.find("\"edges\":[[").unwrap();
+        let tail = &text[first_edge + 10..];
+        let comma = tail.find(',').unwrap();
+        let src: usize = tail[..comma].parse().unwrap();
+        let rest = &tail[comma + 1..];
+        let comma2 = rest.find(',').unwrap();
+        let patched = format!("\"edges\":[[{src},{src},{}", &rest[comma2 + 1..comma2 + 2]);
+        text.replace_range(
+            first_edge..first_edge + 10 + comma + 1 + comma2 + 2,
+            &patched,
+        );
+        assert!(matches!(
+            Trace::from_json(&text),
+            Err(SchedError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let mut text = sample_trace().to_json();
+        text = text.replacen("\"count\":2", "\"count\":3", 1);
+        assert!(matches!(
+            Trace::from_json(&text),
+            Err(SchedError::InvalidConfig(_))
+        ));
+    }
+}

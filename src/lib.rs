@@ -16,6 +16,10 @@
 //! * [`core`] — constrained allocation (SCRAP/SCRAP-MAX), the β-determination
 //!   strategies (S, ES, PS-*, WPS-*), the ready-task mapping procedure and
 //!   the fairness metrics;
+//! * [`workload`] — workload generation upstream of the scheduler: the
+//!   DAGGEN-calibrated random-DAG generator, arrival processes, the
+//!   spec-resolvable [`workload::WorkloadCatalog`] and replayable JSON
+//!   traces;
 //! * [`exp`] — the experiment harness regenerating every table and figure of
 //!   the paper's evaluation.
 //!
@@ -57,6 +61,7 @@ pub use mcsched_exp as exp;
 pub use mcsched_platform as platform;
 pub use mcsched_ptg as ptg;
 pub use mcsched_simx as simx;
+pub use mcsched_workload as workload;
 
 /// The most commonly used items, re-exported for `use mcsched::prelude::*`.
 pub mod prelude {
@@ -76,4 +81,8 @@ pub mod prelude {
     };
     pub use mcsched_ptg::{CostModel, DataParallelTask, Ptg, PtgBuilder};
     pub use mcsched_simx::{Engine, ExecutionTrace, SimJob, SimWorkload};
+    pub use mcsched_workload::{
+        AppGenerator, ArrivalProcess, DaggenConfig, GeneratorSource, Trace, TraceSource,
+        WorkloadCatalog, WorkloadRequest, WorkloadSource,
+    };
 }

@@ -16,7 +16,7 @@ fn small_campaign(class: PtgClass) -> CampaignConfig {
 
 #[test]
 fn equal_share_is_fairer_than_selfish_on_random_ptgs() {
-    let result = run_campaign(&small_campaign(PtgClass::Random));
+    let result = run_campaign(&small_campaign(PtgClass::Random)).unwrap();
     let es = result.point(4, "ES").expect("ES evaluated").unfairness;
     let s = result.point(4, "S").expect("S evaluated").unfairness;
     assert!(
@@ -38,7 +38,7 @@ fn weighting_towards_equal_share_does_not_clearly_hurt_fairness() {
         combinations: 3,
         ..CampaignConfig::paper(PtgClass::Random)
     };
-    let result = run_campaign(&config);
+    let result = run_campaign(&config).unwrap();
     let ps_work = result.point(8, "PS-work").unwrap().unfairness;
     let wps_work = result.point(8, "WPS-work").unwrap().unfairness;
     let es = result.point(8, "ES").unwrap().unfairness;
@@ -47,13 +47,16 @@ fn weighting_towards_equal_share_does_not_clearly_hurt_fairness() {
     // 100 runs per cell, seeds 0x5EED/1/42/7, via
     // `fig3_random --combinations 25 --ptgs 8 --strategies ps-work,wps-work,es`):
     // WPS-work's unfairness exceeds PS-work's by a systematic 0.01–0.07 on
-    // every seed, so the reversal is a property of this reproduction's
-    // random-DAG width distribution, not sample noise, and a larger seeded
-    // sample cannot restore the strict assertion (tracked in ROADMAP.md).
-    // The µ endpoints (µ = 0 vs µ = 1), where the paper's signal is
-    // unambiguous, are asserted strictly in
-    // `mu_interpolates_fairness_against_makespan`; ES ≤ PS-work is asserted
-    // below and holds on every probed seed.
+    // every seed with this legacy `n^width` generator. Re-probed with the
+    // width-calibrated DAGGEN generator (`--workload daggen-grid`, same
+    // scale and seeds): the gap shrinks to −0.007…+0.047 and changes sign
+    // across seeds, i.e. the calibration removes the *systematic* reversal
+    // but the strict ordering still does not reproduce cleanly (numbers
+    // recorded in ROADMAP.md; see also
+    // `calibrated_generator_narrows_the_wps_vs_ps_gap` below). The µ
+    // endpoints (µ = 0 vs µ = 1), where the paper's signal is unambiguous,
+    // are asserted strictly in `mu_interpolates_fairness_against_makespan`;
+    // ES ≤ PS-work is asserted below and holds on every probed seed.
     assert!(
         wps_work <= ps_work * 1.15 + 0.05,
         "WPS-work ({wps_work:.3}) should not be clearly less fair than PS-work ({ps_work:.3})"
@@ -61,6 +64,34 @@ fn weighting_towards_equal_share_does_not_clearly_hurt_fairness() {
     assert!(
         es <= ps_work + 0.05,
         "ES ({es:.3}) should be at least as fair as PS-work ({ps_work:.3})"
+    );
+}
+
+#[test]
+fn calibrated_generator_narrows_the_wps_vs_ps_gap() {
+    // Same shape as `weighting_towards_equal_share_does_not_clearly_hurt_
+    // fairness`, but drawing the random PTGs from the width-calibrated
+    // DAGGEN generator (`daggen-grid`). At paper scale (100 runs per cell,
+    // seeds 0x5EED/1/42/7) WPS-work vs PS-work lands at +0.005/+0.047/
+    // −0.007/+0.013 — the legacy generator's systematic 0.01–0.07 excess is
+    // gone, which pins the remaining deviation on residual generator detail
+    // rather than scheduler behaviour. At this reduced scale we assert the
+    // correspondingly tighter noise-tolerant bound.
+    let source = WorkloadCatalog::builtin()
+        .resolve("daggen-grid")
+        .expect("calibrated spec resolves");
+    let config = CampaignConfig {
+        source,
+        ptg_counts: vec![8],
+        combinations: 3,
+        ..CampaignConfig::paper(PtgClass::Random)
+    };
+    let result = run_campaign(&config).unwrap();
+    let ps_work = result.point(8, "PS-work").unwrap().unfairness;
+    let wps_work = result.point(8, "WPS-work").unwrap().unfairness;
+    assert!(
+        wps_work <= ps_work * 1.10 + 0.05,
+        "calibrated WPS-work ({wps_work:.3}) should track PS-work ({ps_work:.3}) closely"
     );
 }
 
@@ -73,7 +104,7 @@ fn proportional_work_achieves_competitive_makespans_under_contention() {
         combinations: 3,
         ..CampaignConfig::paper(PtgClass::Random)
     };
-    let result = run_campaign(&config);
+    let result = run_campaign(&config).unwrap();
     let ps_work = result.point(8, "PS-work").unwrap().relative_makespan;
     let es = result.point(8, "ES").unwrap().relative_makespan;
     let s = result.point(8, "S").unwrap().relative_makespan;
@@ -98,7 +129,7 @@ fn mu_interpolates_fairness_against_makespan() {
         combinations: 3,
         ..MuSweepConfig::paper()
     };
-    let points = run_mu_sweep(&config);
+    let points = run_mu_sweep(&config).unwrap();
     let at = |mu: f64| points.iter().find(|p| (p.mu - mu).abs() < 1e-9).unwrap();
     let ps = at(0.0);
     let es = at(1.0);
@@ -126,7 +157,7 @@ fn unfairness_grows_with_the_number_of_concurrent_ptgs() {
         strategies: CampaignConfig::policies(&[ConstraintStrategy::EqualShare]),
         ..CampaignConfig::paper(PtgClass::Random)
     };
-    let result = run_campaign(&config);
+    let result = run_campaign(&config).unwrap();
     let few = result.point(2, "ES").unwrap().unfairness;
     let many = result.point(8, "ES").unwrap().unfairness;
     assert!(
@@ -139,8 +170,8 @@ fn unfairness_grows_with_the_number_of_concurrent_ptgs() {
 fn fft_campaign_is_overall_fairer_than_random_campaign() {
     // Figure 4: the regularity of FFT graphs yields lower unfairness than the
     // random PTGs of Figure 3 for the same strategies.
-    let random = run_campaign(&small_campaign(PtgClass::Random));
-    let fft = run_campaign(&small_campaign(PtgClass::Fft));
+    let random = run_campaign(&small_campaign(PtgClass::Random)).unwrap();
+    let fft = run_campaign(&small_campaign(PtgClass::Fft)).unwrap();
     let avg = |r: &mcsched::exp::CampaignResult| {
         let pts: Vec<f64> = r.points.iter().map(|p| p.unfairness).collect();
         pts.iter().sum::<f64>() / pts.len() as f64
@@ -155,7 +186,7 @@ fn fft_campaign_is_overall_fairer_than_random_campaign() {
 
 #[test]
 fn best_strategy_has_relative_makespan_close_to_one() {
-    let result = run_campaign(&small_campaign(PtgClass::Strassen));
+    let result = run_campaign(&small_campaign(PtgClass::Strassen)).unwrap();
     for &count in &result.ptg_counts() {
         let best = result
             .points

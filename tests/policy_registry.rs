@@ -129,7 +129,7 @@ fn custom_policy_slots_into_a_campaign_next_to_builtins() {
         threads: 2,
         ..CampaignConfig::paper(PtgClass::Strassen)
     };
-    let result = run_campaign(&config);
+    let result = run_campaign(&config).unwrap();
     assert_eq!(
         result.strategies(),
         vec!["ES".to_string(), "rank-decay".to_string()]
