@@ -8,17 +8,28 @@
 //! picked up automatically — the sweep iterates the registry's names instead
 //! of a hard-coded list.
 //!
+//! A final `paired` family times the campaign harness's
+//! common-random-numbers mode: evaluating the paper's constraint set through
+//! one shared [`ScheduleContext`] (`crn-shared-context`, dedicated baselines
+//! simulated once) versus one fresh context per policy
+//! (`independent-contexts`, the N+1 shape), so BENCH_policies.json tracks
+//! the overhead — in practice, the saving — of paired evaluation.
+//!
 //! ```sh
 //! cargo run --release -p mcsched-bench --bin bench_policies -- \
 //!     --iterations 10 --apps 8 --out BENCH_policies.json
 //! ```
 
-use mcsched_core::{ConcurrentScheduler, PolicyRegistry, SchedError, Workload};
+use mcsched_core::policy::ConstraintPolicy;
+use mcsched_core::{
+    ConcurrentScheduler, PolicyRegistry, SchedError, ScheduleContext, SchedulerConfig, Workload,
+};
 use mcsched_platform::{grid5000, Platform};
 use mcsched_ptg::gen::PtgClass;
 use mcsched_ptg::Ptg;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Options {
@@ -162,6 +173,50 @@ fn main() {
             ConcurrentScheduler::builder().mapping(name.clone()).build(),
         );
     }
+
+    // Paired-evaluation (common-random-numbers) timing: the paper's
+    // constraint set, evaluated through one shared context versus one fresh
+    // context per policy.
+    let paired_policies: Vec<Arc<dyn ConstraintPolicy>> = ["s", "es", "ps-work", "wps-work"]
+        .iter()
+        .map(|n| registry.constraint(n).expect("registry names resolve"))
+        .collect();
+    let base = SchedulerConfig::default();
+    let mut measure_paired = |policy: &str, run: &dyn Fn() -> Result<(), SchedError>| {
+        // One warm-up run outside the measurement.
+        run().expect("paired evaluation succeeds");
+        let mut total = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for _ in 0..opts.iterations {
+            let start = Instant::now();
+            run().expect("paired evaluation succeeds");
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            total += ms;
+            min = min.min(ms);
+            max = max.max(ms);
+        }
+        let mean_ms = total / opts.iterations as f64;
+        eprintln!("{:>10} {policy:<20} mean {mean_ms:8.2} ms", "paired");
+        measurements.push(Measurement {
+            family: "paired",
+            policy: policy.to_string(),
+            mean_ms,
+            min_ms: min,
+            max_ms: max,
+        });
+    };
+    measure_paired("crn-shared-context", &|| {
+        let context = ScheduleContext::for_workload(&platform, &workload, base);
+        context.evaluate_policies(&paired_policies).map(|_| ())
+    });
+    measure_paired("independent-contexts", &|| {
+        for policy in &paired_policies {
+            let context = ScheduleContext::for_workload(&platform, &workload, base);
+            context.evaluate_policies(std::slice::from_ref(policy))?;
+        }
+        Ok(())
+    });
 
     // Machine-readable output. Hand-rolled JSON: the offline workspace has
     // no serde_json, and the shape is flat enough not to need it.

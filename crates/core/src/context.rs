@@ -340,6 +340,35 @@ impl<'a> ScheduleContext<'a> {
         self.concurrent_sims.load(Ordering::Relaxed)
     }
 
+    /// Evaluates every constraint policy against this context's workload —
+    /// the *paired-evaluation path* of the campaign harness. All policies
+    /// see the exact same borrowed PTGs and release times (common random
+    /// numbers: the workload bytes are drawn once, upstream, per
+    /// replication), and share this context's memoized platform views and
+    /// dedicated baselines, so per-policy metric vectors are directly
+    /// pairable sample-for-sample. Returns one evaluation per policy, in
+    /// input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation validation errors (indicating a scheduler bug).
+    pub fn evaluate_policies(
+        &self,
+        policies: &[Arc<dyn ConstraintPolicy>],
+    ) -> Result<Vec<crate::scheduler::EvaluatedRun>, SchedError> {
+        policies
+            .iter()
+            .map(|policy| {
+                crate::scheduler::ConcurrentScheduler::builder()
+                    .constraint_policy(Arc::clone(policy))
+                    .allocation_procedure(self.base.allocation)
+                    .mapping_config(self.base.mapping)
+                    .build()?
+                    .evaluate_in(self)
+            })
+            .collect()
+    }
+
     /// Runs the full dedicated pipeline for one application: β = 1
     /// allocation, single-application mapping, simulation — all through the
     /// context's base policies.

@@ -5,7 +5,7 @@
 //! Run with `--full` for the paper-scale configuration (25 combinations × 4
 //! platforms per point); the default is a reduced quick run.
 
-use mcsched_exp::{report, CliOptions, MuSweepConfig};
+use mcsched_exp::{CliOptions, MuSweepConfig};
 
 fn main() {
     let opts = CliOptions::from_env();
@@ -16,15 +16,16 @@ fn main() {
     };
     let config = CliOptions::or_exit(opts.configure_mu_sweep(base));
     eprintln!(
-        "Figure 2: WPS-work mu sweep, {} combinations x 4 platforms, PTG counts {:?}, mu {:?}",
-        config.combinations, config.ptg_counts, config.mu_values
+        "Figure 2: WPS-work mu sweep, {} combinations x 4 platforms x {} replications, \
+         PTG counts {:?}, mu {:?}",
+        config.combinations, config.replications, config.ptg_counts, config.mu_values
     );
     opts.maybe_export_mu_sweep_trace(&config);
     let points = CliOptions::or_exit(mcsched_exp::run_mu_sweep(&config));
-    println!("{}", report::table_mu_sweep(&points));
+    opts.print_mu_sweep_table(&config, &points);
     println!(
         "Expected shape (paper): unfairness decreases as mu -> 1 while the average makespan\n\
          increases; mu = 0.7 offers the balance the paper selects for WPS-work."
     );
-    opts.maybe_write_csv(&report::csv_mu_sweep(&points));
+    opts.write_mu_sweep_csv(&config, &points);
 }

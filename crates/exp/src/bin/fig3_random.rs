@@ -4,7 +4,7 @@
 //!
 //! Run with `--full` for the paper-scale configuration.
 
-use mcsched_exp::{report, CampaignConfig, CliOptions};
+use mcsched_exp::{CampaignConfig, CliOptions};
 use mcsched_ptg::gen::PtgClass;
 
 fn main() {
@@ -16,18 +16,20 @@ fn main() {
     };
     let config = CliOptions::or_exit(opts.configure_campaign(base));
     eprintln!(
-        "Figure 3: random PTGs, {} combinations x 4 platforms, PTG counts {:?}, {} strategies",
+        "Figure 3: random PTGs, {} combinations x 4 platforms x {} replications, \
+         PTG counts {:?}, {} strategies",
         config.combinations,
+        config.replications,
         config.ptg_counts,
         config.strategies.len()
     );
     opts.maybe_export_campaign_trace(&config);
     let result = CliOptions::or_exit(mcsched_exp::run_campaign(&config));
-    println!("{}", report::table_campaign(&result));
+    opts.print_campaign_table(&config, &result);
     println!(
         "Expected shape (paper): ES, WPS-* and PS-width are fairer than the selfish S;\n\
          WPS-width is the fairest (about 2x better than S); PS-cp and PS-work are the least\n\
          fair but achieve the best makespans."
     );
-    opts.maybe_write_csv(&report::csv_campaign(&result));
+    opts.write_campaign_csv(&config, &result);
 }

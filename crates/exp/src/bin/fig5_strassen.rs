@@ -4,7 +4,7 @@
 //! remaining strategies are compared. Run with `--full` for the paper-scale
 //! configuration.
 
-use mcsched_exp::{report, CampaignConfig, CliOptions};
+use mcsched_exp::{CampaignConfig, CliOptions};
 use mcsched_ptg::gen::PtgClass;
 
 fn main() {
@@ -16,17 +16,19 @@ fn main() {
     };
     let config = CliOptions::or_exit(opts.configure_campaign(base));
     eprintln!(
-        "Figure 5: Strassen PTGs, {} combinations x 4 platforms, PTG counts {:?}, {} strategies",
+        "Figure 5: Strassen PTGs, {} combinations x 4 platforms x {} replications, \
+         PTG counts {:?}, {} strategies",
         config.combinations,
+        config.replications,
         config.ptg_counts,
         config.strategies.len()
     );
     opts.maybe_export_campaign_trace(&config);
     let result = CliOptions::or_exit(mcsched_exp::run_campaign(&config));
-    println!("{}", report::table_campaign(&result));
+    opts.print_campaign_table(&config, &result);
     println!(
         "Expected shape (paper): WPS-work is ~25% less fair than ES but ~35% better on\n\
          makespan; PS-work remains the least fair / shortest-schedule strategy."
     );
-    opts.maybe_write_csv(&report::csv_campaign(&result));
+    opts.write_campaign_csv(&config, &result);
 }

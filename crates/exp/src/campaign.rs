@@ -1,10 +1,20 @@
 //! Strategy-comparison campaigns (Figures 3, 4 and 5).
+//!
+//! Campaigns evaluate every strategy on *identical* scenario draws (common
+//! random numbers) and, with [`CampaignConfig::replications`] > 1, repeat
+//! the whole grid on fresh, deterministically derived seeds. Every cell
+//! retains its per-run samples ([`CellSamples`]), so results support both
+//! the paper's point-estimate tables (bit-identical to the pre-statistics
+//! harness at one replication) and interval estimates: bootstrap confidence
+//! intervals per cell and paired-difference orderings between strategies
+//! ([`CampaignResult::paired_unfairness`] et al.).
 
 use crate::fanout::run_indexed;
-use crate::scenario::generate_scenarios_with;
+use crate::scenario::{generate_scenarios_with, replication_seed};
 use mcsched_core::policy::ConstraintPolicy;
 use mcsched_core::{ConstraintStrategy, SchedError, SchedulerConfig};
 use mcsched_ptg::gen::PtgClass;
+use mcsched_stats::{PairedSamples, Samples};
 use mcsched_workload::{GeneratorSource, WorkloadSource};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -31,6 +41,12 @@ pub struct CampaignConfig {
     pub base: SchedulerConfig,
     /// Base random seed.
     pub seed: u64,
+    /// Number of paired replications: how many times the full
+    /// `ptg_counts × combinations` grid is redrawn on a fresh seed derived
+    /// by [`replication_seed`]. Within each replication all strategies see
+    /// byte-identical workloads; 1 (the default) reproduces the
+    /// pre-statistics harness exactly.
+    pub replications: usize,
     /// Number of worker threads (0 = one per available core).
     pub threads: usize,
 }
@@ -56,6 +72,7 @@ impl CampaignConfig {
             strategies: Self::policies(&strategies),
             base: SchedulerConfig::default(),
             seed: 0x5EED,
+            replications: 1,
             threads: 0,
         }
     }
@@ -69,6 +86,22 @@ impl CampaignConfig {
             ..Self::paper(class)
         }
     }
+}
+
+/// Per-run samples of one (PTG count, strategy) cell, in scenario order.
+///
+/// Within one cell, index `i` of every vector is the same scenario; across
+/// the cells of one PTG count, index `i` of *different strategies* is also
+/// the same scenario (common random numbers), which is what makes the
+/// vectors pairable through [`mcsched_stats::PairedSamples`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CellSamples {
+    /// Per-run unfairness.
+    pub unfairness: Samples,
+    /// Per-run global makespan (seconds).
+    pub makespan: Samples,
+    /// Per-run makespan relative to the best strategy of the same run.
+    pub relative_makespan: Samples,
 }
 
 /// Aggregated result for one (number of PTGs, strategy) cell.
@@ -87,6 +120,25 @@ pub struct StrategyPoint {
     pub relative_makespan: f64,
     /// Number of runs aggregated.
     pub runs: usize,
+    /// The raw per-run samples behind the means.
+    pub samples: CellSamples,
+}
+
+impl StrategyPoint {
+    /// Builds a point from its per-run samples (the means are the in-order
+    /// sample means, matching the legacy accumulator bit-for-bit).
+    #[must_use]
+    pub fn from_samples(num_ptgs: usize, strategy: String, samples: CellSamples) -> Self {
+        Self {
+            num_ptgs,
+            strategy,
+            unfairness: samples.unfairness.mean(),
+            makespan: samples.makespan.mean(),
+            relative_makespan: samples.relative_makespan.mean(),
+            runs: samples.unfairness.len(),
+            samples,
+        }
+    }
 }
 
 /// Result of a campaign: one [`StrategyPoint`] per (PTG count, strategy).
@@ -124,15 +176,40 @@ impl CampaignResult {
         v.dedup();
         v
     }
-}
 
-/// Raw per-run measurements for one cell before aggregation.
-#[derive(Debug, Default, Clone)]
-struct CellAccumulator {
-    unfairness: f64,
-    makespan: f64,
-    relative: f64,
-    runs: usize,
+    /// Paired per-run differences of a metric between two strategies of the
+    /// same cell (`a - b`, run by run under common random numbers).
+    /// `None` when either cell is missing or their run counts differ (which
+    /// would mean the cells were not drawn from the same scenarios).
+    pub fn paired(
+        &self,
+        num_ptgs: usize,
+        a: &str,
+        b: &str,
+        metric: impl Fn(&CellSamples) -> &Samples,
+    ) -> Option<PairedSamples> {
+        let pa = metric(&self.point(num_ptgs, a)?.samples);
+        let pb = metric(&self.point(num_ptgs, b)?.samples);
+        if pa.len() != pb.len() {
+            return None;
+        }
+        Some(PairedSamples::of(pa.values(), pb.values()))
+    }
+
+    /// [`CampaignResult::paired`] over the unfairness metric.
+    pub fn paired_unfairness(&self, num_ptgs: usize, a: &str, b: &str) -> Option<PairedSamples> {
+        self.paired(num_ptgs, a, b, |c| &c.unfairness)
+    }
+
+    /// [`CampaignResult::paired`] over the relative makespan metric.
+    pub fn paired_relative_makespan(
+        &self,
+        num_ptgs: usize,
+        a: &str,
+        b: &str,
+    ) -> Option<PairedSamples> {
+        self.paired(num_ptgs, a, b, |c| &c.relative_makespan)
+    }
 }
 
 /// One report label per policy. Display names are used as-is when unique;
@@ -159,16 +236,18 @@ fn strategy_labels(strategies: &[Arc<dyn ConstraintPolicy>]) -> Vec<String> {
         .collect()
 }
 
-/// Runs a campaign: for every PTG count, every combination and every
-/// platform, evaluates all strategies and aggregates unfairness and
-/// (relative) makespans.
+/// Runs a campaign: for every replication, every PTG count, every
+/// combination and every platform, evaluates all strategies on the same
+/// workload draw and aggregates unfairness and (relative) makespans into
+/// per-cell sample sets.
 ///
 /// Scenarios are fanned out over [`CampaignConfig::threads`] workers (see
 /// [`crate::fanout`]); each worker drives all strategies of its scenario
-/// through one shared [`mcsched_core::ScheduleContext`], so the dedicated
-/// baselines are simulated once per (platform, application) pair. Results
-/// are deterministic because aggregation follows scenario order, not
-/// completion order.
+/// through one shared [`mcsched_core::ScheduleContext`]
+/// (the paired-evaluation path), so the dedicated baselines are simulated
+/// once per (platform, application) pair and every strategy sees
+/// byte-identical workloads. Results are deterministic because aggregation
+/// follows scenario order, not completion order.
 ///
 /// # Errors
 ///
@@ -176,37 +255,40 @@ fn strategy_labels(strategies: &[Arc<dyn ConstraintPolicy>]) -> Vec<String> {
 /// [`CampaignConfig::source`] (e.g. a replayed trace missing a requested
 /// combination).
 pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, SchedError> {
-    // (num_ptgs, strategy index) -> accumulator.
-    let mut cells: BTreeMap<(usize, usize), CellAccumulator> = BTreeMap::new();
+    // (num_ptgs, strategy index) -> per-run samples.
+    let mut cells: BTreeMap<(usize, usize), CellSamples> = BTreeMap::new();
     let labels = strategy_labels(&config.strategies);
 
-    for &num_ptgs in &config.ptg_counts {
-        let scenarios = generate_scenarios_with(
-            config.source.as_ref(),
-            num_ptgs,
-            config.combinations,
-            config.seed,
-        )?;
-        let per_scenario = run_indexed(config.threads, scenarios.len(), |i| {
-            scenarios[i].evaluate_policies(&config.base, &config.strategies)
-        });
+    for replication in 0..config.replications.max(1) {
+        let seed = replication_seed(config.seed, replication);
+        for &num_ptgs in &config.ptg_counts {
+            let scenarios = generate_scenarios_with(
+                config.source.as_ref(),
+                num_ptgs,
+                config.combinations,
+                seed,
+            )?;
+            let per_scenario = run_indexed(config.threads, scenarios.len(), |i| {
+                scenarios[i].evaluate_policies(&config.base, &config.strategies)
+            });
 
-        for outcomes in per_scenario {
-            let best = outcomes
-                .iter()
-                .map(|o| o.makespan)
-                .filter(|m| *m > 0.0)
-                .fold(f64::INFINITY, f64::min);
-            for (si, outcome) in outcomes.iter().enumerate() {
-                let cell = cells.entry((num_ptgs, si)).or_default();
-                cell.unfairness += outcome.unfairness;
-                cell.makespan += outcome.makespan;
-                cell.relative += if best.is_finite() && best > 0.0 {
-                    outcome.makespan / best
-                } else {
-                    1.0
-                };
-                cell.runs += 1;
+            for outcomes in per_scenario {
+                let best = outcomes
+                    .iter()
+                    .map(|o| o.makespan)
+                    .filter(|m| *m > 0.0)
+                    .fold(f64::INFINITY, f64::min);
+                for (si, outcome) in outcomes.iter().enumerate() {
+                    let cell = cells.entry((num_ptgs, si)).or_default();
+                    cell.unfairness.push(outcome.unfairness);
+                    cell.makespan.push(outcome.makespan);
+                    cell.relative_makespan
+                        .push(if best.is_finite() && best > 0.0 {
+                            outcome.makespan / best
+                        } else {
+                            1.0
+                        });
+                }
             }
         }
     }
@@ -214,15 +296,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, SchedErro
     let points = cells
         .into_iter()
         .map(|((num_ptgs, si), cell)| {
-            let runs = cell.runs.max(1) as f64;
-            StrategyPoint {
-                num_ptgs,
-                strategy: labels[si].clone(),
-                unfairness: cell.unfairness / runs,
-                makespan: cell.makespan / runs,
-                relative_makespan: cell.relative / runs,
-                runs: cell.runs,
-            }
+            StrategyPoint::from_samples(num_ptgs, labels[si].clone(), cell)
         })
         .collect();
 
@@ -235,6 +309,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, SchedErro
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcsched_stats::BootstrapConfig;
 
     fn tiny_config() -> CampaignConfig {
         CampaignConfig {
@@ -261,6 +336,11 @@ mod tests {
             assert!(p.makespan > 0.0);
             assert!(p.relative_makespan >= 1.0 - 1e-9);
             assert!(p.unfairness >= 0.0);
+            // Samples back the means exactly (in-order sum).
+            assert_eq!(p.samples.unfairness.len(), 4);
+            assert_eq!(p.samples.unfairness.mean(), p.unfairness);
+            assert_eq!(p.samples.makespan.mean(), p.makespan);
+            assert_eq!(p.samples.relative_makespan.mean(), p.relative_makespan);
         }
     }
 
@@ -295,6 +375,7 @@ mod tests {
         assert_eq!(paper.ptg_counts, vec![2, 4, 6, 8, 10]);
         assert_eq!(paper.combinations, 25);
         assert_eq!(paper.strategies.len(), 8);
+        assert_eq!(paper.replications, 1);
         let quick = CampaignConfig::quick(PtgClass::Strassen);
         assert!(quick.combinations < paper.combinations);
         assert_eq!(quick.strategies.len(), 6);
@@ -327,5 +408,50 @@ mod tests {
         assert!(result.point(2, "S").is_some());
         assert!(result.point(2, "WPS-width").is_none());
         assert!(result.point(4, "S").is_none());
+    }
+
+    #[test]
+    fn replications_multiply_runs_and_change_later_draws_only() {
+        let mut cfg = tiny_config();
+        let single = run_campaign(&cfg).unwrap();
+        cfg.replications = 3;
+        let triple = run_campaign(&cfg).unwrap();
+        for (a, b) in single.points.iter().zip(&triple.points) {
+            assert_eq!(b.runs, 3 * a.runs);
+            // Replication 0 draws exactly the single-replication scenarios:
+            // the first `a.runs` samples coincide bit-for-bit.
+            assert_eq!(
+                &b.samples.unfairness.values()[..a.runs],
+                a.samples.unfairness.values()
+            );
+            // Later replications are fresh draws, not repeats of the first.
+            assert_ne!(
+                &b.samples.makespan.values()[a.runs..2 * a.runs],
+                &b.samples.makespan.values()[..a.runs]
+            );
+        }
+    }
+
+    #[test]
+    fn paired_metrics_align_run_for_run() {
+        let mut cfg = tiny_config();
+        cfg.replications = 2;
+        let result = run_campaign(&cfg).unwrap();
+        let paired = result.paired_unfairness(2, "S", "ES").unwrap();
+        assert_eq!(paired.len(), 8);
+        let s = result.point(2, "S").unwrap();
+        let es = result.point(2, "ES").unwrap();
+        for (i, d) in paired.diffs().iter().enumerate() {
+            let expect = s.samples.unfairness.values()[i] - es.samples.unfairness.values()[i];
+            assert_eq!(*d, expect);
+        }
+        // Paired mean difference equals the difference of means.
+        assert!((paired.mean_diff() - (s.unfairness - es.unfairness)).abs() < 1e-12);
+        // CIs computed from the retained samples are deterministic.
+        let bc = BootstrapConfig::seeded(9);
+        assert_eq!(paired.bootstrap_ci(&bc), paired.bootstrap_ci(&bc));
+        // Unknown strategies pair to None.
+        assert!(result.paired_unfairness(2, "S", "nope").is_none());
+        assert!(result.paired_relative_makespan(2, "S", "ES").is_some());
     }
 }

@@ -31,6 +31,16 @@
 //! (honouring the configs' `threads` fields) and evaluate every strategy of
 //! a scenario through one shared [`mcsched_core::ScheduleContext`], so each
 //! dedicated baseline is simulated exactly once per scenario.
+//!
+//! Point estimates at 100 runs per cell are too noisy to assert the paper's
+//! strict orderings on, so both harnesses run **paired replications**: all
+//! strategies see byte-identical workload draws per replication (common
+//! random numbers, the `ScheduleContext::evaluate_policies` path), every
+//! cell retains its per-run samples, and `mcsched-stats` turns aligned
+//! sample vectors into bootstrap confidence intervals and sign-test ordering
+//! verdicts. The binaries expose this through `--replications`/`--ci` and
+//! print `mean ±ci` tables when intervals are requested; at one replication
+//! the output stays byte-identical to the pre-statistics harness.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -42,10 +52,14 @@ pub mod mu_sweep;
 pub mod report;
 pub mod scenario;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult, StrategyPoint};
+pub use campaign::{run_campaign, CampaignConfig, CampaignResult, CellSamples, StrategyPoint};
 pub use cli::CliOptions;
-pub use mu_sweep::{run_mu_sweep, MuSweepConfig, MuSweepPoint};
-pub use report::{csv_campaign, csv_mu_sweep, table_campaign, table_mu_sweep};
+pub use mu_sweep::{paired_mu_unfairness, run_mu_sweep, MuSamples, MuSweepConfig, MuSweepPoint};
+pub use report::{
+    csv_campaign, csv_campaign_ci, csv_mu_sweep, csv_mu_sweep_ci, table_campaign,
+    table_campaign_ci, table_mu_sweep, table_mu_sweep_ci,
+};
 pub use scenario::{
-    combo_requests, generate_scenarios, generate_scenarios_with, Scenario, ScenarioOutcome,
+    combo_requests, generate_scenarios, generate_scenarios_with, replication_seed, Scenario,
+    ScenarioOutcome,
 };

@@ -5,12 +5,17 @@
 //! unfairness and the plain average makespan as µ spans
 //! {0, 0.3, 0.5, 0.7, 0.8, 0.9, 1}: unfairness decreases with µ while the
 //! makespan increases, and µ = 0.7 is chosen as the sweet spot.
+//!
+//! Like the campaigns, the sweep evaluates every µ on identical scenario
+//! draws and supports paired replications ([`MuSweepConfig::replications`]);
+//! every point retains its per-run samples for interval estimates.
 
 use crate::fanout::run_indexed;
-use crate::scenario::generate_scenarios_with;
+use crate::scenario::{generate_scenarios_with, replication_seed};
 use mcsched_core::policy::{ConstraintPolicy, WeightedShare};
 use mcsched_core::{Characteristic, SchedError, SchedulerConfig};
 use mcsched_ptg::gen::PtgClass;
+use mcsched_stats::{PairedSamples, Samples};
 use mcsched_workload::{GeneratorSource, WorkloadSource};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -33,6 +38,9 @@ pub struct MuSweepConfig {
     pub base: SchedulerConfig,
     /// Base random seed.
     pub seed: u64,
+    /// Number of paired replications (fresh seeds via
+    /// [`replication_seed`]; 1 reproduces the pre-statistics sweep).
+    pub replications: usize,
     /// Worker threads (0 = one per core).
     pub threads: usize,
 }
@@ -48,6 +56,7 @@ impl MuSweepConfig {
             combinations: 25,
             base: SchedulerConfig::default(),
             seed: 0x5EED,
+            replications: 1,
             threads: 0,
         }
     }
@@ -63,6 +72,16 @@ impl MuSweepConfig {
     }
 }
 
+/// Per-run samples of one (µ, PTG count) point, in scenario order (aligned
+/// across the µ values of the sweep: same index, same scenario).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MuSamples {
+    /// Per-run unfairness.
+    pub unfairness: Samples,
+    /// Per-run global makespan (seconds).
+    pub makespan: Samples,
+}
+
 /// One aggregated point of the sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MuSweepPoint {
@@ -76,27 +95,49 @@ pub struct MuSweepPoint {
     pub makespan: f64,
     /// Number of runs aggregated.
     pub runs: usize,
+    /// The raw per-run samples behind the means.
+    pub samples: MuSamples,
+}
+
+/// Paired per-run unfairness differences between two µ values of a sweep at
+/// one PTG count (`mu_a - mu_b`, run by run under common random numbers).
+/// `None` when either point is missing or the run counts differ.
+pub fn paired_mu_unfairness(
+    points: &[MuSweepPoint],
+    num_ptgs: usize,
+    mu_a: f64,
+    mu_b: f64,
+) -> Option<PairedSamples> {
+    let find = |mu: f64| {
+        points
+            .iter()
+            .find(|p| (p.mu - mu).abs() < 1e-12 && p.num_ptgs == num_ptgs)
+    };
+    let a = find(mu_a)?;
+    let b = find(mu_b)?;
+    if a.samples.unfairness.len() != b.samples.unfairness.len() {
+        return None;
+    }
+    Some(PairedSamples::of(
+        a.samples.unfairness.values(),
+        b.samples.unfairness.values(),
+    ))
 }
 
 /// Runs the µ sweep and returns one point per (µ, PTG count).
 ///
 /// Scenarios are fanned out over [`MuSweepConfig::threads`] workers (see
 /// [`crate::fanout`]); every µ value of a scenario is evaluated through one
-/// shared [`mcsched_core::ScheduleContext`], so the dedicated baselines are
-/// simulated once per (platform, application) pair. Aggregation follows
+/// shared [`mcsched_core::ScheduleContext`] (the paired-evaluation path), so
+/// the dedicated baselines are simulated once per (platform, application)
+/// pair and every µ sees byte-identical workloads. Aggregation follows
 /// scenario order, keeping the result independent of thread interleaving.
 ///
 /// # Errors
 ///
 /// Propagates workload-generation failures from [`MuSweepConfig::source`].
 pub fn run_mu_sweep(config: &MuSweepConfig) -> Result<Vec<MuSweepPoint>, SchedError> {
-    #[derive(Default, Clone)]
-    struct Acc {
-        unfairness: f64,
-        makespan: f64,
-        runs: usize,
-    }
-    let mut cells: BTreeMap<(usize, usize), Acc> = BTreeMap::new();
+    let mut cells: BTreeMap<(usize, usize), MuSamples> = BTreeMap::new();
 
     let policies: Vec<Arc<dyn ConstraintPolicy>> = config
         .mu_values
@@ -106,38 +147,38 @@ pub fn run_mu_sweep(config: &MuSweepConfig) -> Result<Vec<MuSweepPoint>, SchedEr
         })
         .collect();
 
-    for &num_ptgs in &config.ptg_counts {
-        let scenarios = generate_scenarios_with(
-            config.source.as_ref(),
-            num_ptgs,
-            config.combinations,
-            config.seed,
-        )?;
-        let per_scenario = run_indexed(config.threads, scenarios.len(), |i| {
-            scenarios[i].evaluate_policies(&config.base, &policies)
-        });
+    for replication in 0..config.replications.max(1) {
+        let seed = replication_seed(config.seed, replication);
+        for &num_ptgs in &config.ptg_counts {
+            let scenarios = generate_scenarios_with(
+                config.source.as_ref(),
+                num_ptgs,
+                config.combinations,
+                seed,
+            )?;
+            let per_scenario = run_indexed(config.threads, scenarios.len(), |i| {
+                scenarios[i].evaluate_policies(&config.base, &policies)
+            });
 
-        for outcomes in per_scenario {
-            for (mi, outcome) in outcomes.iter().enumerate() {
-                let acc = cells.entry((mi, num_ptgs)).or_default();
-                acc.unfairness += outcome.unfairness;
-                acc.makespan += outcome.makespan;
-                acc.runs += 1;
+            for outcomes in per_scenario {
+                for (mi, outcome) in outcomes.iter().enumerate() {
+                    let acc = cells.entry((mi, num_ptgs)).or_default();
+                    acc.unfairness.push(outcome.unfairness);
+                    acc.makespan.push(outcome.makespan);
+                }
             }
         }
     }
 
     Ok(cells
         .into_iter()
-        .map(|((mi, num_ptgs), acc)| {
-            let runs = acc.runs.max(1) as f64;
-            MuSweepPoint {
-                mu: config.mu_values[mi],
-                num_ptgs,
-                unfairness: acc.unfairness / runs,
-                makespan: acc.makespan / runs,
-                runs: acc.runs,
-            }
+        .map(|((mi, num_ptgs), samples)| MuSweepPoint {
+            mu: config.mu_values[mi],
+            num_ptgs,
+            unfairness: samples.unfairness.mean(),
+            makespan: samples.makespan.mean(),
+            runs: samples.unfairness.len(),
+            samples,
         })
         .collect())
 }
@@ -165,6 +206,9 @@ mod tests {
             assert_eq!(p.runs, 4);
             assert!(p.makespan > 0.0);
             assert!(p.unfairness >= 0.0);
+            assert_eq!(p.samples.unfairness.len(), 4);
+            assert_eq!(p.samples.unfairness.mean(), p.unfairness);
+            assert_eq!(p.samples.makespan.mean(), p.makespan);
         }
     }
 
@@ -190,6 +234,7 @@ mod tests {
         assert_eq!(cfg.mu_values, vec![0.0, 0.3, 0.5, 0.7, 0.8, 0.9, 1.0]);
         assert_eq!(cfg.ptg_counts, vec![2, 4, 6, 8, 10]);
         assert_eq!(cfg.combinations, 25);
+        assert_eq!(cfg.replications, 1);
     }
 
     #[test]
@@ -197,5 +242,21 @@ mod tests {
         let a = run_mu_sweep(&tiny()).unwrap();
         let b = run_mu_sweep(&tiny()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replicated_sweeps_pair_mu_values_run_for_run() {
+        let mut cfg = tiny();
+        cfg.replications = 2;
+        let points = run_mu_sweep(&cfg).unwrap();
+        for p in &points {
+            assert_eq!(p.runs, 8);
+        }
+        let paired = paired_mu_unfairness(&points, 2, 0.0, 1.0).unwrap();
+        assert_eq!(paired.len(), 8);
+        let at = |mu: f64| points.iter().find(|p| (p.mu - mu).abs() < 1e-9).unwrap();
+        assert!((paired.mean_diff() - (at(0.0).unfairness - at(1.0).unfairness)).abs() < 1e-12);
+        assert!(paired_mu_unfairness(&points, 2, 0.0, 0.25).is_none());
+        assert!(paired_mu_unfairness(&points, 4, 0.0, 1.0).is_none());
     }
 }

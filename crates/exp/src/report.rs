@@ -1,7 +1,17 @@
 //! Text-table and CSV rendering of campaign results.
+//!
+//! Two families of renderers: the plain point-estimate tables of the paper
+//! (`table_*` / `csv_*`, byte-identical to the pre-statistics harness), and
+//! interval variants (`table_*_ci` / `csv_*_ci`) that print every cell as
+//! `mean ±hw` where `hw` is the half-width of a seeded bootstrap percentile
+//! confidence interval over the cell's retained per-run samples. The CI
+//! seed is derived per cell from the [`mcsched_stats::BootstrapConfig`]'s
+//! base seed and the cell's identity, so regenerating a report reproduces
+//! its intervals bit-for-bit.
 
 use crate::campaign::CampaignResult;
 use crate::mu_sweep::MuSweepPoint;
+use mcsched_stats::{BootstrapConfig, Samples};
 use std::fmt::Write as _;
 
 /// Renders a campaign result as two aligned text tables (unfairness and
@@ -69,6 +79,117 @@ pub fn csv_campaign(result: &CampaignResult) -> String {
     out
 }
 
+/// The per-cell bootstrap configuration of a report: the base config with a
+/// seed derived from the cell's identity.
+fn cell_config(
+    base: &BootstrapConfig,
+    metric: &str,
+    num_ptgs: usize,
+    row: &str,
+) -> BootstrapConfig {
+    base.derive(&format!("{metric}/{num_ptgs}/{row}"))
+}
+
+/// Formats one `mean ±hw` cell from a sample set. Percentile intervals are
+/// not centered on the sample mean (the cell samples are often skewed), so
+/// `hw` is the *larger* of the two distances from the mean to the interval
+/// bounds: `mean ± hw` always covers the true `[lo, hi]`. The CSV renderers
+/// carry the exact asymmetric bounds.
+fn ci_cell(samples: &Samples, config: &BootstrapConfig) -> String {
+    let ci = samples.bootstrap_mean_ci(config);
+    let mean = samples.mean();
+    let hw = (ci.hi - mean).max(mean - ci.lo).max(0.0);
+    format!("{mean:.3} ±{hw:.3}")
+}
+
+/// Renders a campaign result like [`table_campaign`], but with every cell as
+/// `mean ±hw`: the half-width of the seeded bootstrap confidence interval
+/// over the cell's per-run samples (level and resamples from `config`).
+pub fn table_campaign_ci(result: &CampaignResult, config: &BootstrapConfig) -> String {
+    let counts = result.ptg_counts();
+    let strategies = result.strategies();
+    let mut out = String::new();
+
+    type PickCampaign = for<'a> fn(&'a crate::campaign::StrategyPoint) -> &'a Samples;
+    let picks: [(&str, &str, PickCampaign); 2] = [
+        ("Unfairness", "unfairness", |p| &p.samples.unfairness),
+        ("Average relative makespan", "relative_makespan", |p| {
+            &p.samples.relative_makespan
+        }),
+    ];
+    for (title, metric, pick) in picks {
+        let _ = writeln!(
+            out,
+            "== {} ({} PTGs, mean ±ci{:.0}) ==",
+            title,
+            result.class,
+            config.level * 100.0
+        );
+        let _ = write!(out, "{:<12}", "strategy");
+        for c in &counts {
+            let _ = write!(out, "{:>16}", format!("{c} PTGs"));
+        }
+        let _ = writeln!(out);
+        for s in &strategies {
+            let _ = write!(out, "{s:<12}");
+            for &c in &counts {
+                match result.point(c, s) {
+                    Some(p) => {
+                        let cfg = cell_config(config, metric, c, s);
+                        let _ = write!(out, "{:>16}", ci_cell(pick(p), &cfg));
+                    }
+                    None => {
+                        let _ = write!(out, "{:>16}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a campaign result as CSV with interval columns
+/// (`class,num_ptgs,strategy,unfairness,unfairness_lo,unfairness_hi,
+/// makespan,relative_makespan,relative_lo,relative_hi,runs`).
+pub fn csv_campaign_ci(result: &CampaignResult, config: &BootstrapConfig) -> String {
+    let mut out = String::from(
+        "class,num_ptgs,strategy,unfairness,unfairness_lo,unfairness_hi,\
+         makespan,relative_makespan,relative_lo,relative_hi,runs\n",
+    );
+    for p in &result.points {
+        let u_ci = p.samples.unfairness.bootstrap_mean_ci(&cell_config(
+            config,
+            "unfairness",
+            p.num_ptgs,
+            &p.strategy,
+        ));
+        let r_ci = p.samples.relative_makespan.bootstrap_mean_ci(&cell_config(
+            config,
+            "relative_makespan",
+            p.num_ptgs,
+            &p.strategy,
+        ));
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.6},{:.6},{:.6},{:.3},{:.6},{:.6},{:.6},{}",
+            result.class,
+            p.num_ptgs,
+            p.strategy,
+            p.unfairness,
+            u_ci.lo,
+            u_ci.hi,
+            p.makespan,
+            p.relative_makespan,
+            r_ci.lo,
+            r_ci.hi,
+            p.runs
+        );
+    }
+    out
+}
+
 /// Renders a µ sweep as two aligned text tables (unfairness and average
 /// makespan), one row per µ and one column per number of PTGs — the layout
 /// of Figure 2.
@@ -122,6 +243,87 @@ pub fn table_mu_sweep(points: &[MuSweepPoint]) -> String {
     out
 }
 
+/// Renders a µ sweep like [`table_mu_sweep`], but with every cell as
+/// `mean ±hw` from the seeded bootstrap interval over the point's samples.
+pub fn table_mu_sweep_ci(points: &[MuSweepPoint], config: &BootstrapConfig) -> String {
+    let mut mus: Vec<f64> = points.iter().map(|p| p.mu).collect();
+    mus.sort_by(f64::total_cmp);
+    mus.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    let mut counts: Vec<usize> = points.iter().map(|p| p.num_ptgs).collect();
+    counts.sort_unstable();
+    counts.dedup();
+
+    let lookup = |mu: f64, n: usize| {
+        points
+            .iter()
+            .find(|p| (p.mu - mu).abs() < 1e-12 && p.num_ptgs == n)
+    };
+
+    let mut out = String::new();
+    type PickSweep = for<'a> fn(&'a MuSweepPoint) -> &'a Samples;
+    let picks: [(&str, &str, PickSweep); 2] = [
+        ("Unfairness", "unfairness", |p| &p.samples.unfairness),
+        ("Average makespan (s)", "makespan", |p| &p.samples.makespan),
+    ];
+    for (title, metric, pick) in picks {
+        let _ = writeln!(
+            out,
+            "== {title} vs mu (mean ±ci{:.0}) ==",
+            config.level * 100.0
+        );
+        let _ = write!(out, "{:<8}", "mu");
+        for c in &counts {
+            let _ = write!(out, "{:>20}", format!("{c} PTGs"));
+        }
+        let _ = writeln!(out);
+        for &mu in &mus {
+            let _ = write!(out, "{mu:<8.2}");
+            for &c in &counts {
+                match lookup(mu, c) {
+                    Some(p) => {
+                        let cfg = cell_config(config, metric, c, &format!("{mu:.2}"));
+                        let _ = write!(out, "{:>20}", ci_cell(pick(p), &cfg));
+                    }
+                    None => {
+                        let _ = write!(out, "{:>20}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a µ sweep as CSV with interval columns
+/// (`mu,num_ptgs,unfairness,unfairness_lo,unfairness_hi,makespan,
+/// makespan_lo,makespan_hi,runs`).
+pub fn csv_mu_sweep_ci(points: &[MuSweepPoint], config: &BootstrapConfig) -> String {
+    let mut out = String::from(
+        "mu,num_ptgs,unfairness,unfairness_lo,unfairness_hi,makespan,makespan_lo,makespan_hi,runs\n",
+    );
+    for p in points {
+        let row = format!("{:.2}", p.mu);
+        let u_ci = p.samples.unfairness.bootstrap_mean_ci(&cell_config(
+            config,
+            "unfairness",
+            p.num_ptgs,
+            &row,
+        ));
+        let m_ci = p
+            .samples
+            .makespan
+            .bootstrap_mean_ci(&cell_config(config, "makespan", p.num_ptgs, &row));
+        let _ = writeln!(
+            out,
+            "{:.2},{},{:.6},{:.6},{:.6},{:.3},{:.3},{:.3},{}",
+            p.mu, p.num_ptgs, p.unfairness, u_ci.lo, u_ci.hi, p.makespan, m_ci.lo, m_ci.hi, p.runs
+        );
+    }
+    out
+}
+
 /// Renders a µ sweep as CSV (`mu,num_ptgs,unfairness,makespan,runs`).
 pub fn csv_mu_sweep(points: &[MuSweepPoint]) -> String {
     let mut out = String::from("mu,num_ptgs,unfairness,makespan,runs\n");
@@ -138,28 +340,38 @@ pub fn csv_mu_sweep(points: &[MuSweepPoint]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::campaign::StrategyPoint;
+    use crate::campaign::{CellSamples, StrategyPoint};
+    use crate::mu_sweep::MuSamples;
+
+    /// Four runs centred on `mean` with a small spread.
+    fn spread(mean: f64) -> Samples {
+        Samples::from(vec![mean - 0.06, mean - 0.02, mean + 0.02, mean + 0.06])
+    }
+
+    fn point(
+        num_ptgs: usize,
+        strategy: &str,
+        unfairness: f64,
+        makespan: f64,
+        rel: f64,
+    ) -> StrategyPoint {
+        StrategyPoint::from_samples(
+            num_ptgs,
+            strategy.into(),
+            CellSamples {
+                unfairness: spread(unfairness),
+                makespan: spread(makespan),
+                relative_makespan: spread(rel),
+            },
+        )
+    }
 
     fn sample_campaign() -> CampaignResult {
         CampaignResult {
             class: "random".into(),
             points: vec![
-                StrategyPoint {
-                    num_ptgs: 2,
-                    strategy: "S".into(),
-                    unfairness: 0.5,
-                    makespan: 100.0,
-                    relative_makespan: 1.2,
-                    runs: 4,
-                },
-                StrategyPoint {
-                    num_ptgs: 2,
-                    strategy: "ES".into(),
-                    unfairness: 0.3,
-                    makespan: 120.0,
-                    relative_makespan: 1.4,
-                    runs: 4,
-                },
+                point(2, "S", 0.5, 100.0, 1.2),
+                point(2, "ES", 0.3, 120.0, 1.4),
             ],
         }
     }
@@ -184,23 +396,23 @@ mod tests {
         assert!(lines[1].contains("random,2,S"));
     }
 
+    fn sweep_point(mu: f64, unfairness: f64, makespan: f64) -> MuSweepPoint {
+        let samples = MuSamples {
+            unfairness: spread(unfairness),
+            makespan: spread(makespan),
+        };
+        MuSweepPoint {
+            mu,
+            num_ptgs: 2,
+            unfairness: samples.unfairness.mean(),
+            makespan: samples.makespan.mean(),
+            runs: samples.unfairness.len(),
+            samples,
+        }
+    }
+
     fn sample_sweep() -> Vec<MuSweepPoint> {
-        vec![
-            MuSweepPoint {
-                mu: 0.0,
-                num_ptgs: 2,
-                unfairness: 0.8,
-                makespan: 200.0,
-                runs: 4,
-            },
-            MuSweepPoint {
-                mu: 1.0,
-                num_ptgs: 2,
-                unfairness: 0.2,
-                makespan: 260.0,
-                runs: 4,
-            },
-        ]
+        vec![sweep_point(0.0, 0.8, 200.0), sweep_point(1.0, 0.2, 260.0)]
     }
 
     #[test]
@@ -217,5 +429,60 @@ mod tests {
         assert!(c.starts_with("mu,num_ptgs"));
         assert_eq!(c.lines().count(), 3);
         assert!(c.contains("0.00,2,0.800000,200.000,4"));
+    }
+
+    #[test]
+    fn ci_tables_print_mean_plus_minus_half_width() {
+        let cfg = BootstrapConfig::seeded(0x5EED);
+        let t = table_campaign_ci(&sample_campaign(), &cfg);
+        assert!(t.contains("mean ±ci95"), "got:\n{t}");
+        assert!(t.contains("0.500 ±"), "got:\n{t}");
+        assert!(t.contains('S') && t.contains("ES"));
+        // Deterministic per seed.
+        assert_eq!(t, table_campaign_ci(&sample_campaign(), &cfg));
+        let other = table_campaign_ci(&sample_campaign(), &BootstrapConfig::seeded(1));
+        assert_ne!(t, other, "a different base seed resamples differently");
+
+        let m = table_mu_sweep_ci(&sample_sweep(), &cfg);
+        assert!(m.contains("mean ±ci95"));
+        assert!(m.contains("0.800 ±"));
+        assert_eq!(m, table_mu_sweep_ci(&sample_sweep(), &cfg));
+    }
+
+    #[test]
+    fn ci_level_flows_into_the_headers() {
+        let cfg = BootstrapConfig::seeded(3).with_level(0.9);
+        assert!(table_campaign_ci(&sample_campaign(), &cfg).contains("mean ±ci90"));
+        assert!(table_mu_sweep_ci(&sample_sweep(), &cfg).contains("mean ±ci90"));
+    }
+
+    #[test]
+    fn ci_csvs_carry_interval_columns_that_bracket_the_mean() {
+        let cfg = BootstrapConfig::seeded(0x5EED);
+        let c = csv_campaign_ci(&sample_campaign(), &cfg);
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("unfairness_lo,unfairness_hi"));
+        let fields: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(fields.len(), 11);
+        let (mean, lo, hi): (f64, f64, f64) = (
+            fields[3].parse().unwrap(),
+            fields[4].parse().unwrap(),
+            fields[5].parse().unwrap(),
+        );
+        assert!(lo <= mean && mean <= hi, "{lo} <= {mean} <= {hi}");
+
+        let s = csv_mu_sweep_ci(&sample_sweep(), &cfg);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("makespan_lo,makespan_hi"));
+        let fields: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(fields.len(), 9);
+        let (mean, lo, hi): (f64, f64, f64) = (
+            fields[5].parse().unwrap(),
+            fields[6].parse().unwrap(),
+            fields[7].parse().unwrap(),
+        );
+        assert!(lo <= mean && mean <= hi);
     }
 }

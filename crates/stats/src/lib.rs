@@ -1,0 +1,37 @@
+//! # mcsched-stats
+//!
+//! Statistics for the paired-replication evaluation methodology: the paper's
+//! figures are means over many random DAG draws, so asserting its qualitative
+//! claims ("WPS is fairer than PS") needs interval estimates, not point
+//! estimates. This crate provides the three ingredients, all deterministic
+//! from explicit seeds (no `std::time`, no OS entropy — randomness comes from
+//! the workspace's vendored `rand_chacha`):
+//!
+//! * [`Summary`] / [`Samples`] — streaming Welford summaries
+//!   (mean/variance/min/max) and raw-sample retention for resampling;
+//! * [`bootstrap_mean_ci`] / [`BootstrapConfig`] / [`Ci`] — seeded bootstrap
+//!   percentile confidence intervals for means;
+//! * [`PairedSamples`] / [`OrderingVerdict`] — common-random-numbers paired
+//!   differences between two treatments evaluated on identical scenarios,
+//!   with a bootstrap CI on the mean difference and an exact two-sided sign
+//!   test; [`PairedSamples::verdict`] condenses both into an
+//!   `Ordered { a_below_b, ci, p }` judgement that the paper-conformance test
+//!   tier asserts on.
+//!
+//! The [`quickcheck`] module is a small seeded property-test harness (case
+//! generator plus shrink-by-halving) extracted from the integration tests;
+//! `proptest` is unavailable offline, and every failure message prints the
+//! reproducing seed.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bootstrap;
+pub mod paired;
+pub mod quickcheck;
+pub mod summary;
+
+pub use bootstrap::{bootstrap_mean_ci, BootstrapConfig, Ci};
+pub use paired::{OrderingVerdict, PairedSamples};
+pub use quickcheck::QuickCheck;
+pub use summary::{Samples, Summary};

@@ -20,6 +20,9 @@
 //!   DAGGEN-calibrated random-DAG generator, arrival processes, the
 //!   spec-resolvable [`workload::WorkloadCatalog`] and replayable JSON
 //!   traces;
+//! * [`stats`] — paired-replication statistics downstream of the scheduler:
+//!   streaming summaries, seeded bootstrap confidence intervals, sign-test
+//!   ordering verdicts and a seeded property-test harness;
 //! * [`exp`] — the experiment harness regenerating every table and figure of
 //!   the paper's evaluation.
 //!
@@ -61,6 +64,7 @@ pub use mcsched_exp as exp;
 pub use mcsched_platform as platform;
 pub use mcsched_ptg as ptg;
 pub use mcsched_simx as simx;
+pub use mcsched_stats as stats;
 pub use mcsched_workload as workload;
 
 /// The most commonly used items, re-exported for `use mcsched::prelude::*`.
@@ -81,6 +85,9 @@ pub mod prelude {
     };
     pub use mcsched_ptg::{CostModel, DataParallelTask, Ptg, PtgBuilder};
     pub use mcsched_simx::{Engine, ExecutionTrace, SimJob, SimWorkload};
+    pub use mcsched_stats::{
+        BootstrapConfig, Ci, OrderingVerdict, PairedSamples, QuickCheck, Samples, Summary,
+    };
     pub use mcsched_workload::{
         AppGenerator, ArrivalProcess, DaggenConfig, GeneratorSource, Trace, TraceSource,
         WorkloadCatalog, WorkloadRequest, WorkloadSource,

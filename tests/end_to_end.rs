@@ -1,7 +1,9 @@
 //! End-to-end integration tests across all workspace crates: platform model,
 //! PTG generators, constrained allocation, concurrent mapping, simulated
-//! execution and fairness metrics.
+//! execution and fairness metrics — plus golden-figure snapshots pinning the
+//! byte-identical-output guarantee of the experiment harness.
 
+use mcsched::exp::{run_campaign, run_mu_sweep, CampaignConfig, MuSweepConfig};
 use mcsched::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -153,6 +155,54 @@ fn selfish_strategy_matches_dedicated_when_alone() {
             strategy.name()
         );
     }
+}
+
+/// Compares `actual` against the committed reference under `tests/golden/`.
+/// Regenerate deliberately with `MCSCHED_UPDATE_GOLDEN=1 cargo test --test
+/// end_to_end golden` after an *intentional* output change.
+fn golden_check(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var("MCSCHED_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("golden file {} regenerated", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with MCSCHED_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert!(
+        actual == expected,
+        "{name} drifted from the committed reference — the figures are no longer \
+         byte-identical. If the change is intentional, regenerate with \
+         MCSCHED_UPDATE_GOLDEN=1.\n--- expected ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
+
+#[test]
+fn golden_fig2_mu_sweep_quick_table_is_byte_stable() {
+    // The exact table a default `fig2_mu_sweep` run prints (quick config,
+    // default seed): the PR 2/PR 3 "figures byte-identical" guarantee,
+    // enforced mechanically.
+    let points = run_mu_sweep(&MuSweepConfig::quick()).unwrap();
+    golden_check(
+        "fig2_mu_sweep_quick.txt",
+        &mcsched::exp::table_mu_sweep(&points),
+    );
+}
+
+#[test]
+fn golden_fig3_random_quick_table_is_byte_stable() {
+    // The exact table a default `fig3_random` run prints.
+    let result = run_campaign(&CampaignConfig::quick(PtgClass::Random)).unwrap();
+    golden_check(
+        "fig3_random_quick.txt",
+        &mcsched::exp::table_campaign(&result),
+    );
 }
 
 #[test]

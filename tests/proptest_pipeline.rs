@@ -3,9 +3,12 @@
 //! precedence-respecting, non-oversubscribed schedule whose betas lie in
 //! (0, 1].
 //!
-//! The cases are drawn from a seeded RNG rather than a shrinking framework
-//! (`proptest` is not available offline): every case prints its seed on
-//! failure, so a failing draw can be replayed by hardcoding that seed.
+//! The cases are driven by [`mcsched_stats::quickcheck::QuickCheck`]
+//! (`proptest` is unavailable offline): every case draws from a
+//! deterministically seeded RNG, generator dimensions scale with the
+//! harness's size bound so failures *shrink by halving* to a smaller
+//! counterexample, and the failure message prints the reproducing
+//! `(seed, size)` pair for `QuickCheck::replay`.
 
 use mcsched::prelude::*;
 use rand::{Rng, RngCore, SeedableRng};
@@ -13,27 +16,35 @@ use rand_chacha::ChaCha8Rng;
 
 const CASES: u64 = 24;
 
+/// Caps a draw dimension by the harness size bound: full range at the
+/// default start size, proportionally smaller while shrinking.
+fn cap(size: u32, max: usize) -> usize {
+    (size as usize).max(1).min(max)
+}
+
 /// Draws a small random multi-cluster platform (1-3 clusters, 2-23
-/// processors each, 1-5 GFlop/s, both topology styles).
-fn gen_platform(rng: &mut ChaCha8Rng) -> Platform {
+/// processors each, 1-5 GFlop/s, both topology styles — upper bounds shrink
+/// with `size`).
+fn gen_platform(rng: &mut ChaCha8Rng, size: u32) -> Platform {
     let shared: bool = rng.gen_bool(0.5);
     let mut builder = PlatformBuilder::new("prop-platform").topology(if shared {
         NetworkTopology::shared_gigabit()
     } else {
         NetworkTopology::per_cluster_ten_gigabit()
     });
-    let clusters = rng.gen_range(1..4usize);
+    let clusters = rng.gen_range(1..=cap(size, 3));
     for i in 0..clusters {
-        let procs = rng.gen_range(2..24usize);
+        let procs = rng.gen_range(2..=cap(size, 23).max(2));
         let gflops = rng.gen_range(1.0..5.0);
         builder = builder.cluster(format!("c{i}"), procs, gflops);
     }
     builder.build().expect("generated platforms are valid")
 }
 
-/// Draws a small set of applications (1-4 PTGs of one class).
-fn gen_apps(rng: &mut ChaCha8Rng) -> Vec<Ptg> {
-    let count = rng.gen_range(1..5usize);
+/// Draws a small set of applications (1-4 PTGs of one class; the count and
+/// the random-class task count shrink with `size`).
+fn gen_apps(rng: &mut ChaCha8Rng, size: u32) -> Vec<Ptg> {
+    let count = rng.gen_range(1..=cap(size, 4));
     let class = [PtgClass::Random, PtgClass::Fft, PtgClass::Strassen][rng.gen_range(0..3usize)];
     let mut app_rng = ChaCha8Rng::seed_from_u64(rng.next_u64());
     (0..count)
@@ -41,7 +52,7 @@ fn gen_apps(rng: &mut ChaCha8Rng) -> Vec<Ptg> {
             // Keep random PTGs small so each case stays fast.
             if class == PtgClass::Random {
                 let cfg = RandomPtgConfig {
-                    num_tasks: 10,
+                    num_tasks: cap(size, 10).max(2),
                     ..RandomPtgConfig::default_config()
                 };
                 random_ptg(&cfg, &mut app_rng, format!("app{i}"))
@@ -66,17 +77,16 @@ fn gen_strategy(rng: &mut ChaCha8Rng) -> ConstraintStrategy {
 
 #[test]
 fn scheduler_always_produces_a_valid_run() {
-    for case in 0..CASES {
-        let mut rng = ChaCha8Rng::seed_from_u64(0xA11CE ^ case);
-        let platform = gen_platform(&mut rng);
-        let apps = gen_apps(&mut rng);
-        let strategy = gen_strategy(&mut rng);
+    QuickCheck::new(0xA11CE).cases(CASES).run(|rng, size| {
+        let platform = gen_platform(rng, size);
+        let apps = gen_apps(rng, size);
+        let strategy = gen_strategy(rng);
 
         let reference = ReferencePlatform::new(&platform);
         let betas = strategy.betas(&apps, &reference);
-        assert_eq!(betas.len(), apps.len(), "case {case}");
+        assert_eq!(betas.len(), apps.len());
         for b in &betas {
-            assert!(*b > 0.0 && *b <= 1.0, "case {case}: beta {b} out of (0, 1]");
+            assert!(*b > 0.0 && *b <= 1.0, "beta {b} out of (0, 1]");
         }
 
         let run = ConcurrentScheduler::with_strategy(strategy)
@@ -84,12 +94,12 @@ fn scheduler_always_produces_a_valid_run() {
             .expect("scheduling never fails on valid inputs");
 
         // Every task ran, makespans are consistent.
-        assert!(run.global_makespan > 0.0, "case {case}");
+        assert!(run.global_makespan > 0.0);
         let total_tasks: usize = apps.iter().map(Ptg::num_tasks).sum();
-        assert_eq!(run.schedule.workload.num_jobs(), total_tasks, "case {case}");
+        assert_eq!(run.schedule.workload.num_jobs(), total_tasks);
         for app in &run.apps {
-            assert!(app.makespan > 0.0, "case {case}");
-            assert!(app.makespan <= run.global_makespan + 1e-6, "case {case}");
+            assert!(app.makespan > 0.0);
+            assert!(app.makespan <= run.global_makespan + 1e-6);
         }
 
         // Precedence constraints hold in the simulated trace.
@@ -105,7 +115,7 @@ fn scheduler_always_produces_a_valid_run() {
                     .unwrap();
                 assert!(
                     src.finish <= dst.start + 1e-9,
-                    "case {case}: edge {}->{} of app {a} violated",
+                    "edge {}->{} of app {a} violated",
                     e.src,
                     e.dst
                 );
@@ -119,37 +129,35 @@ fn scheduler_always_produces_a_valid_run() {
                 if x.procs.intersects(&y.procs) {
                     assert!(
                         x.finish <= y.start + 1e-9 || y.finish <= x.start + 1e-9,
-                        "case {case}: overlapping jobs on shared processors"
+                        "overlapping jobs on shared processors"
                     );
                 }
             }
         }
-    }
+    });
 }
 
 #[test]
 fn allocations_stay_within_cluster_capacity() {
-    for case in 0..CASES {
-        let mut rng = ChaCha8Rng::seed_from_u64(0xB0B ^ case);
-        let platform = gen_platform(&mut rng);
-        let apps = gen_apps(&mut rng);
+    QuickCheck::new(0xB0B).cases(CASES).run(|rng, size| {
+        let platform = gen_platform(rng, size);
+        let apps = gen_apps(rng, size);
         let scheduler = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare);
         let reference = ReferencePlatform::new(&platform);
         let allocations = scheduler.allocate(&platform, &apps);
         for alloc in &allocations {
             for &n in alloc.counts() {
-                assert!(n >= 1, "case {case}");
-                assert!(n <= reference.max_task_procs(), "case {case}");
+                assert!(n >= 1);
+                assert!(n <= reference.max_task_procs());
             }
         }
-    }
+    });
 }
 
 #[test]
 fn fairness_metrics_are_well_formed() {
-    for case in 0..CASES {
-        let mut rng = ChaCha8Rng::seed_from_u64(0xFA1 ^ case);
-        let count = rng.gen_range(2..5usize);
+    QuickCheck::new(0xFA1).cases(CASES).run(|rng, size| {
+        let count = rng.gen_range(2..=cap(size, 4).max(2));
         let platform = grid5000::lille();
         let mut app_rng = ChaCha8Rng::seed_from_u64(rng.next_u64());
         let apps: Vec<Ptg> = (0..count)
@@ -158,20 +166,14 @@ fn fairness_metrics_are_well_formed() {
         let evaluation = ConcurrentScheduler::with_strategy(ConstraintStrategy::EqualShare)
             .evaluate(&platform, &apps)
             .unwrap();
-        assert_eq!(evaluation.fairness.slowdowns.len(), count, "case {case}");
+        assert_eq!(evaluation.fairness.slowdowns.len(), count);
         for s in &evaluation.fairness.slowdowns {
             // Slowdowns are usually <= 1 but the two-step heuristic is not
             // monotone in beta, so a constrained run can occasionally beat
             // the dedicated one; only require a sane, finite ratio.
-            assert!(
-                *s > 0.0 && *s <= 3.0 && s.is_finite(),
-                "case {case}: slowdown {s}"
-            );
+            assert!(*s > 0.0 && *s <= 3.0 && s.is_finite(), "slowdown {s}");
         }
-        assert!(evaluation.fairness.unfairness >= 0.0, "case {case}");
-        assert!(
-            evaluation.fairness.unfairness <= 2.0 * count as f64,
-            "case {case}"
-        );
-    }
+        assert!(evaluation.fairness.unfairness >= 0.0);
+        assert!(evaluation.fairness.unfairness <= 2.0 * count as f64);
+    });
 }

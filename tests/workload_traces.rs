@@ -162,6 +162,41 @@ fn catalog_specs_resolve_from_the_facade() {
 }
 
 #[test]
+fn trace_round_trip_is_lossless_for_arbitrary_daggen_workloads() {
+    // Property, on the QuickCheck harness: whatever (bounded) DAGGEN
+    // configuration, arrival process and seed, export → JSON → import is
+    // lossless and the replayed trace regenerates the workload bit-exactly.
+    // Counterexamples shrink by halving (smaller graphs, fewer apps) and the
+    // failure message prints the reproducing seed.
+    use rand::Rng;
+    QuickCheck::new(0x77ACE).cases(12).run(|rng, size| {
+        let n = rng.gen_range(4..=(size as usize).clamp(4, 40));
+        let width = [0.2, 0.5, 0.8][rng.gen_range(0..3usize)];
+        let arrival =
+            ["", "/poisson@lambda=0.01", "/bursty@burst=2,gap=100"][rng.gen_range(0..3usize)];
+        let spec = format!("daggen@n={n},width={width}{arrival}");
+        let source = WorkloadCatalog::builtin().resolve(&spec).unwrap();
+
+        let apps = rng.gen_range(1..=((size as usize).clamp(1, 4)));
+        let request = WorkloadRequest::new(rng.gen_range(0..u64::MAX), apps, "prop");
+        let live = source.generate(&request).unwrap();
+
+        let trace = Trace::record(
+            source.as_ref(),
+            std::slice::from_ref(&request),
+            request.seed,
+        )
+        .unwrap();
+        let imported = Trace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(trace, imported, "JSON round trip must be lossless ({spec})");
+
+        let replayed = TraceSource::new(imported).generate(&request).unwrap();
+        assert_eq!(live, replayed, "replay must be bit-exact ({spec})");
+        assert_eq!(replayed.len(), apps);
+    });
+}
+
+#[test]
 fn timed_workloads_flow_through_the_scheduler() {
     // Arrival processes must reach the simulation: a workload with staggered
     // releases cannot finish earlier than its last release time.
