@@ -6,7 +6,11 @@
 //! pipeline; allocation and mapping policies against the default equal-share
 //! constraint. Custom policies registered on the built-in registry would be
 //! picked up automatically — the sweep iterates the registry's names instead
-//! of a hard-coded list.
+//! of a hard-coded list. Registry *aliases* resolving to the same policy
+//! (`s`/`selfish`, `es`/`equal-share`, `scrap-max`/`scrapmax`,
+//! `one-each`/`1-proc`) are timed once, under the policy's canonical
+//! self-reported key, so BENCH_policies.json carries one row per distinct
+//! policy rather than one per spelling.
 //!
 //! A final `paired` family times the campaign harness's
 //! common-random-numbers mode: evaluating the paper's constraint set through
@@ -148,28 +152,53 @@ fn main() {
             }
         };
 
+    // One timed row per *distinct policy*: registry names are sorted, so
+    // the first alias resolving to a given canonical key claims it and the
+    // rest are skipped.
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
     for name in registry.constraint_names() {
+        let canonical = registry
+            .constraint(&name)
+            .expect("registry names resolve")
+            .cache_key();
+        if !seen.insert(format!("constraint/{canonical}")) {
+            continue;
+        }
         measure(
             "constraint",
-            &name,
+            &canonical,
             ConcurrentScheduler::builder()
                 .constraint(name.clone())
                 .build(),
         );
     }
     for name in registry.allocation_names() {
+        let canonical = registry
+            .allocation(&name)
+            .expect("registry names resolve")
+            .cache_key();
+        if !seen.insert(format!("allocation/{canonical}")) {
+            continue;
+        }
         measure(
             "allocation",
-            &name,
+            &canonical,
             ConcurrentScheduler::builder()
                 .allocation(name.clone())
                 .build(),
         );
     }
     for name in registry.mapping_names() {
+        let canonical = registry
+            .mapping(&name)
+            .expect("registry names resolve")
+            .name();
+        if !seen.insert(format!("mapping/{canonical}")) {
+            continue;
+        }
         measure(
             "mapping",
-            &name,
+            &canonical,
             ConcurrentScheduler::builder().mapping(name.clone()).build(),
         );
     }

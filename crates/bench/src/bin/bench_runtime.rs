@@ -1,0 +1,311 @@
+//! Times the execution runtime (`mcsched-runtime` work-stealing pool +
+//! content-addressed cell cache) against the legacy throwaway-scope fanout
+//! executor it replaced, and writes the measurements as machine-readable
+//! JSON — the first datapoint of the runtime's performance trajectory.
+//!
+//! Three families are timed at each requested thread count over the same
+//! campaign shape:
+//!
+//! * `legacy-fanout` — the pre-runtime harness, faithfully replayed: a
+//!   sequential loop over (replication, PTG count) data points with one
+//!   throwaway `thread::scope` fan-out per data point and a single global
+//!   result mutex (the deprecated `mcsched_exp::fanout`);
+//! * `pool-cold` — `run_campaign` on the persistent work-stealing pool,
+//!   nested fan-outs, no cache;
+//! * `pool-warm` — `run_campaign` on the pool with a pre-populated cell
+//!   cache: every cell is served from the content-addressed store.
+//!
+//! The emitted `speedups` block records, per thread count, the legacy
+//! wall-clock divided by the pool's (cold and warm). On a single-core
+//! machine the cold speedup hovers around 1× (there is no parallelism to
+//! un-serialize, only scope-setup overhead to shave); the warm speedup is
+//! the headline: a warm cache replays the paper-scale paired campaign in a
+//! small fraction of the legacy time at any width.
+//!
+//! ```sh
+//! cargo run --release -p mcsched-bench --bin bench_runtime -- \
+//!     --scale paper --iterations 2 --threads 1,2,4,8 --out BENCH_runtime.json
+//! ```
+
+use mcsched_core::policy::ConstraintPolicy;
+use mcsched_core::PolicyRegistry;
+use mcsched_exp::scenario::{generate_scenarios_with, replication_seed};
+use mcsched_exp::{run_campaign, CampaignConfig};
+use mcsched_ptg::gen::PtgClass;
+use mcsched_workload::WorkloadCatalog;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Options {
+    iterations: usize,
+    threads: Vec<usize>,
+    scale: String,
+    out: String,
+}
+
+fn bad(flag: &str, raw: &str) -> ! {
+    eprintln!("error: flag `{flag}` got malformed value `{raw}`");
+    std::process::exit(2);
+}
+
+impl Options {
+    fn from_env() -> Self {
+        let mut opts = Options {
+            iterations: 2,
+            threads: vec![1, 2, 4, 8],
+            scale: "quick".to_string(),
+            out: "BENCH_runtime.json".to_string(),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("error: flag `{flag}` expects a value");
+                    std::process::exit(2);
+                })
+            };
+            match arg.as_str() {
+                "--iterations" => {
+                    let raw = value(&arg);
+                    opts.iterations = raw.parse().unwrap_or_else(|_| bad(&arg, &raw));
+                }
+                "--threads" => {
+                    let raw = value(&arg);
+                    opts.threads = raw
+                        .split(',')
+                        .map(|x| x.trim().parse().unwrap_or_else(|_| bad(&arg, x)))
+                        .collect();
+                }
+                "--scale" => {
+                    let raw = value(&arg);
+                    if raw != "quick" && raw != "paper" {
+                        bad(&arg, &raw);
+                    }
+                    opts.scale = raw;
+                }
+                "--out" => opts.out = value(&arg),
+                other => eprintln!("warning: ignoring unknown argument `{other}`"),
+            }
+        }
+        opts.iterations = opts.iterations.max(1);
+        if opts.threads.is_empty() {
+            opts.threads = vec![1];
+        }
+        opts
+    }
+}
+
+/// The benchmarked campaign shape. `paper` is the paper-scale paired
+/// campaign of the conformance tier (daggen-grid, 8 concurrent PTGs,
+/// 25 combinations × 4 platforms × 4 replications = 400 pairs, seed
+/// 0x5EED, PS-work vs WPS-work); `quick` shrinks it for CI smoke runs.
+fn campaign_shape(scale: &str) -> CampaignConfig {
+    let registry = PolicyRegistry::builtin();
+    let strategies: Vec<Arc<dyn ConstraintPolicy>> = ["ps-work", "wps-work"]
+        .iter()
+        .map(|n| registry.constraint(n).expect("registry names resolve"))
+        .collect();
+    let (combinations, replications) = match scale {
+        "paper" => (25, 4),
+        _ => (3, 2),
+    };
+    CampaignConfig {
+        source: WorkloadCatalog::builtin()
+            .resolve("daggen-grid")
+            .expect("calibrated spec resolves"),
+        ptg_counts: vec![8],
+        combinations,
+        replications,
+        strategies,
+        seed: 0x5EED,
+        ..CampaignConfig::paper(PtgClass::Random)
+    }
+}
+
+/// Replays the pre-runtime harness byte-for-byte: sequential data points,
+/// one throwaway scoped fan-out per data point (the deprecated legacy
+/// executor), aggregation through a single result vector.
+#[allow(deprecated)]
+fn legacy_campaign(config: &CampaignConfig, threads: usize) -> f64 {
+    let mut checksum = 0.0f64;
+    for replication in 0..config.replications.max(1) {
+        let seed = replication_seed(config.seed, replication);
+        for &num_ptgs in &config.ptg_counts {
+            let scenarios = generate_scenarios_with(
+                config.source.as_ref(),
+                num_ptgs,
+                config.combinations,
+                seed,
+            )
+            .expect("generator sources cannot fail");
+            let per_scenario = mcsched_exp::fanout::run_indexed(threads, scenarios.len(), |i| {
+                scenarios[i].evaluate_policies(&config.base, &config.strategies)
+            });
+            for outcomes in per_scenario {
+                for o in outcomes {
+                    checksum += o.unfairness + o.makespan;
+                }
+            }
+        }
+    }
+    checksum
+}
+
+struct Measurement {
+    family: &'static str,
+    threads: usize,
+    mean_ms: f64,
+    min_ms: f64,
+    max_ms: f64,
+}
+
+fn time_runs(iterations: usize, mut run: impl FnMut()) -> (f64, f64, f64) {
+    run(); // warm-up outside the measurement
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    for _ in 0..iterations {
+        let start = Instant::now();
+        run();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        total += ms;
+        min = min.min(ms);
+        max = max.max(ms);
+    }
+    (total / iterations as f64, min, max)
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let shape = campaign_shape(&opts.scale);
+    eprintln!(
+        "bench_runtime: scale={} ({} combinations x 4 platforms x {} replications, {} strategies), \
+         threads {:?}, {} iterations",
+        opts.scale,
+        shape.combinations,
+        shape.replications,
+        shape.strategies.len(),
+        opts.threads,
+        opts.iterations
+    );
+
+    // One warm cache per run, pre-populated once and shared by every
+    // pool-warm measurement (the cells are identical across thread counts).
+    let warm_dir =
+        std::env::temp_dir().join(format!("mcsched-bench-runtime-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    {
+        let mut warm = shape.clone();
+        warm.cache_dir = Some(warm_dir.clone());
+        warm.threads = *opts.threads.iter().max().unwrap_or(&1);
+        run_campaign(&warm).expect("cache pre-population runs");
+    }
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for &threads in &opts.threads {
+        let (mean_ms, min_ms, max_ms) = time_runs(opts.iterations, || {
+            std::hint::black_box(legacy_campaign(&shape, threads));
+        });
+        eprintln!(
+            "{:>14} threads={threads:<2} mean {mean_ms:9.1} ms",
+            "legacy-fanout"
+        );
+        measurements.push(Measurement {
+            family: "legacy-fanout",
+            threads,
+            mean_ms,
+            min_ms,
+            max_ms,
+        });
+
+        let mut cold = shape.clone();
+        cold.threads = threads;
+        let (mean_ms, min_ms, max_ms) = time_runs(opts.iterations, || {
+            std::hint::black_box(run_campaign(&cold).expect("campaign runs"));
+        });
+        eprintln!(
+            "{:>14} threads={threads:<2} mean {mean_ms:9.1} ms",
+            "pool-cold"
+        );
+        measurements.push(Measurement {
+            family: "pool-cold",
+            threads,
+            mean_ms,
+            min_ms,
+            max_ms,
+        });
+
+        let mut warm = cold.clone();
+        warm.cache_dir = Some(warm_dir.clone());
+        let (mean_ms, min_ms, max_ms) = time_runs(opts.iterations, || {
+            std::hint::black_box(run_campaign(&warm).expect("campaign runs"));
+        });
+        eprintln!(
+            "{:>14} threads={threads:<2} mean {mean_ms:9.1} ms",
+            "pool-warm"
+        );
+        measurements.push(Measurement {
+            family: "pool-warm",
+            threads,
+            mean_ms,
+            min_ms,
+            max_ms,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&warm_dir);
+
+    let mean_of = |family: &str, threads: usize| -> Option<f64> {
+        measurements
+            .iter()
+            .find(|m| m.family == family && m.threads == threads)
+            .map(|m| m.mean_ms)
+    };
+
+    // Machine-readable output, hand-rolled like the other bench snapshots
+    // (the offline workspace has no serde_json).
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"scale\": \"{}\",\n", opts.scale));
+    json.push_str(&format!("  \"iterations\": {},\n", opts.iterations));
+    json.push_str(&format!("  \"combinations\": {},\n", shape.combinations));
+    json.push_str(&format!("  \"replications\": {},\n", shape.replications));
+    json.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"family\": \"{}\", \"threads\": {}, \"mean_ms\": {:.4}, \"min_ms\": {:.4}, \"max_ms\": {:.4}}}{}\n",
+            m.family,
+            m.threads,
+            m.mean_ms,
+            m.min_ms,
+            m.max_ms,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedups_vs_legacy\": [\n");
+    for (i, &threads) in opts.threads.iter().enumerate() {
+        let legacy = mean_of("legacy-fanout", threads).unwrap_or(f64::NAN);
+        let cold = mean_of("pool-cold", threads).unwrap_or(f64::NAN);
+        let warm = mean_of("pool-warm", threads).unwrap_or(f64::NAN);
+        json.push_str(&format!(
+            "    {{\"threads\": {threads}, \"pool_cold\": {:.4}, \"pool_warm\": {:.4}}}{}\n",
+            legacy / cold,
+            legacy / warm,
+            if i + 1 == opts.threads.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    match std::fs::write(&opts.out, &json) {
+        Ok(()) => println!("wrote {} measurements to {}", measurements.len(), opts.out),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", opts.out);
+            std::process::exit(1);
+        }
+    }
+}

@@ -59,6 +59,29 @@ impl Default for SchedulerConfig {
     }
 }
 
+impl SchedulerConfig {
+    /// Stable identity of the allocation + mapping pipeline, for
+    /// content-addressed result caching (see `mcsched-runtime`): two
+    /// configurations with equal keys run every policy evaluation through
+    /// an identical pipeline. The constraint `strategy` is deliberately
+    /// **excluded** — the paired-evaluation path overrides it per policy,
+    /// and each policy contributes its own parameter-carrying
+    /// [`ConstraintPolicy::cache_key`] to the cell digest.
+    #[must_use]
+    pub fn pipeline_cache_key(&self) -> String {
+        let ordering = match self.mapping.ordering {
+            OrderingMode::ReadyTasks => "ready-tasks",
+            OrderingMode::Global => "global",
+        };
+        format!(
+            "alloc={};order={ordering};packing={};comm={}",
+            self.allocation.aliases()[0],
+            self.mapping.packing,
+            self.mapping.comm_aware
+        )
+    }
+}
+
 /// Per-application outcome of a concurrent run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
@@ -558,6 +581,35 @@ mod tests {
                 random_ptg(&cfg, &mut rng, format!("app{i}"))
             })
             .collect()
+    }
+
+    #[test]
+    fn pipeline_cache_key_tracks_every_non_strategy_knob() {
+        let base = SchedulerConfig::default();
+        assert_eq!(
+            base.pipeline_cache_key(),
+            "alloc=scrap-max;order=ready-tasks;packing=true;comm=true"
+        );
+        // The strategy is excluded on purpose (per-policy cache keys cover
+        // it); every other knob must move the key.
+        let mut strategy_only = base;
+        strategy_only.strategy = ConstraintStrategy::Selfish;
+        assert_eq!(
+            strategy_only.pipeline_cache_key(),
+            base.pipeline_cache_key()
+        );
+        let mut alloc = base;
+        alloc.allocation = AllocationProcedure::Cpa;
+        assert_ne!(alloc.pipeline_cache_key(), base.pipeline_cache_key());
+        let mut mapping = base;
+        mapping.mapping.packing = false;
+        assert_ne!(mapping.pipeline_cache_key(), base.pipeline_cache_key());
+        let mut ordering = base;
+        ordering.mapping.ordering = OrderingMode::Global;
+        assert_ne!(ordering.pipeline_cache_key(), base.pipeline_cache_key());
+        let mut comm = base;
+        comm.mapping.comm_aware = false;
+        assert_ne!(comm.pipeline_cache_key(), base.pipeline_cache_key());
     }
 
     #[test]

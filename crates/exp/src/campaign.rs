@@ -9,14 +9,14 @@
 //! intervals per cell and paired-difference orderings between strategies
 //! ([`CampaignResult::paired_unfairness`] et al.).
 
-use crate::fanout::run_indexed;
-use crate::scenario::{generate_scenarios_with, replication_seed};
+use crate::cells;
 use mcsched_core::policy::ConstraintPolicy;
 use mcsched_core::{ConstraintStrategy, SchedError, SchedulerConfig};
 use mcsched_ptg::gen::PtgClass;
 use mcsched_stats::{PairedSamples, Samples};
 use mcsched_workload::{GeneratorSource, WorkloadSource};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Configuration of a strategy-comparison campaign.
@@ -43,12 +43,24 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Number of paired replications: how many times the full
     /// `ptg_counts × combinations` grid is redrawn on a fresh seed derived
-    /// by [`replication_seed`]. Within each replication all strategies see
+    /// by [`crate::scenario::replication_seed`]. Within each replication all strategies see
     /// byte-identical workloads; 1 (the default) reproduces the
     /// pre-statistics harness exactly.
     pub replications: usize,
     /// Number of worker threads (0 = one per available core).
     pub threads: usize,
+    /// Directory of the on-disk content-addressed cell cache (`--cache-dir`).
+    /// `None` (the default) disables caching entirely: every cell is
+    /// recomputed, exactly like the pre-runtime harness.
+    pub cache_dir: Option<PathBuf>,
+    /// Whether to serve cells already present in `cache_dir` (`true`, the
+    /// default) or to clear the store and start cold (`--no-resume`). Only
+    /// meaningful with a `cache_dir`.
+    pub resume: bool,
+    /// Whether to narrate one stderr line per completed data point
+    /// (`--progress`). Never touches stdout, so the figure tables stay
+    /// byte-identical.
+    pub progress: bool,
 }
 
 impl CampaignConfig {
@@ -74,6 +86,9 @@ impl CampaignConfig {
             seed: 0x5EED,
             replications: 1,
             threads: 0,
+            cache_dir: None,
+            resume: true,
+            progress: false,
         }
     }
 
@@ -241,59 +256,71 @@ fn strategy_labels(strategies: &[Arc<dyn ConstraintPolicy>]) -> Vec<String> {
 /// workload draw and aggregates unfairness and (relative) makespans into
 /// per-cell sample sets.
 ///
-/// Scenarios are fanned out over [`CampaignConfig::threads`] workers (see
-/// [`crate::fanout`]); each worker drives all strategies of its scenario
-/// through one shared [`mcsched_core::ScheduleContext`]
-/// (the paired-evaluation path), so the dedicated baselines are simulated
-/// once per (platform, application) pair and every strategy sees
-/// byte-identical workloads. Results are deterministic because aggregation
-/// follows scenario order, not completion order.
+/// Work runs on the persistent work-stealing pool of `mcsched-runtime`
+/// ([`CampaignConfig::threads`] workers): data points fan out at the outer
+/// level and their scenarios as nested fan-outs within them, so neither
+/// level serializes. With [`CampaignConfig::cache_dir`] set, every
+/// (scenario, policy) cell is served from the content-addressed cell cache
+/// when present and stored after evaluation, with one flush per completed
+/// data point — re-runs skip finished work and interrupted runs resume from
+/// the completed shards (see [`crate::cells`]).
+///
+/// Each scenario drives all strategies through one shared
+/// [`mcsched_core::ScheduleContext`] (the paired-evaluation path), so the
+/// dedicated baselines are simulated once per (platform, application) pair
+/// and every strategy sees byte-identical workloads. Results are
+/// deterministic because aggregation follows scenario order, not
+/// completion order: output is byte-identical at any thread count and
+/// whether cells came from the cache or from evaluation.
 ///
 /// # Errors
 ///
 /// Propagates workload-generation failures from
 /// [`CampaignConfig::source`] (e.g. a replayed trace missing a requested
-/// combination).
+/// combination) and cache-directory failures from
+/// [`CampaignConfig::cache_dir`].
 pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, SchedError> {
-    // (num_ptgs, strategy index) -> per-run samples.
-    let mut cells: BTreeMap<(usize, usize), CellSamples> = BTreeMap::new();
     let labels = strategy_labels(&config.strategies);
+    let job = cells::CellJob::new(
+        format!("campaign:{}", config.source.short_label()),
+        Arc::clone(&config.source),
+        config.strategies.clone(),
+        config.base,
+        config.combinations,
+        config.seed,
+        config.replications,
+        config.threads,
+        config.cache_dir.as_deref(),
+        config.resume,
+        config.progress,
+        config.ptg_counts.len(),
+    )?;
 
-    for replication in 0..config.replications.max(1) {
-        let seed = replication_seed(config.seed, replication);
-        for &num_ptgs in &config.ptg_counts {
-            let scenarios = generate_scenarios_with(
-                config.source.as_ref(),
-                num_ptgs,
-                config.combinations,
-                seed,
-            )?;
-            let per_scenario = run_indexed(config.threads, scenarios.len(), |i| {
-                scenarios[i].evaluate_policies(&config.base, &config.strategies)
-            });
-
-            for outcomes in per_scenario {
-                let best = outcomes
-                    .iter()
-                    .map(|o| o.makespan)
-                    .filter(|m| *m > 0.0)
-                    .fold(f64::INFINITY, f64::min);
-                for (si, outcome) in outcomes.iter().enumerate() {
-                    let cell = cells.entry((num_ptgs, si)).or_default();
-                    cell.unfairness.push(outcome.unfairness);
-                    cell.makespan.push(outcome.makespan);
-                    cell.relative_makespan
-                        .push(if best.is_finite() && best > 0.0 {
-                            outcome.makespan / best
-                        } else {
-                            1.0
-                        });
-                }
+    // (num_ptgs, strategy index) -> per-run samples, aggregated in grid
+    // order (identical to the sequential order of the legacy harness).
+    let mut cells_map: BTreeMap<(usize, usize), CellSamples> = BTreeMap::new();
+    for (num_ptgs, per_scenario) in job.run_grid(&config.ptg_counts)? {
+        for outcomes in per_scenario {
+            let best = outcomes
+                .iter()
+                .map(|o| o.makespan)
+                .filter(|m| *m > 0.0)
+                .fold(f64::INFINITY, f64::min);
+            for (si, outcome) in outcomes.iter().enumerate() {
+                let cell = cells_map.entry((num_ptgs, si)).or_default();
+                cell.unfairness.push(outcome.unfairness);
+                cell.makespan.push(outcome.makespan);
+                cell.relative_makespan
+                    .push(if best.is_finite() && best > 0.0 {
+                        outcome.makespan / best
+                    } else {
+                        1.0
+                    });
             }
         }
     }
 
-    let points = cells
+    let points = cells_map
         .into_iter()
         .map(|((num_ptgs, si), cell)| {
             StrategyPoint::from_samples(num_ptgs, labels[si].clone(), cell)
@@ -367,6 +394,30 @@ mod tests {
         cfg.threads = 4;
         let b = run_campaign(&cfg).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cached_campaigns_reproduce_uncached_results_bit_for_bit() {
+        let dir = std::env::temp_dir().join(format!(
+            "mcsched-campaign-cache-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let baseline = run_campaign(&tiny_config()).unwrap();
+        let mut cfg = tiny_config();
+        cfg.cache_dir = Some(dir.clone());
+        let cold = run_campaign(&cfg).unwrap();
+        let warm = run_campaign(&cfg).unwrap();
+        // PartialEq over retained Samples compares every f64 exactly: the
+        // cold run matches the uncached baseline and the warm run (served
+        // from disk) matches both.
+        assert_eq!(cold, baseline);
+        assert_eq!(warm, baseline);
+        // no-resume clears the store and recomputes, still bit-identical.
+        cfg.resume = false;
+        let fresh = run_campaign(&cfg).unwrap();
+        assert_eq!(fresh, baseline);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,483 @@
+//! Content-addressed cell evaluation: the glue between the experiment
+//! harness and the `mcsched-runtime` cell cache.
+//!
+//! A *cell* is one (scenario, policy) evaluation — the smallest unit of
+//! campaign work whose metrics are a pure function of their inputs. This
+//! module owns the composition of the cell digest (which inputs identify a
+//! cell) and the cache-aware evaluation path used by both the campaign and
+//! the µ-sweep harnesses: look every policy of a scenario up, evaluate only
+//! the missing subset through the shared-context paired path, store the
+//! fresh results.
+//!
+//! Serving a cached cell is safe because the digest covers everything that
+//! determines the metrics: the workload source spec (generator parameters
+//! *and* arrival process), the request seed/application count, the scenario
+//! name (combination index and platform), the platform, the allocation +
+//! mapping pipeline key ([`SchedulerConfig::pipeline_cache_key`]) and the
+//! policy's parameter-carrying `cache_key()` — plus the code-version salt
+//! baked into every digest by `mcsched-runtime` ([`mcsched_runtime::CACHE_SALT`]),
+//! which is bumped whenever scheduling semantics intentionally change.
+//! Because each policy of the paired path is evaluated independently over
+//! the shared context (same workload bytes, same dedicated baselines),
+//! evaluating a *subset* of policies yields bit-identical results to
+//! evaluating all of them, which is what makes per-policy cache granularity
+//! sound.
+
+use crate::scenario::{generate_scenarios_with, replication_seed, Scenario, ScenarioOutcome};
+use mcsched_core::policy::ConstraintPolicy;
+use mcsched_core::{SchedError, SchedulerConfig};
+use mcsched_runtime::{run_indexed, CellCache, CellDigest, CellMetrics, DigestBuilder, Progress};
+use mcsched_workload::WorkloadSource;
+use std::path::Path;
+use std::sync::Arc;
+
+/// The digest builder of one scenario, covering every policy-independent
+/// input: provenance (source spec, request seed, scenario name, pipeline
+/// key) **and the actual content** of both the workload — every task's
+/// dataset size, cost model and Amdahl fraction, every edge's endpoints
+/// and bytes, and the release times — and the platform (per-cluster sizes,
+/// speeds and links, plus the site topology). Hashing content as well as
+/// provenance means a cell can never be served stale for an input that
+/// changed under an unchanged label: a `--trace` file edited or
+/// regenerated on disk, a custom [`WorkloadSource`] that is not a pure
+/// function of the request, a custom platform sharing a built-in site's
+/// name, or a recalibrated Grid'5000 site spec.
+#[must_use]
+pub fn scenario_digest(
+    source_spec: &str,
+    pipeline_key: &str,
+    scenario: &Scenario,
+) -> DigestBuilder {
+    let mut digest = DigestBuilder::new()
+        .str("cell")
+        .str(source_spec)
+        .u64(scenario.seed)
+        .str(&scenario.name)
+        .usize(scenario.ptgs.len())
+        .str(scenario.platform.name())
+        .str(pipeline_key);
+    for cluster in scenario.platform.clusters() {
+        digest = digest
+            .usize(cluster.num_procs())
+            .f64(cluster.speed())
+            .f64(cluster.link_bandwidth())
+            .f64(cluster.link_latency());
+    }
+    let (topology_label, topology_link) = match scenario.platform.topology() {
+        mcsched_platform::NetworkTopology::SharedSwitch { switch } => ("shared", switch),
+        mcsched_platform::NetworkTopology::PerClusterSwitch { backbone } => ("backbone", backbone),
+    };
+    digest = digest
+        .str(topology_label)
+        .f64(topology_link.bandwidth)
+        .f64(topology_link.latency);
+    for ptg in &scenario.ptgs {
+        digest = digest.usize(ptg.num_tasks()).usize(ptg.num_edges());
+        for task in ptg.tasks() {
+            let (cost_label, cost_param) = match task.cost_model() {
+                mcsched_ptg::CostModel::Linear { a } => ("lin", a),
+                mcsched_ptg::CostModel::LogLinear { a } => ("log", a),
+                mcsched_ptg::CostModel::MatrixProduct => ("mat", 0.0),
+            };
+            digest = digest
+                .f64(task.data_elems())
+                .f64(task.alpha())
+                .str(cost_label)
+                .f64(cost_param);
+        }
+        for edge in ptg.edges() {
+            digest = digest.usize(edge.src).usize(edge.dst).f64(edge.bytes);
+        }
+    }
+    for &release in &scenario.release_times {
+        digest = digest.f64(release);
+    }
+    digest
+}
+
+/// The content digest of one (scenario, policy) evaluation cell:
+/// [`scenario_digest`] finalized with the policy's parameter-carrying
+/// `cache_key()`.
+#[must_use]
+pub fn cell_digest(
+    source_spec: &str,
+    pipeline_key: &str,
+    scenario: &Scenario,
+    policy: &dyn ConstraintPolicy,
+) -> CellDigest {
+    scenario_digest(source_spec, pipeline_key, scenario)
+        .str(&policy.cache_key())
+        .finish()
+}
+
+/// Opens the configured cell cache, if any.
+///
+/// # Errors
+///
+/// [`SchedError::InvalidConfig`] when the directory cannot be created or
+/// cleared — a cache that cannot even open is a configuration error, unlike
+/// later flush failures which only cost recomputation and degrade to
+/// warnings.
+pub fn open_cell_cache(
+    cache_dir: Option<&Path>,
+    resume: bool,
+) -> Result<Option<Arc<CellCache>>, SchedError> {
+    match cache_dir {
+        None => Ok(None),
+        Some(dir) => CellCache::open(dir, resume)
+            .map(|cache| Some(Arc::new(cache)))
+            .map_err(|e| SchedError::InvalidConfig(format!("cell cache {}: {e}", dir.display()))),
+    }
+}
+
+/// Flushes the cache, downgrading failures to a warning (a cache that
+/// cannot persist costs recomputation, never correctness).
+pub fn flush_cell_cache(cache: &CellCache) {
+    if let Err(e) = cache.flush() {
+        eprintln!("warning: cell cache flush failed: {e}");
+    }
+}
+
+/// Prints the end-of-run cache summary on stderr (never stdout: the figure
+/// tables stay byte-identical with and without a cache). CI's cache-warm
+/// smoke step greps for this line.
+pub fn report_cell_cache(cache: &CellCache) {
+    eprintln!("cell cache: {}", cache.summary());
+}
+
+/// Evaluates every policy on the scenario through the paired
+/// (shared-context) path, serving and populating `cache` when present.
+/// Outcomes come back in policy order, bit-identical whether each cell was
+/// computed or served from cache.
+pub fn evaluate_policies_cached(
+    scenario: &Scenario,
+    base: &SchedulerConfig,
+    policies: &[Arc<dyn ConstraintPolicy>],
+    cache: Option<&CellCache>,
+    source_spec: &str,
+    pipeline_key: &str,
+) -> Vec<ScenarioOutcome> {
+    let Some(cache) = cache else {
+        return scenario.evaluate_policies(base, policies);
+    };
+    // The content walk over the scenario's graphs happens once; each policy
+    // only finalizes a clone of the shared builder with its cache key.
+    let shared = scenario_digest(source_spec, pipeline_key, scenario);
+    let keys: Vec<CellDigest> = policies
+        .iter()
+        .map(|p| shared.clone().str(&p.cache_key()).finish())
+        .collect();
+    let mut outcomes: Vec<Option<ScenarioOutcome>> = keys
+        .iter()
+        .zip(policies)
+        .map(|(key, policy)| {
+            cache.lookup(*key).map(|m| ScenarioOutcome {
+                strategy: policy.name(),
+                unfairness: m.unfairness,
+                makespan: m.makespan,
+                average_slowdown: m.average_slowdown,
+            })
+        })
+        .collect();
+    let missing: Vec<usize> = (0..policies.len())
+        .filter(|&i| outcomes[i].is_none())
+        .collect();
+    if !missing.is_empty() {
+        let subset: Vec<Arc<dyn ConstraintPolicy>> =
+            missing.iter().map(|&i| Arc::clone(&policies[i])).collect();
+        let fresh = scenario.evaluate_policies(base, &subset);
+        for (&slot, outcome) in missing.iter().zip(fresh) {
+            cache.insert(
+                keys[slot],
+                CellMetrics {
+                    unfairness: outcome.unfairness,
+                    makespan: outcome.makespan,
+                    average_slowdown: outcome.average_slowdown,
+                },
+            );
+            outcomes[slot] = Some(outcome);
+        }
+    }
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every policy slot is cached or freshly evaluated"))
+        .collect()
+}
+
+/// Per-scenario outcomes of one data point: outer index = scenario in
+/// generation order, inner index = policy in input order.
+pub type DataPointOutcomes = Vec<Vec<ScenarioOutcome>>;
+
+/// The `Arc`-shared state one harness run (campaign or µ-sweep) hands to
+/// its pool tasks: workload source, policy set, pipeline, cache, progress.
+/// Both harnesses drive their grids through [`CellJob::run_grid`], so the
+/// fan-out shape, the cache/flush cadence and the digest inputs live in
+/// exactly one place.
+pub struct CellJob {
+    source: Arc<dyn WorkloadSource>,
+    policies: Vec<Arc<dyn ConstraintPolicy>>,
+    base: SchedulerConfig,
+    combinations: usize,
+    seed: u64,
+    replications: usize,
+    threads: usize,
+    cache: Option<Arc<CellCache>>,
+    progress: Progress,
+    spec: String,
+    pipeline_key: String,
+}
+
+impl CellJob {
+    /// Assembles a job: opens the cache (if configured), derives the
+    /// source spec and pipeline key, and sizes the progress reporter to
+    /// `replications × ptg_count_len` data points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache-directory failures (see [`open_cell_cache`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        label: String,
+        source: Arc<dyn WorkloadSource>,
+        policies: Vec<Arc<dyn ConstraintPolicy>>,
+        base: SchedulerConfig,
+        combinations: usize,
+        seed: u64,
+        replications: usize,
+        threads: usize,
+        cache_dir: Option<&Path>,
+        resume: bool,
+        progress: bool,
+        ptg_count_len: usize,
+    ) -> Result<Arc<Self>, SchedError> {
+        let replications = replications.max(1);
+        Ok(Arc::new(Self {
+            spec: source.spec(),
+            pipeline_key: base.pipeline_cache_key(),
+            cache: open_cell_cache(cache_dir, resume)?,
+            progress: Progress::new(label, replications * ptg_count_len, progress),
+            source,
+            policies,
+            base,
+            combinations,
+            seed,
+            replications,
+            threads,
+        }))
+    }
+
+    /// Evaluates one (replication, PTG count) data point: generates its
+    /// scenarios and fans them out as a *nested* fan-out — the inner call
+    /// reuses the pool that is running the data point, so small outer
+    /// grids still saturate every worker. Completed data points flush the
+    /// cell cache (the resume grain) and tick the progress reporter.
+    fn data_point(
+        self: &Arc<Self>,
+        replication: usize,
+        num_ptgs: usize,
+    ) -> Result<DataPointOutcomes, SchedError> {
+        let seed = replication_seed(self.seed, replication);
+        let scenarios = Arc::new(generate_scenarios_with(
+            self.source.as_ref(),
+            num_ptgs,
+            self.combinations,
+            seed,
+        )?);
+        let job = Arc::clone(self);
+        let task_scenarios = Arc::clone(&scenarios);
+        let outcomes = run_indexed(self.threads, scenarios.len(), move |i| {
+            evaluate_policies_cached(
+                &task_scenarios[i],
+                &job.base,
+                &job.policies,
+                job.cache.as_deref(),
+                &job.spec,
+                &job.pipeline_key,
+            )
+        });
+        if let Some(cache) = &self.cache {
+            flush_cell_cache(cache);
+        }
+        self.progress.tick(&format!(
+            "ptgs={num_ptgs} rep={}/{}",
+            replication + 1,
+            self.replications
+        ));
+        Ok(outcomes)
+    }
+
+    /// Runs the whole `replications × ptg_counts` grid on the runtime pool
+    /// (data points at the outer level, scenarios nested within them) and
+    /// returns, **in aggregation order** (replication-major, then PTG
+    /// count), one `(num_ptgs, per-scenario outcomes)` entry per data
+    /// point. Flushes and reports the cache at the end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first data-point failure in grid order.
+    pub fn run_grid(
+        self: &Arc<Self>,
+        ptg_counts: &[usize],
+    ) -> Result<Vec<(usize, DataPointOutcomes)>, SchedError> {
+        let grid: Vec<(usize, usize)> = (0..self.replications)
+            .flat_map(|r| ptg_counts.iter().map(move |&n| (r, n)))
+            .collect();
+        let per_point = {
+            let job = Arc::clone(self);
+            let grid = grid.clone();
+            run_indexed(self.threads, grid.len(), move |pi| {
+                let (replication, num_ptgs) = grid[pi];
+                job.data_point(replication, num_ptgs)
+            })
+        };
+        let mut points = Vec::with_capacity(grid.len());
+        for (&(_, num_ptgs), point) in grid.iter().zip(per_point) {
+            points.push((num_ptgs, point?));
+        }
+        if let Some(cache) = &self.cache {
+            flush_cell_cache(cache);
+            report_cell_cache(cache);
+        }
+        Ok(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::generate_scenarios;
+    use mcsched_core::ConstraintStrategy;
+    use mcsched_ptg::gen::PtgClass;
+
+    fn policies() -> Vec<Arc<dyn ConstraintPolicy>> {
+        [
+            ConstraintStrategy::Selfish,
+            ConstraintStrategy::EqualShare,
+            ConstraintStrategy::Proportional(mcsched_core::Characteristic::Work),
+        ]
+        .iter()
+        .map(|s| s.to_policy())
+        .collect()
+    }
+
+    #[test]
+    fn digests_separate_every_cell_axis() {
+        let base = SchedulerConfig::default();
+        let pipeline = base.pipeline_cache_key();
+        let scenarios = generate_scenarios(PtgClass::Strassen, 2, 2, 5);
+        let policies = policies();
+        let d =
+            |s: &Scenario, p: usize| cell_digest("strassen", &pipeline, s, policies[p].as_ref());
+        // Same cell twice: identical. Different scenario or policy: distinct.
+        assert_eq!(d(&scenarios[0], 0), d(&scenarios[0], 0));
+        assert_ne!(d(&scenarios[0], 0), d(&scenarios[1], 0));
+        assert_ne!(d(&scenarios[0], 0), d(&scenarios[0], 1));
+        // Different spec or pipeline: distinct.
+        assert_ne!(
+            cell_digest("strassen", &pipeline, &scenarios[0], policies[0].as_ref()),
+            cell_digest("fft", &pipeline, &scenarios[0], policies[0].as_ref())
+        );
+        assert_ne!(
+            cell_digest(
+                "strassen",
+                "other-pipeline",
+                &scenarios[0],
+                policies[0].as_ref()
+            ),
+            cell_digest("strassen", &pipeline, &scenarios[0], policies[0].as_ref())
+        );
+    }
+
+    #[test]
+    fn digests_cover_workload_content_not_just_provenance() {
+        let base = SchedulerConfig::default();
+        let pipeline = base.pipeline_cache_key();
+        let policies = policies();
+        let scenarios = generate_scenarios(PtgClass::Strassen, 2, 1, 5);
+        let d = |s: &Scenario| cell_digest("spec", &pipeline, s, policies[0].as_ref());
+        // Same graphs, different release times: different cells.
+        let mut retimed = scenarios[0].clone();
+        retimed.release_times = vec![0.0, 10.0];
+        assert_ne!(d(&scenarios[0]), d(&retimed));
+        // A forged scenario with identical provenance (name, seed, platform,
+        // spec) but different graph content — the edited-trace threat model —
+        // must still get a different digest.
+        let other = generate_scenarios(PtgClass::Fft, 2, 1, 5);
+        let mut forged = other[0].clone();
+        forged.name = scenarios[0].name.clone();
+        forged.seed = scenarios[0].seed;
+        assert_eq!(forged.platform.name(), scenarios[0].platform.name());
+        assert_ne!(d(&scenarios[0]), d(&forged));
+    }
+
+    #[test]
+    fn cached_evaluation_is_bit_identical_to_direct() {
+        let base = SchedulerConfig::default();
+        let pipeline = base.pipeline_cache_key();
+        let scenarios = generate_scenarios(PtgClass::Strassen, 2, 1, 9);
+        let scenario = &scenarios[0];
+        let policies = policies();
+        let direct = scenario.evaluate_policies(&base, &policies);
+
+        let cache = CellCache::in_memory();
+        let cold = evaluate_policies_cached(
+            scenario,
+            &base,
+            &policies,
+            Some(&cache),
+            "strassen",
+            &pipeline,
+        );
+        assert_eq!(cold, direct);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), policies.len() as u64);
+
+        let warm = evaluate_policies_cached(
+            scenario,
+            &base,
+            &policies,
+            Some(&cache),
+            "strassen",
+            &pipeline,
+        );
+        assert_eq!(
+            warm, direct,
+            "cache hits reproduce the outcomes bit-exactly"
+        );
+        assert_eq!(cache.hits(), policies.len() as u64);
+    }
+
+    #[test]
+    fn partially_warm_cache_evaluates_only_the_missing_subset() {
+        let base = SchedulerConfig::default();
+        let pipeline = base.pipeline_cache_key();
+        let scenarios = generate_scenarios(PtgClass::Strassen, 2, 1, 13);
+        let scenario = &scenarios[0];
+        let policies = policies();
+        let cache = CellCache::in_memory();
+        // Warm only the middle policy.
+        let middle = vec![Arc::clone(&policies[1])];
+        evaluate_policies_cached(
+            scenario,
+            &base,
+            &middle,
+            Some(&cache),
+            "strassen",
+            &pipeline,
+        );
+        assert_eq!(cache.len(), 1);
+        // Full evaluation: one hit, two misses, outcomes identical to direct.
+        let direct = scenario.evaluate_policies(&base, &policies);
+        let mixed = evaluate_policies_cached(
+            scenario,
+            &base,
+            &policies,
+            Some(&cache),
+            "strassen",
+            &pipeline,
+        );
+        assert_eq!(mixed, direct);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), policies.len());
+    }
+}

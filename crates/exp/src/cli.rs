@@ -30,7 +30,18 @@
 //!   0.95), e.g. `--ci 0.99`;
 //! * `--threads N` — number of worker threads (0 = all cores);
 //! * `--seed S` — base random seed;
-//! * `--csv PATH` — also write the raw results as CSV to `PATH`.
+//! * `--csv PATH` — also write the raw results as CSV to `PATH`;
+//! * `--cache-dir PATH` — persist every evaluated (scenario, policy) cell
+//!   in the content-addressed cell cache at `PATH` (see `mcsched-runtime`):
+//!   re-runs with overlapping cells skip finished work byte-identically and
+//!   interrupted runs resume from completed shards;
+//! * `--no-resume` — clear the cache directory instead of serving from it
+//!   (escape hatch for a cache suspected stale);
+//! * `--progress` — narrate one stderr line per completed data point.
+//!
+//! Malformed values of numeric flags (`--threads abc`, `--ci 1.5`, a
+//! missing value) are hard errors: the binaries print the problem and exit
+//! with status 2 instead of silently falling back to defaults.
 
 use crate::campaign::{CampaignConfig, CampaignResult};
 use crate::mu_sweep::{MuSweepConfig, MuSweepPoint};
@@ -71,69 +82,125 @@ pub struct CliOptions {
     pub seed: Option<u64>,
     /// Optional CSV output path.
     pub csv: Option<PathBuf>,
+    /// Cell-cache directory (`--cache-dir`).
+    pub cache_dir: Option<PathBuf>,
+    /// Clear the cache directory instead of resuming from it
+    /// (`--no-resume`).
+    pub no_resume: bool,
+    /// Narrate per-data-point progress on stderr (`--progress`).
+    pub progress: bool,
+}
+
+/// Takes the value of a flag, erroring out when the argument list ends
+/// instead.
+fn value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .ok_or_else(|| format!("flag `{flag}` expects a value"))
+}
+
+/// Parses the value of a numeric flag, erroring out on malformed input —
+/// `--threads abc` must abort the run, not silently fall back to the
+/// default thread count.
+fn numeric<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
+    raw.parse().map_err(|_| {
+        format!(
+            "flag `{flag}` expects a {}, got `{raw}`",
+            std::any::type_name::<T>()
+                .rsplit("::")
+                .next()
+                .unwrap_or("number")
+        )
+    })
 }
 
 impl CliOptions {
     /// Parses options from an iterator of argument strings (without the
-    /// program name). Unknown flags are ignored with a warning on stderr.
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+    /// program name). Unknown flags are ignored with a warning on stderr;
+    /// malformed or missing values of known flags are errors.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed flag value
+    /// (binaries report it and exit with status 2 — see
+    /// [`CliOptions::from_env`]).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut opts = CliOptions::default();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--full" => opts.full = true,
+                "--no-resume" => opts.no_resume = true,
+                "--progress" => opts.progress = true,
                 "--combinations" => {
-                    opts.combinations = it.next().and_then(|v| v.parse().ok());
+                    opts.combinations = Some(numeric(&arg, &value(&mut it, &arg)?)?);
                 }
                 "--ptgs" => {
-                    opts.ptg_counts = it
-                        .next()
-                        .map(|v| v.split(',').filter_map(|x| x.parse().ok()).collect());
+                    opts.ptg_counts = Some(
+                        value(&mut it, &arg)?
+                            .split(',')
+                            .map(|x| numeric(&arg, x.trim()))
+                            .collect::<Result<_, _>>()?,
+                    );
                 }
                 "--strategies" => {
-                    opts.strategies = it
-                        .next()
-                        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
+                    opts.strategies = Some(
+                        value(&mut it, &arg)?
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .collect(),
+                    );
                 }
                 "--allocation" => {
-                    opts.allocation = it.next();
+                    opts.allocation = Some(value(&mut it, &arg)?);
                 }
                 "--workload" => {
-                    opts.workload = it.next();
+                    opts.workload = Some(value(&mut it, &arg)?);
                 }
                 "--trace" => {
-                    opts.trace = it.next().map(PathBuf::from);
+                    opts.trace = Some(PathBuf::from(value(&mut it, &arg)?));
                 }
                 "--export-trace" => {
-                    opts.export_trace = it.next().map(PathBuf::from);
+                    opts.export_trace = Some(PathBuf::from(value(&mut it, &arg)?));
                 }
                 "--replications" => {
-                    opts.replications = it.next().and_then(|v| v.parse().ok());
+                    opts.replications = Some(numeric(&arg, &value(&mut it, &arg)?)?);
                 }
                 "--ci" => {
-                    opts.ci = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .filter(|l| *l > 0.0 && *l < 1.0);
+                    let raw = value(&mut it, &arg)?;
+                    let level: f64 = numeric(&arg, &raw)?;
+                    if !(level > 0.0 && level < 1.0) {
+                        return Err(format!(
+                            "flag `--ci` expects a confidence level strictly between 0 and 1, \
+                             got `{raw}`"
+                        ));
+                    }
+                    opts.ci = Some(level);
                 }
                 "--threads" => {
-                    opts.threads = it.next().and_then(|v| v.parse().ok());
+                    opts.threads = Some(numeric(&arg, &value(&mut it, &arg)?)?);
                 }
                 "--seed" => {
-                    opts.seed = it.next().and_then(|v| v.parse().ok());
+                    opts.seed = Some(numeric(&arg, &value(&mut it, &arg)?)?);
                 }
                 "--csv" => {
-                    opts.csv = it.next().map(PathBuf::from);
+                    opts.csv = Some(PathBuf::from(value(&mut it, &arg)?));
+                }
+                "--cache-dir" => {
+                    opts.cache_dir = Some(PathBuf::from(value(&mut it, &arg)?));
                 }
                 other => eprintln!("warning: ignoring unknown argument `{other}`"),
             }
         }
-        opts
+        Ok(opts)
     }
 
-    /// Parses the current process arguments.
+    /// Parses the current process arguments, exiting with status 2 on a
+    /// malformed flag value.
     pub fn from_env() -> Self {
-        Self::parse(std::env::args().skip(1))
+        Self::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
     }
 
     /// Resolves the `--allocation` override into the built-in procedure
@@ -208,6 +275,15 @@ impl CliOptions {
         if let Some(s) = self.seed {
             config.seed = s;
         }
+        if let Some(dir) = &self.cache_dir {
+            config.cache_dir = Some(dir.clone());
+        }
+        if self.no_resume {
+            config.resume = false;
+        }
+        if self.progress {
+            config.progress = true;
+        }
         Ok(config)
     }
 
@@ -243,6 +319,15 @@ impl CliOptions {
         }
         if let Some(s) = self.seed {
             config.seed = s;
+        }
+        if let Some(dir) = &self.cache_dir {
+            config.cache_dir = Some(dir.clone());
+        }
+        if self.no_resume {
+            config.resume = false;
+        }
+        if self.progress {
+            config.progress = true;
         }
         Ok(config)
     }
@@ -422,7 +507,12 @@ mod tests {
     use mcsched_ptg::gen::PtgClass;
 
     fn parse(args: &[&str]) -> CliOptions {
+        CliOptions::parse(args.iter().map(|s| s.to_string())).expect("arguments parse")
+    }
+
+    fn parse_err(args: &[&str]) -> String {
         CliOptions::parse(args.iter().map(|s| s.to_string()))
+            .expect_err("arguments must be rejected")
     }
 
     #[test]
@@ -439,6 +529,10 @@ mod tests {
             "11",
             "--csv",
             "/tmp/out.csv",
+            "--cache-dir",
+            "/tmp/cells",
+            "--no-resume",
+            "--progress",
         ]);
         assert!(o.full);
         assert_eq!(o.combinations, Some(7));
@@ -446,6 +540,54 @@ mod tests {
         assert_eq!(o.threads, Some(3));
         assert_eq!(o.seed, Some(11));
         assert_eq!(o.csv, Some(PathBuf::from("/tmp/out.csv")));
+        assert_eq!(o.cache_dir, Some(PathBuf::from("/tmp/cells")));
+        assert!(o.no_resume);
+        assert!(o.progress);
+    }
+
+    #[test]
+    fn malformed_numeric_values_are_hard_errors() {
+        // The original parser swallowed `--threads abc` into the default
+        // thread count; that must be a loud failure instead.
+        assert!(parse_err(&["--threads", "abc"]).contains("--threads"));
+        assert!(parse_err(&["--combinations", "-1"]).contains("--combinations"));
+        assert!(parse_err(&["--replications", "2.5"]).contains("--replications"));
+        assert!(parse_err(&["--seed", "0x5EED"]).contains("--seed"));
+        assert!(parse_err(&["--ptgs", "2,x,6"]).contains("--ptgs"));
+        assert!(parse_err(&["--ci", "nope"]).contains("--ci"));
+        // Out-of-range confidence levels are as wrong as non-numbers.
+        assert!(parse_err(&["--ci", "1.5"]).contains("between 0 and 1"));
+        assert!(parse_err(&["--ci", "0"]).contains("between 0 and 1"));
+    }
+
+    #[test]
+    fn missing_flag_values_are_hard_errors() {
+        assert!(parse_err(&["--threads"]).contains("expects a value"));
+        assert!(parse_err(&["--cache-dir"]).contains("expects a value"));
+        assert!(parse_err(&["--workload"]).contains("expects a value"));
+        assert!(parse_err(&["--full", "--seed"]).contains("--seed"));
+    }
+
+    #[test]
+    fn cache_flags_apply_to_both_configs() {
+        let o = parse(&["--cache-dir", "/tmp/cells", "--no-resume", "--progress"]);
+        let cfg = o
+            .configure_campaign(CampaignConfig::quick(PtgClass::Random))
+            .unwrap();
+        assert_eq!(cfg.cache_dir, Some(PathBuf::from("/tmp/cells")));
+        assert!(!cfg.resume);
+        assert!(cfg.progress);
+        let sweep = o.configure_mu_sweep(MuSweepConfig::quick()).unwrap();
+        assert_eq!(sweep.cache_dir, Some(PathBuf::from("/tmp/cells")));
+        assert!(!sweep.resume);
+        assert!(sweep.progress);
+        // Defaults leave caching off and resume on.
+        let plain = parse(&[])
+            .configure_campaign(CampaignConfig::quick(PtgClass::Random))
+            .unwrap();
+        assert_eq!(plain.cache_dir, None);
+        assert!(plain.resume);
+        assert!(!plain.progress);
     }
 
     #[test]
@@ -574,18 +716,17 @@ mod tests {
     }
 
     #[test]
-    fn default_run_does_not_want_ci_and_clamps_bad_values() {
+    fn default_run_does_not_want_ci_and_clamps_zero_replications() {
         let o = parse(&[]);
         assert!(!o.wants_ci(1));
         assert!(o.wants_ci(2), "replications alone enable intervals");
         assert_eq!(o.ci_config(0).level, 0.95);
-        // --replications 0 clamps to 1; an out-of-range --ci is ignored.
-        let o = parse(&["--replications", "0", "--ci", "1.5"]);
+        // --replications 0 parses but clamps to 1 at configuration time.
+        let o = parse(&["--replications", "0"]);
         let cfg = o
             .configure_campaign(CampaignConfig::quick(PtgClass::Random))
             .unwrap();
         assert_eq!(cfg.replications, 1);
-        assert_eq!(o.ci, None);
     }
 
     #[test]

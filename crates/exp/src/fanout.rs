@@ -1,14 +1,15 @@
-//! Scenario fan-out: a small fixed-size worker pool shared by the campaign
-//! and µ-sweep harnesses.
+//! **Deprecated** legacy scenario fan-out: a throwaway `thread::scope`
+//! executor kept only as the benchmark baseline for the persistent
+//! work-stealing pool that replaced it.
 //!
-//! Both harnesses process a list of independent scenarios and aggregate the
-//! results in index order, so the executor only needs "run `f(i)` for every
-//! `i` with at most `threads` workers and return the results in order".
-//! `rayon` would provide this via `par_iter`, but it is not available in the
-//! offline build (see `vendor/README.md`); this implementation uses
-//! `std::thread::scope` with an atomic work index, which keeps the same
-//! contract (deterministic output order, bounded worker count) and can be
-//! swapped for a rayon pool without touching the call sites.
+//! The campaign and µ-sweep harnesses now run on
+//! [`mcsched_runtime::run_indexed`] — same deterministic-index-order
+//! contract, but with persistent parked workers, per-worker deques with
+//! stealing, and nested fan-outs. This module preserves the exact
+//! pre-runtime implementation (fresh `std::thread::scope` per call, one
+//! global result mutex, no nesting) so `bench_runtime` can measure the
+//! replacement against it; it will be removed once that trajectory is
+//! established. New code must use the runtime pool.
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -16,6 +17,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Resolves a configured thread count: `0` means one worker per available
 /// core, anything else is taken literally (and clamped to the work size by
 /// [`run_indexed`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `mcsched_runtime::resolve_threads` (same semantics, shared with the pool)"
+)]
 pub fn resolve_threads(configured: usize) -> usize {
     if configured == 0 {
         std::thread::available_parallelism()
@@ -34,6 +39,11 @@ pub fn resolve_threads(configured: usize) -> usize {
 /// # Panics
 ///
 /// Propagates panics from `f` (the scope joins every worker).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `mcsched_runtime::run_indexed` (persistent work-stealing pool, nested fan-outs)"
+)]
+#[allow(deprecated)]
 pub fn run_indexed<T, F>(threads: usize, count: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -71,6 +81,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;

@@ -27,10 +27,19 @@
 //! the binaries expose it through `--workload <spec>`, `--trace <file>` and
 //! `--export-trace <file>`.
 //!
-//! Both harnesses fan scenarios out over the worker pool of [`fanout`]
-//! (honouring the configs' `threads` fields) and evaluate every strategy of
-//! a scenario through one shared [`mcsched_core::ScheduleContext`], so each
-//! dedicated baseline is simulated exactly once per scenario.
+//! Both harnesses run on the persistent work-stealing pool of
+//! `mcsched-runtime` (honouring the configs' `threads` fields): data points
+//! fan out at the outer level, their scenarios nest within them, and every
+//! strategy of a scenario is evaluated through one shared
+//! [`mcsched_core::ScheduleContext`], so each dedicated baseline is
+//! simulated exactly once per scenario. With `cache_dir` set (CLI
+//! `--cache-dir`), every (scenario, policy) cell is stored in — and served
+//! from — the content-addressed cell cache of `mcsched-runtime` (see
+//! [`cells`]): re-runs skip finished work byte-identically, interrupted
+//! runs resume from completed shards (`--no-resume` starts cold), and
+//! `--progress` narrates data points on stderr. The deprecated [`fanout`]
+//! module preserves the legacy throwaway-scope executor solely as the
+//! `bench_runtime` baseline.
 //!
 //! Point estimates at 100 runs per cell are too noisy to assert the paper's
 //! strict orderings on, so both harnesses run **paired replications**: all
@@ -46,6 +55,7 @@
 #![deny(unsafe_code)]
 
 pub mod campaign;
+pub mod cells;
 pub mod cli;
 pub mod fanout;
 pub mod mu_sweep;
@@ -53,6 +63,7 @@ pub mod report;
 pub mod scenario;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, CellSamples, StrategyPoint};
+pub use cells::{cell_digest, evaluate_policies_cached};
 pub use cli::CliOptions;
 pub use mu_sweep::{paired_mu_unfairness, run_mu_sweep, MuSamples, MuSweepConfig, MuSweepPoint};
 pub use report::{

@@ -10,14 +10,14 @@
 //! draws and supports paired replications ([`MuSweepConfig::replications`]);
 //! every point retains its per-run samples for interval estimates.
 
-use crate::fanout::run_indexed;
-use crate::scenario::{generate_scenarios_with, replication_seed};
+use crate::cells;
 use mcsched_core::policy::{ConstraintPolicy, WeightedShare};
 use mcsched_core::{Characteristic, SchedError, SchedulerConfig};
 use mcsched_ptg::gen::PtgClass;
 use mcsched_stats::{PairedSamples, Samples};
 use mcsched_workload::{GeneratorSource, WorkloadSource};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Configuration of a µ sweep.
@@ -39,10 +39,20 @@ pub struct MuSweepConfig {
     /// Base random seed.
     pub seed: u64,
     /// Number of paired replications (fresh seeds via
-    /// [`replication_seed`]; 1 reproduces the pre-statistics sweep).
+    /// [`crate::scenario::replication_seed`]; 1 reproduces the pre-statistics sweep).
     pub replications: usize,
     /// Worker threads (0 = one per core).
     pub threads: usize,
+    /// Directory of the on-disk content-addressed cell cache (`--cache-dir`;
+    /// `None` disables caching). µ-sweep cells share the campaign cell
+    /// format: a sweep and a campaign pointed at the same directory reuse
+    /// each other's overlapping cells.
+    pub cache_dir: Option<PathBuf>,
+    /// Serve cells already in `cache_dir` (`true`, the default) or clear
+    /// the store first (`--no-resume`).
+    pub resume: bool,
+    /// Narrate one stderr line per completed data point (`--progress`).
+    pub progress: bool,
 }
 
 impl MuSweepConfig {
@@ -58,6 +68,9 @@ impl MuSweepConfig {
             seed: 0x5EED,
             replications: 1,
             threads: 0,
+            cache_dir: None,
+            resume: true,
+            progress: false,
         }
     }
 
@@ -126,19 +139,23 @@ pub fn paired_mu_unfairness(
 
 /// Runs the µ sweep and returns one point per (µ, PTG count).
 ///
-/// Scenarios are fanned out over [`MuSweepConfig::threads`] workers (see
-/// [`crate::fanout`]); every µ value of a scenario is evaluated through one
-/// shared [`mcsched_core::ScheduleContext`] (the paired-evaluation path), so
-/// the dedicated baselines are simulated once per (platform, application)
-/// pair and every µ sees byte-identical workloads. Aggregation follows
-/// scenario order, keeping the result independent of thread interleaving.
+/// Work runs on the persistent work-stealing pool of `mcsched-runtime`
+/// ([`MuSweepConfig::threads`] workers): data points fan out at the outer
+/// level and their scenarios nest within them. Every µ value of a scenario
+/// is evaluated through one shared [`mcsched_core::ScheduleContext`] (the
+/// paired-evaluation path), so the dedicated baselines are simulated once
+/// per (platform, application) pair and every µ sees byte-identical
+/// workloads. With [`MuSweepConfig::cache_dir`] set, each (scenario, µ)
+/// cell is served from / stored into the content-addressed cell cache
+/// (flushed per data point — the resume grain). Aggregation follows
+/// scenario order, keeping the result independent of thread interleaving
+/// and of cache state.
 ///
 /// # Errors
 ///
-/// Propagates workload-generation failures from [`MuSweepConfig::source`].
+/// Propagates workload-generation failures from [`MuSweepConfig::source`]
+/// and cache-directory failures from [`MuSweepConfig::cache_dir`].
 pub fn run_mu_sweep(config: &MuSweepConfig) -> Result<Vec<MuSweepPoint>, SchedError> {
-    let mut cells: BTreeMap<(usize, usize), MuSamples> = BTreeMap::new();
-
     let policies: Vec<Arc<dyn ConstraintPolicy>> = config
         .mu_values
         .iter()
@@ -147,30 +164,33 @@ pub fn run_mu_sweep(config: &MuSweepConfig) -> Result<Vec<MuSweepPoint>, SchedEr
         })
         .collect();
 
-    for replication in 0..config.replications.max(1) {
-        let seed = replication_seed(config.seed, replication);
-        for &num_ptgs in &config.ptg_counts {
-            let scenarios = generate_scenarios_with(
-                config.source.as_ref(),
-                num_ptgs,
-                config.combinations,
-                seed,
-            )?;
-            let per_scenario = run_indexed(config.threads, scenarios.len(), |i| {
-                scenarios[i].evaluate_policies(&config.base, &policies)
-            });
+    let job = cells::CellJob::new(
+        format!("mu-sweep:{}", config.source.short_label()),
+        Arc::clone(&config.source),
+        policies,
+        config.base,
+        config.combinations,
+        config.seed,
+        config.replications,
+        config.threads,
+        config.cache_dir.as_deref(),
+        config.resume,
+        config.progress,
+        config.ptg_counts.len(),
+    )?;
 
-            for outcomes in per_scenario {
-                for (mi, outcome) in outcomes.iter().enumerate() {
-                    let acc = cells.entry((mi, num_ptgs)).or_default();
-                    acc.unfairness.push(outcome.unfairness);
-                    acc.makespan.push(outcome.makespan);
-                }
+    let mut cells_map: BTreeMap<(usize, usize), MuSamples> = BTreeMap::new();
+    for (num_ptgs, per_scenario) in job.run_grid(&config.ptg_counts)? {
+        for outcomes in per_scenario {
+            for (mi, outcome) in outcomes.iter().enumerate() {
+                let acc = cells_map.entry((mi, num_ptgs)).or_default();
+                acc.unfairness.push(outcome.unfairness);
+                acc.makespan.push(outcome.makespan);
             }
         }
     }
 
-    Ok(cells
+    Ok(cells_map
         .into_iter()
         .map(|((mi, num_ptgs), samples)| MuSweepPoint {
             mu: config.mu_values[mi],

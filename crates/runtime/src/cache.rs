@@ -1,0 +1,630 @@
+//! The content-addressed cell cache: an in-memory map of evaluated cell
+//! metrics, optionally backed by an on-disk JSON shard store.
+//!
+//! ## What a "cell" is
+//!
+//! One (scenario, policy) evaluation of a campaign or µ-sweep: the smallest
+//! unit of work whose result is a pure function of its inputs. The key is a
+//! [`CellDigest`] over those inputs (see [`crate::digest`]); the value is a
+//! [`CellMetrics`] — the three floats campaigns aggregate. Cached floats
+//! round-trip *bit-exactly* (numbers are serialized with Rust's
+//! shortest-round-trip formatting and parsed from the raw token text by
+//! `mcsched_workload::json`), so a warm-cache run prints byte-identical
+//! tables and CSVs to the cold run that populated it.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <cache_dir>/
+//!   shard-00.json … shard-0f.json   # 16 shards, assigned by digest
+//! ```
+//!
+//! Each shard is one JSON document `{"version":1,"salt":…,"cells":[…]}`.
+//! Shards are flushed with a write-to-temporary + atomic-rename, so a kill
+//! at any instant leaves every shard either at its previous complete state
+//! or at the new complete state — never half-written. Stale `*.tmp` files
+//! and unreadable/corrupt shards are skipped (with a warning) at load time:
+//! a damaged cache degrades to recomputation, never to wrong results or a
+//! crash. Entries whose embedded salt differs from [`CACHE_SALT`] are
+//! ignored wholesale, which is how bumping the salt invalidates old caches.
+
+use crate::digest::{CellDigest, CACHE_SALT};
+use mcsched_workload::json::Json;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Number of on-disk shards (and in-memory lock stripes).
+pub const SHARD_COUNT: usize = 16;
+
+/// On-disk format version.
+const FORMAT_VERSION: u64 = 1;
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Shard locks only guard map/flag manipulation; a poisoned lock cannot
+    // leave the map in a torn state.
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The cached result of one (scenario, policy) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMetrics {
+    /// Unfairness of the produced schedule (paper Equation 5).
+    pub unfairness: f64,
+    /// Global makespan of the run (seconds).
+    pub makespan: f64,
+    /// Average slowdown across the applications.
+    pub average_slowdown: f64,
+}
+
+impl CellMetrics {
+    /// Whether every field is finite — only finite metrics are cached (JSON
+    /// has no literal for NaN/∞; real evaluations never produce them).
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.unfairness.is_finite()
+            && self.makespan.is_finite()
+            && self.average_slowdown.is_finite()
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    cells: HashMap<u128, CellMetrics>,
+    /// Entries added since the last flush.
+    dirty: bool,
+}
+
+/// In-memory cell store with an optional on-disk shard directory. All
+/// methods take `&self` and are safe to call from any pool worker.
+pub struct CellCache {
+    shards: Vec<Mutex<Shard>>,
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Cells loaded from disk at open time (pre-warm size).
+    resumed: usize,
+}
+
+impl std::fmt::Debug for CellCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellCache")
+            .field("dir", &self.dir)
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl CellCache {
+    /// A purely in-memory cache (no persistence): deduplicates cells within
+    /// one process, e.g. a µ-sweep sharing cells with a campaign.
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Self {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            dir: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            resumed: 0,
+        }
+    }
+
+    /// Opens (creating if needed) an on-disk cache at `dir`.
+    ///
+    /// With `resume = true`, previously flushed shards are loaded and their
+    /// cells served as hits. With `resume = false` the directory's shard
+    /// files are deleted first: the run starts cold and overwrites the
+    /// store — the `--no-resume` escape hatch for a cache suspected stale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory creation/removal failures. Unreadable or
+    /// corrupt shard *files* are not errors: they are skipped with a
+    /// warning on stderr and recomputed.
+    pub fn open(dir: impl Into<PathBuf>, resume: bool) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut cache = Self {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            dir: Some(dir.clone()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            resumed: 0,
+        };
+        // Stale temporaries are debris from a kill mid-flush; the rename
+        // never happened, so their contents are already recomputable.
+        remove_stale_temporaries(&dir)?;
+        if resume {
+            let mut resumed = 0;
+            for index in 0..SHARD_COUNT {
+                resumed += cache.load_shard(&dir, index);
+            }
+            cache.resumed = resumed;
+        } else {
+            for index in 0..SHARD_COUNT {
+                let path = shard_path(&dir, index);
+                if path.exists() {
+                    std::fs::remove_file(&path)?;
+                }
+            }
+        }
+        Ok(cache)
+    }
+
+    /// The backing directory, if the cache is persistent.
+    #[must_use]
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Number of cells currently held in memory.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).cells.len()).sum()
+    }
+
+    /// Whether the cache holds no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cells loaded from disk when the cache was opened.
+    #[must_use]
+    pub fn resumed(&self) -> usize {
+        self.resumed
+    }
+
+    /// Number of successful lookups so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of failed lookups so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Looks up a cell, counting the hit or miss.
+    #[must_use]
+    pub fn lookup(&self, key: CellDigest) -> Option<CellMetrics> {
+        let found = lock(&self.shards[key.shard(SHARD_COUNT)])
+            .cells
+            .get(&key.0)
+            .copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a cell. Non-finite metrics are ignored (they cannot be
+    /// serialized and no real evaluation produces them).
+    pub fn insert(&self, key: CellDigest, metrics: CellMetrics) {
+        if !metrics.is_finite() {
+            return;
+        }
+        let mut shard = lock(&self.shards[key.shard(SHARD_COUNT)]);
+        if shard.cells.insert(key.0, metrics) != Some(metrics) {
+            shard.dirty = true;
+        }
+    }
+
+    /// One-line human summary (`N cells, H hits, M misses[, dir]`), printed
+    /// by campaigns on completion so cache effectiveness is observable.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut line = format!(
+            "{} cells, {} hits, {} misses",
+            self.len(),
+            self.hits(),
+            self.misses()
+        );
+        if let Some(dir) = &self.dir {
+            line.push_str(&format!(" ({})", dir.display()));
+        }
+        line
+    }
+
+    /// Flushes every dirty shard to disk (no-op for in-memory caches and
+    /// clean shards). Each shard is written to `shard-XX.json.tmp` and
+    /// atomically renamed, so readers and killed writers never observe a
+    /// torn file. Campaigns call this after every completed data point —
+    /// that is the resume grain. A dirty shard is rewritten in full, so a
+    /// campaign's total flush I/O is O(data points × store size); with the
+    /// paper-scale store at a few hundred kilobytes and at most a few
+    /// dozen data points per run, that is megabytes against tens of
+    /// seconds of evaluation — switch to per-shard append logs only if a
+    /// future workload grows the store by orders of magnitude.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (callers downgrade to a warning: a cache
+    /// that cannot persist costs recomputation, not correctness).
+    pub fn flush(&self) -> io::Result<()> {
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
+        for (index, shard) in self.shards.iter().enumerate() {
+            let mut shard = lock(shard);
+            if !shard.dirty {
+                continue;
+            }
+            let path = shard_path(dir, index);
+            let tmp = path.with_extension("json.tmp");
+            std::fs::write(&tmp, render_shard(&shard.cells))?;
+            std::fs::rename(&tmp, &path)?;
+            shard.dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Loads one shard file into memory, returning the number of cells
+    /// recovered (0 for missing/corrupt files).
+    fn load_shard(&mut self, dir: &Path, index: usize) -> usize {
+        let path = shard_path(dir, index);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return 0,
+            Err(e) => {
+                eprintln!(
+                    "warning: cell cache: cannot read {} ({e}); its cells will be recomputed",
+                    path.display()
+                );
+                return 0;
+            }
+        };
+        match parse_shard(&text) {
+            Ok(cells) => {
+                let count = cells.len();
+                let shard = self.shards[index]
+                    .get_mut()
+                    .unwrap_or_else(PoisonError::into_inner);
+                shard.cells = cells;
+                count
+            }
+            Err(reason) => {
+                eprintln!(
+                    "warning: cell cache: ignoring {} ({reason}); its cells will be recomputed",
+                    path.display()
+                );
+                0
+            }
+        }
+    }
+}
+
+fn shard_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index:02x}.json"))
+}
+
+/// Removes temporaries left by a flush killed before its atomic rename.
+/// Only files matching the cache's own `shard-*.json.tmp` naming are
+/// touched — `--cache-dir` may point at a directory holding unrelated
+/// `*.tmp` files the cache must never delete.
+fn remove_stale_temporaries(dir: &Path) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let ours = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".json.tmp"));
+        if ours {
+            std::fs::remove_file(&path)?;
+        }
+    }
+    Ok(())
+}
+
+/// Serializes a shard. Cells are emitted in key order so flushing the same
+/// content always produces the same bytes (shard files diff cleanly).
+fn render_shard(cells: &HashMap<u128, CellMetrics>) -> String {
+    let mut keys: Vec<&u128> = cells.keys().collect();
+    keys.sort_unstable();
+    let entries: Vec<Json> = keys
+        .into_iter()
+        .map(|key| {
+            let m = &cells[key];
+            Json::Obj(vec![
+                ("key".into(), Json::Str(CellDigest(*key).to_hex())),
+                ("unfairness".into(), Json::num_f64(m.unfairness)),
+                ("makespan".into(), Json::num_f64(m.makespan)),
+                ("average_slowdown".into(), Json::num_f64(m.average_slowdown)),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("version".into(), Json::num_u64(FORMAT_VERSION)),
+        ("salt".into(), Json::Str(CACHE_SALT.to_string())),
+        ("cells".into(), Json::Arr(entries)),
+    ]);
+    let mut text = doc.render();
+    text.push('\n');
+    text
+}
+
+/// Parses a shard document. Version/salt mismatches and malformed entries
+/// reject the *whole shard* (the caller warns and recomputes its cells): a
+/// file that fails any structural check has no trustworthy parts, and
+/// recomputation is always safe.
+fn parse_shard(text: &str) -> Result<HashMap<u128, CellMetrics>, String> {
+    let doc = Json::parse(text)?;
+    let version = doc.get("version").and_then(Json::as_u64);
+    if version != Some(FORMAT_VERSION) {
+        return Err(format!(
+            "unsupported cache format version {version:?} (expected {FORMAT_VERSION})"
+        ));
+    }
+    let salt = doc.get("salt").and_then(Json::as_str);
+    if salt != Some(CACHE_SALT) {
+        return Err(format!(
+            "cache salt {salt:?} does not match this build's `{CACHE_SALT}`"
+        ));
+    }
+    let entries = doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or("missing `cells` array")?;
+    let mut cells = HashMap::with_capacity(entries.len());
+    for entry in entries {
+        let Some(key) = entry
+            .get("key")
+            .and_then(Json::as_str)
+            .and_then(CellDigest::from_hex)
+        else {
+            return Err("entry with a missing or malformed `key`".to_string());
+        };
+        let field = |name: &str| -> Result<f64, String> {
+            entry
+                .get(name)
+                .and_then(Json::as_f64)
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| format!("entry {key} has a malformed `{name}`"))
+        };
+        cells.insert(
+            key.0,
+            CellMetrics {
+                unfairness: field("unfairness")?,
+                makespan: field("makespan")?,
+                average_slowdown: field("average_slowdown")?,
+            },
+        );
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::DigestBuilder;
+
+    /// A unique temporary directory, removed on drop.
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            static UNIQUE: AtomicU64 = AtomicU64::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "mcsched-cache-test-{tag}-{}-{}",
+                std::process::id(),
+                UNIQUE.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&path).unwrap();
+            Self(path)
+        }
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn key(tag: u64) -> CellDigest {
+        DigestBuilder::new().u64(tag).finish()
+    }
+
+    fn metrics(base: f64) -> CellMetrics {
+        CellMetrics {
+            unfairness: base,
+            makespan: base * 10.0,
+            average_slowdown: base / 3.0,
+        }
+    }
+
+    #[test]
+    fn in_memory_round_trip_counts_hits_and_misses() {
+        let cache = CellCache::in_memory();
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(key(1)), None);
+        cache.insert(key(1), metrics(0.25));
+        assert_eq!(cache.lookup(key(1)), Some(metrics(0.25)));
+        assert_eq!(cache.lookup(key(2)), None);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.flush().is_ok(), "in-memory flush is a no-op");
+        assert!(cache.summary().contains("1 cells, 1 hits, 2 misses"));
+    }
+
+    #[test]
+    fn disk_round_trip_is_bit_exact() {
+        let dir = TempDir::new("roundtrip");
+        // Values chosen to stress shortest-round-trip formatting.
+        let awkward = CellMetrics {
+            unfairness: 0.1 + 0.2,
+            makespan: 1.0 / 3.0,
+            average_slowdown: 1.2345678901234567e-300,
+        };
+        {
+            let cache = CellCache::open(dir.path(), true).unwrap();
+            cache.insert(key(7), awkward);
+            cache.flush().unwrap();
+        }
+        let cache = CellCache::open(dir.path(), true).unwrap();
+        assert_eq!(cache.resumed(), 1);
+        let loaded = cache.lookup(key(7)).unwrap();
+        assert_eq!(loaded.unfairness.to_bits(), awkward.unfairness.to_bits());
+        assert_eq!(loaded.makespan.to_bits(), awkward.makespan.to_bits());
+        assert_eq!(
+            loaded.average_slowdown.to_bits(),
+            awkward.average_slowdown.to_bits()
+        );
+    }
+
+    #[test]
+    fn no_resume_clears_the_store() {
+        let dir = TempDir::new("noresume");
+        {
+            let cache = CellCache::open(dir.path(), true).unwrap();
+            cache.insert(key(1), metrics(1.0));
+            cache.flush().unwrap();
+        }
+        let cache = CellCache::open(dir.path(), false).unwrap();
+        assert_eq!(cache.resumed(), 0);
+        assert_eq!(cache.lookup(key(1)), None);
+        // And the files really are gone, not just unloaded.
+        let reopened = CellCache::open(dir.path(), true).unwrap();
+        assert_eq!(reopened.resumed(), 0);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_shards_are_tolerated() {
+        let dir = TempDir::new("corrupt");
+        {
+            let cache = CellCache::open(dir.path(), true).unwrap();
+            cache.insert(key(1), metrics(1.0));
+            cache.insert(key(2), metrics(2.0));
+            cache.flush().unwrap();
+        }
+        // Truncate every shard that exists to simulate a torn write that
+        // somehow bypassed the atomic rename, and drop in a stale temp.
+        let mut damaged = 0;
+        for entry in std::fs::read_dir(dir.path()).unwrap() {
+            let path = entry.unwrap().path();
+            let text = std::fs::read_to_string(&path).unwrap();
+            std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+            damaged += 1;
+        }
+        assert!(damaged > 0);
+        std::fs::write(dir.path().join("shard-00.json.tmp"), "garbage").unwrap();
+        // A foreign temporary in the same directory is not the cache's to
+        // delete.
+        std::fs::write(dir.path().join("notes.tmp"), "user data").unwrap();
+        let cache = CellCache::open(dir.path(), true).unwrap();
+        assert_eq!(
+            cache.resumed(),
+            0,
+            "damaged shards are skipped, not trusted"
+        );
+        assert!(
+            !dir.path().join("shard-00.json.tmp").exists(),
+            "stale temp removed"
+        );
+        assert!(
+            dir.path().join("notes.tmp").exists(),
+            "unrelated .tmp files are left alone"
+        );
+        // The cache still works for new inserts.
+        cache.insert(key(3), metrics(3.0));
+        cache.flush().unwrap();
+        let reopened = CellCache::open(dir.path(), true).unwrap();
+        assert_eq!(reopened.lookup(key(3)), Some(metrics(3.0)));
+    }
+
+    #[test]
+    fn salt_mismatch_invalidates_wholesale() {
+        let dir = TempDir::new("salt");
+        {
+            let cache = CellCache::open(dir.path(), true).unwrap();
+            cache.insert(key(4), metrics(4.0));
+            cache.flush().unwrap();
+        }
+        // Rewrite the salt in place: the shard must be ignored.
+        for entry in std::fs::read_dir(dir.path()).unwrap() {
+            let path = entry.unwrap().path();
+            let text = std::fs::read_to_string(&path).unwrap();
+            std::fs::write(&path, text.replace(CACHE_SALT, "mcsched-cells-v0")).unwrap();
+        }
+        let cache = CellCache::open(dir.path(), true).unwrap();
+        assert_eq!(cache.resumed(), 0);
+        assert_eq!(cache.lookup(key(4)), None);
+    }
+
+    #[test]
+    fn non_finite_metrics_are_not_cached() {
+        let cache = CellCache::in_memory();
+        cache.insert(
+            key(9),
+            CellMetrics {
+                unfairness: f64::NAN,
+                makespan: 1.0,
+                average_slowdown: 1.0,
+            },
+        );
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(key(9)), None);
+    }
+
+    #[test]
+    fn flush_is_incremental_and_deterministic() {
+        let dir = TempDir::new("incremental");
+        let cache = CellCache::open(dir.path(), true).unwrap();
+        cache.insert(key(1), metrics(1.0));
+        cache.flush().unwrap();
+        let snapshot = |p: &Path| -> Vec<(String, String)> {
+            let mut files: Vec<_> = std::fs::read_dir(p)
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .collect();
+            files.sort();
+            files
+                .into_iter()
+                .map(|f| {
+                    (
+                        f.file_name().unwrap().to_string_lossy().into_owned(),
+                        std::fs::read_to_string(&f).unwrap(),
+                    )
+                })
+                .collect()
+        };
+        let first = snapshot(dir.path());
+        // A clean flush rewrites nothing; re-inserting the same value keeps
+        // the shard clean too.
+        cache.flush().unwrap();
+        cache.insert(key(1), metrics(1.0));
+        cache.flush().unwrap();
+        assert_eq!(snapshot(dir.path()), first);
+        // Same content written through a different insertion order produces
+        // identical bytes (entries are key-sorted).
+        let other = TempDir::new("incremental-b");
+        let b = CellCache::open(other.path(), true).unwrap();
+        b.insert(key(1), metrics(1.0));
+        b.flush().unwrap();
+        assert_eq!(snapshot(other.path()), first);
+    }
+
+    #[test]
+    fn resumed_counts_only_entries_of_this_salt_and_version() {
+        let dir = TempDir::new("version");
+        std::fs::write(
+            shard_path(dir.path(), 0),
+            format!("{{\"version\":99,\"salt\":\"{CACHE_SALT}\",\"cells\":[]}}"),
+        )
+        .unwrap();
+        let cache = CellCache::open(dir.path(), true).unwrap();
+        assert_eq!(cache.resumed(), 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Content-addressed cell digests.
+//!
+//! Every evaluated campaign cell is identified by a 128-bit digest of the
+//! inputs that determine its result: the workload spec and request seed,
+//! the platform, the base pipeline configuration, the policy's `cache_key()`
+//! (which carries µ for the weighted strategies), and a **code-version
+//! salt**. The digest is the cache key of [`crate::cache::CellCache`]: two
+//! runs that would compute bit-identical metrics hash to the same key, and
+//! any input that could change the metrics must be fed to the builder.
+//!
+//! The hash is deliberately simple and *stable*: two independent FNV-1a
+//! lanes (decorrelated by a SplitMix64-derived second offset basis) each
+//! finalized with the SplitMix64 mixer. It is not cryptographic — cache
+//! poisoning is out of scope for local result files — but 128 bits make
+//! accidental collisions across even billions of cells negligible, and the
+//! exact bit patterns are pinned by unit tests so a Rust upgrade or
+//! refactor cannot silently remap an existing on-disk cache.
+//!
+//! ## The salt
+//!
+//! [`CACHE_SALT`] names the version of the *scheduling semantics*. Bump it
+//! in any PR that intentionally changes simulation or scheduling output
+//! (new mapping tie-breaks, cost-model fixes, …): old cache directories
+//! then miss cleanly instead of replaying stale results. PRs that only
+//! change orchestration (threading, reporting, CLI) must leave it alone so
+//! caches stay warm across upgrades.
+
+/// Version salt mixed into every cell digest. Bump on any intentional
+/// change to scheduling/simulation semantics; leave alone for pure
+/// orchestration changes. The git history of this constant is the
+/// invalidation log of every cache directory.
+pub const CACHE_SALT: &str = "mcsched-cells-v1";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// SplitMix64 finalizer: the bijective avalanche mixer.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A 128-bit content digest (the cell-cache key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellDigest(pub u128);
+
+impl CellDigest {
+    /// The digest as 32 lowercase hex characters (the on-disk key form).
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the 32-hex-character form written by [`CellDigest::to_hex`].
+    #[must_use]
+    pub fn from_hex(text: &str) -> Option<Self> {
+        if text.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(text, 16).ok().map(Self)
+    }
+
+    /// The shard this digest belongs to, in `0..shards`.
+    #[must_use]
+    pub fn shard(self, shards: usize) -> usize {
+        debug_assert!(shards > 0);
+        // The top bits are as well-mixed as any after the SplitMix finalize.
+        ((self.0 >> 64) as u64 % shards as u64) as usize
+    }
+}
+
+impl std::fmt::Display for CellDigest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Incremental digest builder. Fields are length-framed, so `"ab" + "c"`
+/// and `"a" + "bc"` hash differently; all integers are fed little-endian.
+#[derive(Debug, Clone)]
+pub struct DigestBuilder {
+    lo: u64,
+    hi: u64,
+}
+
+impl DigestBuilder {
+    /// Starts a digest salted with [`CACHE_SALT`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_salt(CACHE_SALT)
+    }
+
+    /// Starts a digest with an explicit salt (tests; alternative stores).
+    #[must_use]
+    pub fn with_salt(salt: &str) -> Self {
+        let mut b = Self {
+            lo: FNV_OFFSET,
+            // Decorrelate the second lane by perturbing its offset basis.
+            hi: splitmix(FNV_OFFSET ^ 0x5851_F42D_4C95_7F2D),
+        };
+        b.feed_str(salt);
+        b
+    }
+
+    fn feed_byte(&mut self, byte: u8) {
+        self.lo = (self.lo ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        self.hi = (self.hi ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        // Keep the lanes from ever converging: fold a lane-specific rotation
+        // of the other lane in after each byte of the second lane.
+        self.hi ^= self.lo.rotate_left(29);
+    }
+
+    fn feed_str(&mut self, value: &str) {
+        self.feed_u64_raw(value.len() as u64);
+        for byte in value.bytes() {
+            self.feed_byte(byte);
+        }
+    }
+
+    fn feed_u64_raw(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.feed_byte(byte);
+        }
+    }
+
+    /// Feeds a length-framed string field.
+    #[must_use]
+    pub fn str(mut self, value: &str) -> Self {
+        self.feed_byte(b'S');
+        self.feed_str(value);
+        self
+    }
+
+    /// Feeds a `u64` field.
+    #[must_use]
+    pub fn u64(mut self, value: u64) -> Self {
+        self.feed_byte(b'U');
+        self.feed_u64_raw(value);
+        self
+    }
+
+    /// Feeds a `usize` field.
+    #[must_use]
+    pub fn usize(self, value: usize) -> Self {
+        self.u64(value as u64)
+    }
+
+    /// Feeds an `f64` field by its exact bit pattern (so `-0.0 != 0.0` and
+    /// every NaN payload is distinct — digests never canonicalize).
+    #[must_use]
+    pub fn f64(mut self, value: f64) -> Self {
+        self.feed_byte(b'F');
+        self.feed_u64_raw(value.to_bits());
+        self
+    }
+
+    /// Feeds a `bool` field.
+    #[must_use]
+    pub fn bool(mut self, value: bool) -> Self {
+        self.feed_byte(b'B');
+        self.feed_byte(u8::from(value));
+        self
+    }
+
+    /// Finalizes both lanes through SplitMix64 and returns the 128-bit
+    /// digest.
+    #[must_use]
+    pub fn finish(self) -> CellDigest {
+        let lo = splitmix(self.lo);
+        let hi = splitmix(self.hi ^ self.lo.rotate_right(17));
+        CellDigest((u128::from(hi) << 64) | u128::from(lo))
+    }
+}
+
+impl Default for DigestBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_are_stable_across_releases() {
+        // Pinned bit patterns: if any of these change, every existing cache
+        // directory silently misses (or worse, remaps). Treat a failure here
+        // as an ABI break, not a test to update casually.
+        let d = DigestBuilder::with_salt("pin").str("abc").u64(7).finish();
+        assert_eq!(d.to_hex(), "b2083ed772ccfd01cfe524f35b9c6f36");
+        let e = DigestBuilder::with_salt("pin")
+            .f64(0.5)
+            .bool(true)
+            .usize(3)
+            .finish();
+        assert_eq!(e.to_hex(), "eeed16d2f0b9d500ad884fd4861e1a8e");
+    }
+
+    #[test]
+    fn field_framing_prevents_concatenation_collisions() {
+        let ab_c = DigestBuilder::new().str("ab").str("c").finish();
+        let a_bc = DigestBuilder::new().str("a").str("bc").finish();
+        let abc = DigestBuilder::new().str("abc").finish();
+        assert_ne!(ab_c, a_bc);
+        assert_ne!(ab_c, abc);
+        assert_ne!(a_bc, abc);
+    }
+
+    #[test]
+    fn every_field_type_is_distinguished() {
+        // u64(1) vs f64 with the same bit pattern vs bool(true): all distinct.
+        let u = DigestBuilder::new().u64(1).finish();
+        let f = DigestBuilder::new().f64(f64::from_bits(1)).finish();
+        let b = DigestBuilder::new().bool(true).finish();
+        assert_ne!(u, f);
+        assert_ne!(u, b);
+        assert_ne!(f, b);
+    }
+
+    #[test]
+    fn salt_changes_every_digest() {
+        let a = DigestBuilder::with_salt("v1").str("cell").finish();
+        let b = DigestBuilder::with_salt("v2").str("cell").finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let d = DigestBuilder::new().str("roundtrip").u64(99).finish();
+        assert_eq!(CellDigest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(CellDigest::from_hex("xyz"), None);
+        assert_eq!(CellDigest::from_hex(""), None);
+        assert_eq!(CellDigest::from_hex(&"f".repeat(31)), None);
+    }
+
+    #[test]
+    fn shards_cover_the_range() {
+        let mut seen = [false; 16];
+        for i in 0..4096u64 {
+            let d = DigestBuilder::new().u64(i).finish();
+            let s = d.shard(16);
+            assert!(s < 16);
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 16 shards should be hit");
+    }
+
+    #[test]
+    fn f64_bit_patterns_are_distinguished() {
+        let pos = DigestBuilder::new().f64(0.0).finish();
+        let neg = DigestBuilder::new().f64(-0.0).finish();
+        assert_ne!(pos, neg);
+    }
+
+    #[test]
+    fn no_collisions_in_a_large_sample() {
+        let mut set = std::collections::HashSet::new();
+        for i in 0..20_000u64 {
+            assert!(set.insert(DigestBuilder::new().u64(i).finish()));
+            assert!(set.insert(DigestBuilder::new().str(&format!("s{i}")).finish()));
+        }
+    }
+}

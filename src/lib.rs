@@ -23,6 +23,10 @@
 //! * [`stats`] — paired-replication statistics downstream of the scheduler:
 //!   streaming summaries, seeded bootstrap confidence intervals, sign-test
 //!   ordering verdicts and a seeded property-test harness;
+//! * [`runtime`] — the execution runtime under the harness: a persistent
+//!   work-stealing pool (deterministic-index-order fan-outs, nesting,
+//!   panic propagation) and the content-addressed cell cache behind
+//!   `--cache-dir`/resume;
 //! * [`exp`] — the experiment harness regenerating every table and figure of
 //!   the paper's evaluation.
 //!
@@ -63,6 +67,7 @@ pub use mcsched_core as core;
 pub use mcsched_exp as exp;
 pub use mcsched_platform as platform;
 pub use mcsched_ptg as ptg;
+pub use mcsched_runtime as runtime;
 pub use mcsched_simx as simx;
 pub use mcsched_stats as stats;
 pub use mcsched_workload as workload;

@@ -206,6 +206,23 @@ fn golden_fig3_random_quick_table_is_byte_stable() {
 }
 
 #[test]
+fn golden_fig4_fft_quick_table_is_byte_stable() {
+    // The exact table a default `fig4_fft` run prints.
+    let result = run_campaign(&CampaignConfig::quick(PtgClass::Fft)).unwrap();
+    golden_check("fig4_fft_quick.txt", &mcsched::exp::table_campaign(&result));
+}
+
+#[test]
+fn golden_fig5_strassen_quick_table_is_byte_stable() {
+    // The exact table a default `fig5_strassen` run prints.
+    let result = run_campaign(&CampaignConfig::quick(PtgClass::Strassen)).unwrap();
+    golden_check(
+        "fig5_strassen_quick.txt",
+        &mcsched::exp::table_campaign(&result),
+    );
+}
+
+#[test]
 fn strassen_width_strategies_degenerate_to_equal_share() {
     // All Strassen PTGs have the same maximal width, so PS-width and
     // WPS-width produce exactly the ES betas (the reason Figure 5 omits them).

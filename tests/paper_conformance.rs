@@ -17,6 +17,15 @@
 //! Measured paper-scale verdicts are recorded in ROADMAP.md (WPS-vs-PS) so
 //! the asserted bands here are regression guards around *measured* reality,
 //! not aspirations copied from the paper.
+//!
+//! The paper-scale driver understands the runtime's caching controls via
+//! environment variables (tests have no CLI):
+//! `MCSCHED_CACHE_DIR=<dir>` persists every evaluated cell in the
+//! content-addressed cell cache, so an interrupted paper-scale run resumes
+//! from its completed shards on the next invocation and a re-run after an
+//! unrelated code change replays in seconds; `MCSCHED_NO_RESUME=1` clears
+//! that directory first; `MCSCHED_PROGRESS=1` narrates data points on
+//! stderr.
 
 use mcsched::exp::{
     paired_mu_unfairness, run_campaign, run_mu_sweep, CampaignConfig, MuSweepConfig,
@@ -55,6 +64,25 @@ fn conformance_enabled() -> bool {
     std::env::var("MCSCHED_CONFORMANCE").is_ok_and(|v| v == "1")
 }
 
+/// Reads the `MCSCHED_CACHE_DIR` / `MCSCHED_NO_RESUME` / `MCSCHED_PROGRESS`
+/// environment controls — the conformance driver's equivalent of
+/// `--cache-dir`/`--no-resume`/`--progress` — as `(cache_dir, resume,
+/// progress)`. The single reader for both the campaign and µ-sweep paths,
+/// so the two halves of the driver can never honour different protocols.
+fn env_runtime_controls() -> (Option<std::path::PathBuf>, bool, bool) {
+    (
+        std::env::var_os("MCSCHED_CACHE_DIR").map(std::path::PathBuf::from),
+        !std::env::var("MCSCHED_NO_RESUME").is_ok_and(|v| v == "1"),
+        std::env::var("MCSCHED_PROGRESS").is_ok_and(|v| v == "1"),
+    )
+}
+
+/// Applies [`env_runtime_controls`] to a campaign configuration.
+fn with_env_runtime(mut config: CampaignConfig) -> CampaignConfig {
+    (config.cache_dir, config.resume, config.progress) = env_runtime_controls();
+    config
+}
+
 /// The width-calibrated DAGGEN source used by the Fig. 3 probes (ROADMAP).
 fn daggen_grid() -> std::sync::Arc<dyn WorkloadSource> {
     WorkloadCatalog::builtin()
@@ -68,7 +96,7 @@ fn campaign(
     names: &[&str],
 ) -> CampaignConfig {
     let registry = PolicyRegistry::builtin();
-    CampaignConfig {
+    with_env_runtime(CampaignConfig {
         source,
         ptg_counts: vec![8],
         combinations: scale.combinations,
@@ -78,7 +106,7 @@ fn campaign(
             .map(|n| registry.constraint(n).expect("registry names resolve"))
             .collect(),
         ..CampaignConfig::paper(PtgClass::Random)
-    }
+    })
 }
 
 fn ci_config() -> BootstrapConfig {
@@ -135,11 +163,17 @@ fn check_fig3_wps_vs_ps(scale: Scale) {
 /// strictly fairer than µ = 0 (pure proportional share) at 8 concurrent
 /// PTGs. Asserted as an ordering verdict over paired replications.
 fn check_mu_endpoint_ordering(scale: Scale) {
+    // The sweep honours the same env controls as the campaigns; the cell
+    // formats are shared, so one MCSCHED_CACHE_DIR serves both.
+    let (cache_dir, resume, progress) = env_runtime_controls();
     let config = MuSweepConfig {
         mu_values: vec![0.0, 1.0],
         ptg_counts: vec![8],
         combinations: scale.combinations,
         replications: scale.replications,
+        cache_dir,
+        resume,
+        progress,
         ..MuSweepConfig::paper()
     };
     let points = run_mu_sweep(&config).unwrap();
