@@ -12,8 +12,8 @@
 //! role of the "heuristic designed for a dedicated platform" that the selfish
 //! `S` strategy emulates.
 
+use super::fast::AllocScratch;
 use super::{RefAllocation, ReferencePlatform};
-use mcsched_ptg::analysis::analyze;
 use mcsched_ptg::Ptg;
 
 /// Runs the CPA allocation procedure on `ptg` (no resource constraint).
@@ -25,47 +25,35 @@ pub fn cpa_allocate(reference: &ReferencePlatform, ptg: &Ptg) -> RefAllocation {
     }
     let platform_procs = reference.procs() as f64;
     let max_per_task = reference.max_task_procs();
-
-    let average_area = |alloc: &RefAllocation| -> f64 {
-        let total: f64 = ptg
-            .task_ids()
-            .map(|t| reference.task_area(ptg, t, alloc.procs_of(t)))
-            .sum();
-        total / reference.speed() / platform_procs
-    };
+    let mut scratch = AllocScratch::new(reference, ptg);
 
     let max_iters = n * max_per_task + 1;
     for _ in 0..max_iters {
-        let analysis = analyze(
-            ptg,
-            |t| reference.task_time(ptg, t, alloc.procs_of(t)),
-            |_| 0.0,
-        );
+        let (cp_len, cp_entry, area) = scratch.cp_and_area();
         // CPA stopping criterion: the critical path no longer dominates the
         // average area.
-        if analysis.critical_path_length <= average_area(&alloc) {
+        if cp_len <= area / reference.speed() / platform_procs {
             break;
         }
+        scratch.witness_path(cp_entry);
         // Give one processor to the critical-path task with the best ratio
         // of execution time to allocation (the classical CPA choice).
-        let candidate = analysis
-            .critical_path
+        let candidate = scratch
+            .path
             .iter()
             .copied()
             .filter(|&t| alloc.procs_of(t) < max_per_task)
-            .filter(|&t| {
-                reference.task_time(ptg, t, alloc.procs_of(t))
-                    > reference.task_time(ptg, t, alloc.procs_of(t) + 1)
-            })
+            .filter(|&t| scratch.times[t] > scratch.next_times[t])
             .max_by(|&a, &b| {
-                let ga = reference.task_time(ptg, a, alloc.procs_of(a))
-                    - reference.task_time(ptg, a, alloc.procs_of(a) + 1);
-                let gb = reference.task_time(ptg, b, alloc.procs_of(b))
-                    - reference.task_time(ptg, b, alloc.procs_of(b) + 1);
+                let ga = scratch.times[a] - scratch.next_times[a];
+                let gb = scratch.times[b] - scratch.next_times[b];
                 ga.total_cmp(&gb).then(b.cmp(&a))
             });
         match candidate {
-            Some(t) => alloc.add_proc(t),
+            Some(t) => {
+                alloc.add_proc(t);
+                scratch.set_procs(t, alloc.procs_of(t));
+            }
             None => break,
         }
     }
@@ -75,6 +63,7 @@ pub fn cpa_allocate(reference: &ReferencePlatform, ptg: &Ptg) -> RefAllocation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcsched_ptg::analysis::analyze;
     use mcsched_ptg::{CostModel, DataParallelTask, PtgBuilder};
 
     fn reference(procs: usize) -> ReferencePlatform {

@@ -10,6 +10,7 @@
 //! concrete cluster a task is placed on.
 
 pub mod cpa;
+pub(crate) mod fast;
 pub mod scrap;
 
 pub use cpa::cpa_allocate;
@@ -266,6 +267,11 @@ impl<'a> ConstraintChecker<'a> {
 
     /// SCRAP's global check: average power usage of the allocation over the
     /// critical path duration, in reference processors.
+    ///
+    /// The production loop in [`scrap`] evaluates this quantity through its
+    /// [`fast::AllocScratch`] caches; this standalone form is the executable
+    /// definition the scratch is tested against.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn average_usage(&self, alloc: &RefAllocation) -> f64 {
         let total_area: f64 = self
             .ptg
@@ -286,6 +292,11 @@ impl<'a> ConstraintChecker<'a> {
 
     /// SCRAP-MAX's per-level check: total allocation of one precedence
     /// level, in reference processors.
+    ///
+    /// The production loop in [`scrap`] tracks this quantity with running
+    /// per-level sums; this standalone form is the executable definition
+    /// those sums are tested against.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn level_usage(&self, alloc: &RefAllocation, level: usize) -> f64 {
         self.ptg
             .task_ids()

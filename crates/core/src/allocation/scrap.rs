@@ -26,8 +26,8 @@
 //! reached the largest single-cluster allocation, or no longer benefits from
 //! an extra processor.
 
+use super::fast::AllocScratch;
 use super::{ConstraintChecker, RefAllocation, ReferencePlatform};
-use mcsched_ptg::analysis::analyze;
 use mcsched_ptg::Ptg;
 
 /// Which violation test an allocation run uses.
@@ -67,59 +67,80 @@ fn run(
     let budget = checker.budget_procs(beta);
     let max_per_task = reference.max_task_procs();
     let mut frozen = vec![false; n];
+    let mut scratch = AllocScratch::new(reference, ptg);
+    // Running per-level allocation totals (SCRAP-MAX's check quantity).
+    // All addends are integers well below 2^53, so the running total is
+    // exactly the ordered `level_usage` sum, bit for bit.
+    let mut level_sums = vec![0usize; checker.num_levels];
+    for t in 0..n {
+        level_sums[checker.levels[t]] += 1;
+    }
 
     // Safety bound: each task can gain at most `max_per_task - 1` processors,
     // so the loop terminates after at most n * max_per_task iterations.
     let max_iters = n * max_per_task + 1;
-    for _ in 0..max_iters {
-        // Critical path under the current allocation (communication costs are
-        // ignored during allocation, as in the paper).
-        let analysis = analyze(
-            ptg,
-            |t| reference.task_time(ptg, t, alloc.procs_of(t)),
-            |_| 0.0,
-        );
+    // Critical path under the current allocation (communication costs are
+    // ignored during allocation, as in the paper). The entry task is carried
+    // across iterations: after a successful grant the inner loop already
+    // computed the new critical path for the constraint check, so the scan
+    // is not repeated.
+    let (_, mut entry) = scratch.cp();
+    'outer: for _ in 0..max_iters {
+        scratch.witness_path(entry);
         // Candidates: critical-path tasks that are not frozen, still below
         // the single-cluster bound and that actually benefit from one more
-        // processor. Best candidate first (largest execution-time gain).
-        let mut candidates: Vec<(f64, usize)> = analysis
-            .critical_path
-            .iter()
-            .copied()
-            .filter(|&t| !frozen[t] && alloc.procs_of(t) < max_per_task)
-            .map(|t| {
-                let gain = reference.task_time(ptg, t, alloc.procs_of(t))
-                    - reference.task_time(ptg, t, alloc.procs_of(t) + 1);
-                (gain, t)
-            })
-            .filter(|&(gain, _)| gain > 0.0)
-            .collect();
-        if candidates.is_empty() {
-            break;
-        }
-        candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-
-        let mut progressed = false;
-        for &(_, t) in &candidates {
+        // processor, consumed best-first (largest execution-time gain, then
+        // lowest task id). A failed candidate is frozen — and a revert
+        // restores the scratch bitwise — so re-scanning for the argmax after
+        // each freeze yields exactly the sorted consumption order without
+        // materializing the candidate list.
+        loop {
+            let mut best: Option<(f64, usize)> = None;
+            for &t in &scratch.path {
+                if frozen[t] || alloc.procs_of(t) >= max_per_task {
+                    continue;
+                }
+                let gain = scratch.times[t] - scratch.next_times[t];
+                if gain <= 0.0 {
+                    continue;
+                }
+                best = match best {
+                    Some((bg, bt)) if gain.total_cmp(&bg).then(bt.cmp(&t)).is_le() => {
+                        Some((bg, bt))
+                    }
+                    _ => Some((gain, t)),
+                };
+            }
+            let Some((_, t)) = best else {
+                // No eligible critical-path task is left: the allocation is
+                // final.
+                break 'outer;
+            };
             alloc.add_proc(t);
-            let global_violated = checker.average_usage(&alloc) > budget + 1e-9;
+            level_sums[checker.levels[t]] += 1;
+            scratch.set_procs(t, alloc.procs_of(t));
+            let (cp, cp_entry, area) = scratch.cp_and_area();
+            let usage = if cp <= 0.0 {
+                0.0
+            } else {
+                area / cp / reference.speed()
+            };
+            let global_violated = usage > budget + 1e-9;
             let violated = match variant {
                 ScrapVariant::Global => global_violated,
                 ScrapVariant::PerLevel => {
-                    global_violated
-                        || checker.level_usage(&alloc, checker.levels[t]) > budget + 1e-9
+                    global_violated || level_sums[checker.levels[t]] as f64 > budget + 1e-9
                 }
             };
             if violated {
                 alloc.remove_proc(t);
+                level_sums[checker.levels[t]] -= 1;
+                scratch.set_procs(t, alloc.procs_of(t));
                 frozen[t] = true;
             } else {
-                progressed = true;
-                break;
+                entry = cp_entry;
+                continue 'outer;
             }
-        }
-        if !progressed {
-            break;
         }
     }
     alloc
@@ -128,9 +149,57 @@ fn run(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[ignore = "manual performance probe, run with --release --ignored"]
+    fn bench_dedicated_allocations() {
+        use mcsched_platform::grid5000;
+        use mcsched_ptg::gen::{random_ptg, RandomPtgConfig};
+        use rand::SeedableRng;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(0xBEEF);
+        let mut sites = grid5000::all_sites();
+        sites.truncate(4);
+        let ptgs: Vec<Ptg> = (0..64)
+            .map(|i| {
+                let cfg = RandomPtgConfig::sample_paper_grid(&mut rng);
+                random_ptg(&cfg, &mut rng, format!("g{i}"))
+            })
+            .collect();
+        let refs: Vec<ReferencePlatform> = sites.iter().map(ReferencePlatform::new).collect();
+        for r in &refs {
+            for g in &ptgs {
+                std::hint::black_box(scrap_max_allocate(r, g, 1.0));
+            }
+        }
+        let mut grants = 0usize;
+        let mut calls = 0usize;
+        let mut el = f64::INFINITY;
+        for round in 0..5 {
+            let start = std::time::Instant::now();
+            for r in &refs {
+                for g in &ptgs {
+                    let a = scrap_max_allocate(r, g, 1.0);
+                    if round == 0 {
+                        grants += (0..g.num_tasks()).map(|t| a.procs_of(t)).sum::<usize>()
+                            - g.num_tasks();
+                        calls += 1;
+                    }
+                }
+            }
+            el = el.min(start.elapsed().as_secs_f64());
+        }
+        eprintln!(
+            "calls {calls}, grants/call {}, total {:.1} ms, {:.1} us/call, {:.0} ns/grant",
+            grants / calls,
+            el * 1e3,
+            el * 1e6 / calls as f64,
+            el * 1e9 / grants.max(1) as f64
+        );
+    }
     use crate::allocation::ConstraintChecker;
     use mcsched_platform::PlatformBuilder;
-    use mcsched_ptg::analysis::structure;
+    use mcsched_ptg::analysis::{analyze, structure};
     use mcsched_ptg::{CostModel, DataParallelTask, Ptg, PtgBuilder};
 
     fn reference(procs: usize) -> ReferencePlatform {
@@ -297,5 +366,190 @@ mod tests {
         let a = scrap_max_allocate(&r, &g, 0.5);
         assert!(a.procs_of(0) <= 10);
         assert!(a.procs_of(0) >= 1);
+    }
+
+    /// The SCRAP loop as it was written before the scratch-cache
+    /// optimization: full temporal analyses on every step, the
+    /// [`ConstraintChecker`] quantities recomputed from the allocation alone.
+    /// Kept as the executable specification the fast path must match.
+    fn naive_run(
+        reference: &ReferencePlatform,
+        ptg: &Ptg,
+        beta: f64,
+        variant: ScrapVariant,
+    ) -> RefAllocation {
+        let n = ptg.num_tasks();
+        let mut alloc = RefAllocation::one_per_task(n);
+        if n == 0 {
+            return alloc;
+        }
+        let checker = ConstraintChecker::new(reference, ptg);
+        let budget = checker.budget_procs(beta);
+        let max_per_task = reference.max_task_procs();
+        let mut frozen = vec![false; n];
+        for _ in 0..n * max_per_task + 1 {
+            let analysis = analyze(
+                ptg,
+                |t| reference.task_time(ptg, t, alloc.procs_of(t)),
+                |_| 0.0,
+            );
+            let mut candidates: Vec<(f64, usize)> = analysis
+                .critical_path
+                .iter()
+                .copied()
+                .filter(|&t| !frozen[t] && alloc.procs_of(t) < max_per_task)
+                .map(|t| {
+                    let gain = reference.task_time(ptg, t, alloc.procs_of(t))
+                        - reference.task_time(ptg, t, alloc.procs_of(t) + 1);
+                    (gain, t)
+                })
+                .filter(|&(gain, _)| gain > 0.0)
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            let mut progressed = false;
+            for &(_, t) in &candidates {
+                alloc.add_proc(t);
+                let global_violated = checker.average_usage(&alloc) > budget + 1e-9;
+                let violated = match variant {
+                    ScrapVariant::Global => global_violated,
+                    ScrapVariant::PerLevel => {
+                        global_violated
+                            || checker.level_usage(&alloc, checker.levels[t]) > budget + 1e-9
+                    }
+                };
+                if violated {
+                    alloc.remove_proc(t);
+                    frozen[t] = true;
+                } else {
+                    progressed = true;
+                    break;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        alloc
+    }
+
+    /// Deterministic layered DAG with LCG-driven shape, costs and Amdahl
+    /// fractions — enough variety to exercise ties, freezes and budget edges.
+    fn random_ptg(seed: &mut u64) -> Ptg {
+        let mut next = |m: u64| {
+            *seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (*seed >> 33) % m
+        };
+        let levels = 2 + next(4) as usize;
+        let mut b = PtgBuilder::new("rand");
+        let mut prev: Vec<usize> = Vec::new();
+        for l in 0..levels {
+            let width = 1 + next(4) as usize;
+            let mut cur = Vec::new();
+            for w in 0..width {
+                let data = (1.0 + next(100) as f64) * 1.0e6;
+                let alpha = next(20) as f64 / 100.0;
+                let t = b.add_task(DataParallelTask::new(
+                    format!("t{l}_{w}"),
+                    data,
+                    CostModel::MatrixProduct,
+                    alpha,
+                ));
+                let anchor = next(prev.len().max(1) as u64) as usize;
+                for (i, &p) in prev.iter().enumerate() {
+                    if i == anchor || next(3) == 0 {
+                        b.add_data_edge(p, t);
+                    }
+                }
+                cur.push(t);
+            }
+            prev = cur;
+        }
+        b.build().unwrap()
+    }
+
+    /// Like [`random_ptg`] but wide and deep enough to exceed 64 tasks, so
+    /// the incremental sweeps take the flag-scan fallback instead of the
+    /// single-word bitmask frontier.
+    fn large_random_ptg(seed: &mut u64) -> Ptg {
+        let mut next = |m: u64| {
+            *seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (*seed >> 33) % m
+        };
+        let levels = 7 + next(3) as usize;
+        let mut b = PtgBuilder::new("large");
+        let mut prev: Vec<usize> = Vec::new();
+        for l in 0..levels {
+            let width = 9 + next(4) as usize;
+            let mut cur = Vec::new();
+            for w in 0..width {
+                let data = (1.0 + next(100) as f64) * 1.0e6;
+                let alpha = next(20) as f64 / 100.0;
+                let t = b.add_task(DataParallelTask::new(
+                    format!("t{l}_{w}"),
+                    data,
+                    CostModel::MatrixProduct,
+                    alpha,
+                ));
+                let anchor = next(prev.len().max(1) as u64) as usize;
+                for (i, &p) in prev.iter().enumerate() {
+                    if i == anchor || next(4) == 0 {
+                        b.add_data_edge(p, t);
+                    }
+                }
+                cur.push(t);
+            }
+            prev = cur;
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn flag_fallback_matches_naive_reference_beyond_64_tasks() {
+        let mut seed = 0xFA11_BACCu64;
+        for case in 0..4usize {
+            let g = large_random_ptg(&mut seed);
+            assert!(g.num_tasks() > 64, "case {case} must take the fallback");
+            let r = hetero_reference();
+            for beta in [0.3, 1.0] {
+                for variant in [ScrapVariant::Global, ScrapVariant::PerLevel] {
+                    let fast = run(&r, &g, beta, variant);
+                    let naive = naive_run(&r, &g, beta, variant);
+                    assert_eq!(
+                        fast, naive,
+                        "divergence: case {case} beta {beta} variant {variant:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_naive_reference_on_random_graphs() {
+        let mut seed = 0x5EEDu64;
+        for case in 0..60usize {
+            let g = random_ptg(&mut seed);
+            let r = if case % 2 == 0 {
+                reference(16 + 4 * (case % 7))
+            } else {
+                hetero_reference()
+            };
+            for beta in [0.1, 0.3, 0.7, 1.0] {
+                for variant in [ScrapVariant::Global, ScrapVariant::PerLevel] {
+                    let fast = run(&r, &g, beta, variant);
+                    let naive = naive_run(&r, &g, beta, variant);
+                    assert_eq!(
+                        fast, naive,
+                        "divergence: case {case} beta {beta} variant {variant:?}"
+                    );
+                }
+            }
+        }
     }
 }

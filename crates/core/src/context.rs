@@ -200,11 +200,10 @@ impl<'a> ScheduleContext<'a> {
     /// policy's [`ConstraintPolicy::cache_key`].
     pub fn betas_for(&self, policy: &dyn ConstraintPolicy) -> Arc<Vec<f64>> {
         let mut cache = self.betas.lock();
-        Arc::clone(
-            cache
-                .entry(policy.cache_key())
-                .or_insert_with(|| Arc::new(policy.betas(self.ptgs, &self.reference))),
-        )
+        Arc::clone(cache.entry(policy.cache_key()).or_insert_with(|| {
+            let _p = crate::profile::scope(crate::profile::Phase::BetaAlloc);
+            Arc::new(policy.betas(self.ptgs, &self.reference))
+        }))
     }
 
     /// Constrained allocations of every application under the
@@ -220,6 +219,7 @@ impl<'a> ScheduleContext<'a> {
             cache
                 .entry((constraint.cache_key(), allocation.cache_key()))
                 .or_insert_with(|| {
+                    let _p = crate::profile::scope(crate::profile::Phase::BetaAlloc);
                     Arc::new(
                         self.ptgs
                             .iter()
@@ -259,6 +259,7 @@ impl<'a> ScheduleContext<'a> {
     /// [`SchedError::Sim`], indicating a scheduler bug).
     pub fn execute(&self, workload: &SimWorkload) -> Result<SimOutcome, SchedError> {
         self.concurrent_sims.fetch_add(1, Ordering::Relaxed);
+        let _p = crate::profile::scope(crate::profile::Phase::SimxExecute);
         self.engine.execute(workload).map_err(SchedError::from)
     }
 
@@ -270,6 +271,7 @@ impl<'a> ScheduleContext<'a> {
         allocations: &[RefAllocation],
         release_times: &[f64],
     ) -> Schedule {
+        let _p = crate::profile::scope(crate::profile::Phase::Mapping);
         mapping.map(&MappingRequest {
             reference: &self.reference,
             network: self.engine.network(),
@@ -374,16 +376,23 @@ impl<'a> ScheduleContext<'a> {
     /// context's base policies.
     fn simulate_dedicated(&self, app: usize) -> Result<f64, SchedError> {
         let ptg = &self.ptgs[app];
-        let alloc = self.base_allocation.allocate(&self.reference, ptg, 1.0);
-        let schedule = self.base_mapping.map(&MappingRequest {
-            reference: &self.reference,
-            network: self.engine.network(),
-            platform: self.platform,
-            ptgs: std::slice::from_ref(ptg),
-            allocations: std::slice::from_ref(&alloc),
-            release_times: &[0.0],
-        });
+        let alloc = {
+            let _p = crate::profile::scope(crate::profile::Phase::BetaAlloc);
+            self.base_allocation.allocate(&self.reference, ptg, 1.0)
+        };
+        let schedule = {
+            let _p = crate::profile::scope(crate::profile::Phase::Mapping);
+            self.base_mapping.map(&MappingRequest {
+                reference: &self.reference,
+                network: self.engine.network(),
+                platform: self.platform,
+                ptgs: std::slice::from_ref(ptg),
+                allocations: std::slice::from_ref(&alloc),
+                release_times: &[0.0],
+            })
+        };
         self.dedicated_sims.fetch_add(1, Ordering::Relaxed);
+        let _p = crate::profile::scope(crate::profile::Phase::SimxExecute);
         let outcome = self.engine.execute(&schedule.workload)?;
         Ok(outcome.makespan)
     }

@@ -22,7 +22,7 @@ use crate::allocation::{RefAllocation, ReferencePlatform};
 use mcsched_platform::{Platform, ProcSet};
 use mcsched_ptg::analysis::analyze;
 use mcsched_ptg::Ptg;
-use mcsched_simx::{JobId, SimJob, SimWorkload, SiteNetwork};
+use mcsched_simx::{JobId, Route, SimJob, SimWorkload, SiteNetwork};
 use serde::{Deserialize, Serialize};
 
 /// How the candidate tasks are ordered during mapping.
@@ -180,11 +180,27 @@ pub fn map_concurrent_with(
         })
         .collect();
 
-    // Per-processor availability times.
-    let mut avail: Vec<Vec<f64>> = platform
+    // Per-processor availability times, kept sorted by (time, index) per
+    // cluster: `avail_sorted[k][q - 1].0` is the q-th smallest availability
+    // of cluster `k`. Maintaining the order incrementally (only the
+    // reserved processors move on each mapping) replaces the per-task,
+    // per-cluster clone-and-sort of the naive formulation.
+    let mut avail_sorted: Vec<Vec<(f64, usize)>> = platform
         .clusters()
         .iter()
-        .map(|c| vec![0.0f64; c.num_procs()])
+        .map(|c| (0..c.num_procs()).map(|p| (0.0f64, p)).collect())
+        .collect();
+
+    // Inter-cluster routes depend only on the cluster pair, so memoize them
+    // once (row-major) instead of rebuilding one per predecessor and
+    // candidate cluster; the diagonal is never read (same-cluster
+    // redistribution is treated as free in the estimate).
+    let nc = platform.num_clusters();
+    let cluster_routes: Vec<Route> = (0..nc)
+        .flat_map(|c1| {
+            (0..nc).map(move |c2| (ProcSet::contiguous(c1, 0, 1), ProcSet::contiguous(c2, 0, 1)))
+        })
+        .map(|(src, dst)| network.route(&src, &dst))
         .collect();
 
     // Placement state.
@@ -289,15 +305,12 @@ pub fn map_concurrent_with(
                     .as_ref()
                     .expect("predecessors are mapped before their successors");
                 let mut t = placement.est_finish;
-                if config.comm_aware {
-                    let dst = ProcSet::contiguous(dst_cluster, 0, 1);
-                    let route = network.route(&placement.procs, &dst);
-                    // Same-cluster redistribution is treated as free in the
-                    // estimate (the simulation still charges it when the
-                    // processor sets differ).
-                    if placement.procs.cluster() != dst_cluster {
-                        t += network.uncontended_time(&route, ptg.edge(edge).bytes);
-                    }
+                // Same-cluster redistribution is treated as free in the
+                // estimate (the simulation still charges it when the
+                // processor sets differ).
+                if config.comm_aware && placement.procs.cluster() != dst_cluster {
+                    let route = &cluster_routes[placement.procs.cluster() * nc + dst_cluster];
+                    t += network.uncontended_time(route, ptg.edge(edge).bytes);
                 }
                 ready = ready.max(t);
             }
@@ -314,9 +327,8 @@ pub fn map_concurrent_with(
 
             // Earliest start with `q` processors on cluster k: the q-th
             // smallest availability time.
-            let mut sorted_avail = avail[k].clone();
-            sorted_avail.sort_by(f64::total_cmp);
-            let start_with = |q: usize| -> f64 { ready.max(sorted_avail[q - 1]) };
+            let sorted_avail = &avail_sorted[k];
+            let start_with = |q: usize| -> f64 { ready.max(sorted_avail[q - 1].0) };
 
             let full_start = start_with(full);
             let full_finish = full_start + ptg.task(task).parallel_time(full, cluster.speed());
@@ -351,16 +363,12 @@ pub fn map_concurrent_with(
 
         // Reserve the `nprocs` processors of `cluster_id` with the smallest
         // availability times.
-        let mut indexed: Vec<(f64, usize)> = avail[cluster_id]
-            .iter()
-            .copied()
-            .enumerate()
-            .map(|(p, t)| (t, p))
-            .collect();
-        indexed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        let chosen_procs: Vec<usize> = indexed.iter().take(nprocs).map(|&(_, p)| p).collect();
+        let list = &mut avail_sorted[cluster_id];
+        let chosen_procs: Vec<usize> = list[..nprocs].iter().map(|&(_, p)| p).collect();
+        list.drain(..nprocs);
         for &p in &chosen_procs {
-            avail[cluster_id][p] = finish;
+            let pos = list.partition_point(|&(v, i)| v.total_cmp(&finish).then(i.cmp(&p)).is_lt());
+            list.insert(pos, (finish, p));
         }
         let procs = ProcSet::new(cluster_id, chosen_procs);
 

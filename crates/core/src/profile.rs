@@ -1,0 +1,175 @@
+//! Lightweight per-phase wall-clock profiling.
+//!
+//! Set `MCSCHED_PROFILE=1` (or pass `--profile` to the fig binaries, which
+//! sets the variable) to accumulate wall time per pipeline phase — workload
+//! generation, β + allocation, mapping, simulation, statistics — and print a
+//! summary to stderr at the end of the run. When the variable is unset the
+//! instrumentation is a branch on a cached boolean, so the hot path pays
+//! nothing measurable.
+//!
+//! Counters are process-global atomics: the fan-out threads of a campaign
+//! all add into the same table, so the report shows *aggregate* busy time
+//! per phase (which can exceed wall time when threads overlap).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The instrumented pipeline phases, in report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Phase {
+    /// Drawing the PTGs / workloads of a scenario.
+    WorkloadGen = 0,
+    /// Constraint β vectors plus constrained allocations.
+    BetaAlloc = 1,
+    /// The concurrent mapping step (list scheduling + packing).
+    Mapping = 2,
+    /// `simx::Engine::execute` (concurrent and dedicated runs).
+    SimxExecute = 3,
+    /// Statistics: summaries, bootstrap CIs, paired analysis.
+    Stats = 4,
+}
+
+const NUM_PHASES: usize = 5;
+
+const PHASE_NAMES: [&str; NUM_PHASES] = [
+    "workload-gen",
+    "beta+alloc",
+    "mapping",
+    "simx-execute",
+    "stats",
+];
+
+struct Table {
+    nanos: [AtomicU64; NUM_PHASES],
+    calls: [AtomicU64; NUM_PHASES],
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static INIT: OnceLock<()> = OnceLock::new();
+
+fn table() -> &'static Table {
+    static TABLE: OnceLock<Table> = OnceLock::new();
+    TABLE.get_or_init(|| Table {
+        nanos: [const { AtomicU64::new(0) }; NUM_PHASES],
+        calls: [const { AtomicU64::new(0) }; NUM_PHASES],
+    })
+}
+
+/// Whether profiling is enabled (`MCSCHED_PROFILE` set to anything but
+/// `0`/empty, or [`enable`] called). The environment is read once.
+#[must_use]
+pub fn enabled() -> bool {
+    INIT.get_or_init(|| {
+        if matches!(std::env::var("MCSCHED_PROFILE"), Ok(v) if !v.is_empty() && v != "0") {
+            ENABLED.store(true, Ordering::Relaxed);
+        }
+    });
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns profiling on for the current process (what `--profile` does).
+pub fn enable() {
+    let _ = enabled(); // force env init so a later call cannot overwrite
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Times one phase scope: accumulates the elapsed wall time into `phase`
+/// when the guard drops. Returns `None` (no timing overhead) when profiling
+/// is disabled.
+#[must_use]
+pub fn scope(phase: Phase) -> Option<PhaseGuard> {
+    if enabled() {
+        Some(PhaseGuard {
+            phase,
+            start: Instant::now(),
+        })
+    } else {
+        None
+    }
+}
+
+/// Guard returned by [`scope`]; adds the elapsed time on drop.
+#[derive(Debug)]
+pub struct PhaseGuard {
+    phase: Phase,
+    start: Instant,
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        let t = table();
+        let idx = self.phase as usize;
+        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        t.nanos[idx].fetch_add(nanos, Ordering::Relaxed);
+        t.calls[idx].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Accumulated (seconds, calls) for one phase.
+#[must_use]
+pub fn phase_totals(phase: Phase) -> (f64, u64) {
+    let t = table();
+    let idx = phase as usize;
+    (
+        t.nanos[idx].load(Ordering::Relaxed) as f64 / 1e9,
+        t.calls[idx].load(Ordering::Relaxed),
+    )
+}
+
+/// Prints the per-phase totals to stderr (no-op when profiling is off or
+/// nothing was recorded).
+pub fn report() {
+    if !enabled() {
+        return;
+    }
+    let t = table();
+    let total: u64 = t.nanos.iter().map(|n| n.load(Ordering::Relaxed)).sum();
+    if total == 0 {
+        return;
+    }
+    eprintln!("profile: phase timings (aggregate across threads)");
+    for (i, name) in PHASE_NAMES.iter().enumerate() {
+        let nanos = t.nanos[i].load(Ordering::Relaxed);
+        let calls = t.calls[i].load(Ordering::Relaxed);
+        if calls == 0 {
+            continue;
+        }
+        eprintln!(
+            "profile:   {:<13} {:>10.3} ms  {:>9} calls  {:>5.1}%",
+            name,
+            nanos as f64 / 1e6,
+            calls,
+            100.0 * nanos as f64 / total as f64
+        );
+    }
+}
+
+/// Resets every counter (used by tests).
+pub fn reset() {
+    let t = table();
+    for i in 0..NUM_PHASES {
+        t.nanos[i].store(0, Ordering::Relaxed);
+        t.calls[i].store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_accumulates_when_enabled() {
+        enable();
+        reset();
+        {
+            let _g = scope(Phase::SimxExecute);
+            std::hint::black_box(0u64);
+        }
+        let (secs, calls) = phase_totals(Phase::SimxExecute);
+        assert_eq!(calls, 1);
+        assert!(secs >= 0.0);
+        reset();
+    }
+}

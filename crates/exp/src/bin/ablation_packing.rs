@@ -31,4 +31,5 @@ fn main() {
          slightly-too-large processor set, so makespans without packing should be no better\n\
          than with it."
     );
+    opts.finish();
 }

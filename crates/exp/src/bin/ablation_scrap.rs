@@ -37,4 +37,5 @@ fn main() {
          time; SCRAP-MAX's per-level constraint avoids this and yields shorter schedules\n\
          when the constraint is loose."
     );
+    opts.finish();
 }

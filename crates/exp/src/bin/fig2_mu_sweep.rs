@@ -28,4 +28,5 @@ fn main() {
          increases; mu = 0.7 offers the balance the paper selects for WPS-work."
     );
     opts.write_mu_sweep_csv(&config, &points);
+    opts.finish();
 }

@@ -32,4 +32,5 @@ fn main() {
          fair but achieve the best makespans."
     );
     opts.write_campaign_csv(&config, &result);
+    opts.finish();
 }

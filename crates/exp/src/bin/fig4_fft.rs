@@ -30,4 +30,5 @@ fn main() {
          (up to ~2x the best for 10 concurrent PTGs)."
     );
     opts.write_campaign_csv(&config, &result);
+    opts.finish();
 }

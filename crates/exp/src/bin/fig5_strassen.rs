@@ -31,4 +31,5 @@ fn main() {
          makespan; PS-work remains the least fair / shortest-schedule strategy."
     );
     opts.write_campaign_csv(&config, &result);
+    opts.finish();
 }

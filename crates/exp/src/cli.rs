@@ -37,7 +37,10 @@
 //!   interrupted runs resume from completed shards;
 //! * `--no-resume` — clear the cache directory instead of serving from it
 //!   (escape hatch for a cache suspected stale);
-//! * `--progress` — narrate one stderr line per completed data point.
+//! * `--progress` — narrate one stderr line per completed data point;
+//! * `--profile` — print per-phase wall-clock timings (workload generation,
+//!   β + allocation, mapping, simulation, statistics) to stderr at the end
+//!   of the run (equivalent to setting `MCSCHED_PROFILE=1`).
 //!
 //! Malformed values of numeric flags (`--threads abc`, `--ci 1.5`, a
 //! missing value) are hard errors: the binaries print the problem and exit
@@ -89,6 +92,8 @@ pub struct CliOptions {
     pub no_resume: bool,
     /// Narrate per-data-point progress on stderr (`--progress`).
     pub progress: bool,
+    /// Print per-phase wall-clock timings on stderr (`--profile`).
+    pub profile: bool,
 }
 
 /// Takes the value of a flag, erroring out when the argument list ends
@@ -131,6 +136,7 @@ impl CliOptions {
                 "--full" => opts.full = true,
                 "--no-resume" => opts.no_resume = true,
                 "--progress" => opts.progress = true,
+                "--profile" => opts.profile = true,
                 "--combinations" => {
                     opts.combinations = Some(numeric(&arg, &value(&mut it, &arg)?)?);
                 }
@@ -197,10 +203,21 @@ impl CliOptions {
     /// Parses the current process arguments, exiting with status 2 on a
     /// malformed flag value.
     pub fn from_env() -> Self {
-        Self::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+        let opts = Self::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(2);
-        })
+        });
+        if opts.profile {
+            mcsched_core::profile::enable();
+        }
+        opts
+    }
+
+    /// Ends the run's instrumentation: prints the per-phase profile to
+    /// stderr when `--profile` (or `MCSCHED_PROFILE=1`) is active. Binaries
+    /// call this as their last statement; it is a no-op otherwise.
+    pub fn finish(&self) {
+        mcsched_core::profile::report();
     }
 
     /// Resolves the `--allocation` override into the built-in procedure

@@ -108,7 +108,10 @@ pub fn generate_scenarios_with(
         .iter()
         .enumerate()
     {
-        let workload = source.generate(request)?;
+        let workload = {
+            let _p = mcsched_core::profile::scope(mcsched_core::profile::Phase::WorkloadGen);
+            source.generate(request)?
+        };
         for platform in &platforms {
             scenarios.push(Scenario {
                 name: format!("{label}-n{num_ptgs}-c{combo}-{}", platform.name()),

@@ -1,12 +1,24 @@
 //! The discrete-event execution engine.
+//!
+//! The event loop is built for campaign-scale throughput: a simulation
+//! executes tens of thousands of times per experiment, so the kernel keeps
+//! every per-run structure in a reusable [`EngineScratch`] (popped from a
+//! pool on the engine, so concurrent callers each get their own), feeds a
+//! sorted *ready set* incrementally instead of rescanning and re-sorting all
+//! jobs at every step, memoizes routes per cluster pair and per transfer,
+//! and reads the flow network's cached completion horizon instead of
+//! recomputing it. The observable semantics are identical — bit for bit —
+//! to the frozen naive implementation in [`crate::reference`], which the
+//! differential test suite enforces on randomized workloads.
 
 use crate::error::SimError;
 use crate::event::EventQueue;
-use crate::flow::FlowNetwork;
-use crate::job::{JobId, SimWorkload};
-use crate::resources::SiteNetwork;
+use crate::flow::{FlowNetwork, MAX_ROUTE_LINKS};
+use crate::job::{JobId, SimJob, SimWorkload};
+use crate::resources::{LinkId, SiteNetwork};
 use crate::trace::{ExecutionTrace, JobRecord, TransferRecord};
-use mcsched_platform::Platform;
+use mcsched_platform::{Platform, ProcSet};
+use std::sync::{Mutex, PoisonError};
 
 /// Outcome of a simulated execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +40,117 @@ enum Ev {
     JobRelease(JobId),
 }
 
+/// A memoized route: inline link list plus the one-shot latency.
+///
+/// `num_links == 0` means the route is local (no network involved), matching
+/// [`crate::Route::is_local`].
+#[derive(Debug, Clone, Copy)]
+struct FlatRoute {
+    links: [LinkId; MAX_ROUTE_LINKS],
+    num_links: u8,
+    latency: f64,
+}
+
+impl FlatRoute {
+    const LOCAL: FlatRoute = FlatRoute {
+        links: [0; MAX_ROUTE_LINKS],
+        num_links: 0,
+        latency: 0.0,
+    };
+
+    fn from_route(route: &crate::Route) -> Self {
+        let mut links = [0usize; MAX_ROUTE_LINKS];
+        links[..route.links.len()].copy_from_slice(&route.links);
+        Self {
+            links,
+            num_links: route.links.len() as u8,
+            latency: route.latency,
+        }
+    }
+
+    fn is_local(&self) -> bool {
+        self.num_links == 0
+    }
+
+    fn links(&self) -> &[LinkId] {
+        &self.links[..self.num_links as usize]
+    }
+}
+
+/// Reusable per-run state. All vectors are cleared-and-resized at the start
+/// of a run, so once a scratch is warm an execution allocates only its
+/// output trace.
+#[derive(Debug, Default)]
+struct EngineScratch {
+    /// Incoming transfers not yet delivered, per job.
+    deps_left: Vec<u32>,
+    /// CSR offsets/items of outgoing transfer indices per job.
+    out_off: Vec<u32>,
+    out_items: Vec<u32>,
+    /// CSR fill cursors (only used while building the CSR).
+    out_cursor: Vec<u32>,
+    /// Whether each job's release time has been reached.
+    released: Vec<bool>,
+    /// Flat per-processor busy flags (indexed by cluster offset + proc).
+    busy: Vec<bool>,
+    /// Jobs that are released, have no pending dependency and have not
+    /// started, sorted by `(priority, id)` — the dispatch order.
+    ready: Vec<JobId>,
+    /// Value of the job's cluster epoch when it was last found blocked
+    /// (`u64::MAX` = never). While the epoch is unchanged no processor of
+    /// the cluster has been freed, so the job is still blocked and its
+    /// processor check can be skipped.
+    blocked_at: Vec<u64>,
+    /// Bumped every time a job finish frees processors on the cluster.
+    cluster_epoch: Vec<u64>,
+    /// Start instant of each transfer (producer finish time).
+    transfer_start: Vec<f64>,
+    /// Memoized route of each transfer.
+    transfer_routes: Vec<FlatRoute>,
+    queue: EventQueue<Ev>,
+    flows: FlowNetwork,
+    /// Whether `flows` has been initialised with the engine's capacities.
+    flows_ready: bool,
+}
+
+impl EngineScratch {
+    fn reset(&mut self, n: usize, nt: usize, total_procs: usize, nc: usize, capacities: &[f64]) {
+        self.deps_left.clear();
+        self.deps_left.resize(n, 0);
+        self.out_off.clear();
+        self.out_off.resize(n + 1, 0);
+        self.out_items.clear();
+        self.out_items.resize(nt, 0);
+        self.out_cursor.clear();
+        self.released.clear();
+        self.released.resize(n, false);
+        self.busy.clear();
+        self.busy.resize(total_procs, false);
+        self.ready.clear();
+        self.blocked_at.clear();
+        self.blocked_at.resize(n, u64::MAX);
+        self.cluster_epoch.clear();
+        self.cluster_epoch.resize(nc, 0);
+        self.transfer_start.clear();
+        self.transfer_start.resize(nt, 0.0);
+        self.transfer_routes.clear();
+        self.queue.clear();
+        if self.flows_ready {
+            self.flows.reset();
+        } else {
+            self.flows = FlowNetwork::new(capacities.to_vec());
+            self.flows_ready = true;
+        }
+    }
+
+    /// Inserts `j` into the ready set at its `(priority, id)` rank.
+    fn insert_ready(&mut self, jobs: &[SimJob], j: JobId) {
+        let key = (jobs[j].priority, j);
+        let pos = self.ready.partition_point(|&x| (jobs[x].priority, x) < key);
+        self.ready.insert(pos, j);
+    }
+}
+
 /// Discrete-event engine executing a [`SimWorkload`] on a [`Platform`].
 ///
 /// Semantics:
@@ -43,14 +166,51 @@ enum Ev {
 pub struct Engine<'a> {
     platform: &'a Platform,
     network: SiteNetwork,
+    /// Index of each cluster's first processor in the flat busy array.
+    cluster_offsets: Vec<usize>,
+    total_procs: usize,
+    /// Route for each (source cluster, destination cluster) pair, flattened
+    /// row-major; the diagonal holds the intra-cluster route (used when the
+    /// two processor sets differ — identical sets are local).
+    pair_routes: Vec<FlatRoute>,
+    /// Scratch pool: `execute` is callable through a shared reference from
+    /// many threads, so each call pops its own scratch (or builds one) and
+    /// returns it afterwards. The lock is held only for the pop/push.
+    scratch: Mutex<Vec<EngineScratch>>,
 }
 
 impl<'a> Engine<'a> {
     /// Creates an engine for the given platform.
     pub fn new(platform: &'a Platform) -> Self {
+        let network = SiteNetwork::new(platform);
+        let nc = platform.num_clusters();
+        let mut cluster_offsets = Vec::with_capacity(nc);
+        let mut total_procs = 0usize;
+        for c in platform.clusters() {
+            cluster_offsets.push(total_procs);
+            total_procs += c.num_procs();
+        }
+        // Memoize the route of every cluster pair by asking the network for
+        // representative processor sets (distinct sets on the diagonal, so
+        // the diagonal holds the intra-cluster route, not the local one).
+        let mut pair_routes = Vec::with_capacity(nc * nc);
+        for c1 in 0..nc {
+            for c2 in 0..nc {
+                let (src, dst) = if c1 == c2 {
+                    (ProcSet::empty(c1), ProcSet::contiguous(c2, 0, 1))
+                } else {
+                    (ProcSet::contiguous(c1, 0, 1), ProcSet::contiguous(c2, 0, 1))
+                };
+                pair_routes.push(FlatRoute::from_route(&network.route(&src, &dst)));
+            }
+        }
         Self {
-            network: SiteNetwork::new(platform),
+            network,
             platform,
+            cluster_offsets,
+            total_procs,
+            pair_routes,
+            scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -88,77 +248,76 @@ impl<'a> Engine<'a> {
     /// validation normally rules out).
     pub fn execute(&self, workload: &SimWorkload) -> Result<SimOutcome, SimError> {
         workload.validate(self.platform)?;
+        let mut scratch = self
+            .scratch
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default();
+        let result = self.run(workload, &mut scratch);
+        self.scratch
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(scratch);
+        result
+    }
+
+    /// The event loop proper, operating on a (reused) scratch.
+    fn run(&self, workload: &SimWorkload, s: &mut EngineScratch) -> Result<SimOutcome, SimError> {
         let n = workload.jobs.len();
         let nt = workload.transfers.len();
+        let nc = self.platform.num_clusters();
+        s.reset(n, nt, self.total_procs, nc, self.network.capacities());
 
-        let mut deps_left = vec![0usize; n];
-        let mut out_transfers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        // Dependency counts and the CSR of outgoing transfers per producer
+        // (per-producer order = increasing transfer index, matching the
+        // naive per-job vectors).
+        for t in &workload.transfers {
+            s.deps_left[t.to] += 1;
+            s.out_off[t.from + 1] += 1;
+        }
+        for j in 0..n {
+            s.out_off[j + 1] += s.out_off[j];
+        }
+        s.out_cursor.extend_from_slice(&s.out_off[..n]);
         for (i, t) in workload.transfers.iter().enumerate() {
-            deps_left[t.to] += 1;
-            out_transfers[t.from].push(i);
+            let slot = s.out_cursor[t.from];
+            s.out_items[slot as usize] = i as u32;
+            s.out_cursor[t.from] += 1;
         }
 
-        let mut released = vec![false; n];
-        let mut started = vec![false; n];
+        // Memoize every transfer's route up front (the naive loop recomputed
+        // it at producer finish and again at flow start).
+        for t in &workload.transfers {
+            let src = &workload.jobs[t.from].procs;
+            let dst = &workload.jobs[t.to].procs;
+            let route = if src.cluster() == dst.cluster() && src == dst {
+                FlatRoute::LOCAL
+            } else {
+                self.pair_routes[src.cluster() * nc + dst.cluster()]
+            };
+            s.transfer_routes.push(route);
+        }
+
         let mut finished = 0usize;
-
-        let mut busy: Vec<Vec<bool>> = self
-            .platform
-            .clusters()
-            .iter()
-            .map(|c| vec![false; c.num_procs()])
-            .collect();
-
         let mut job_records: Vec<Option<JobRecord>> = vec![None; n];
         let mut transfer_records: Vec<Option<TransferRecord>> = vec![None; nt];
-        let mut transfer_start = vec![0.0f64; nt];
 
-        let mut queue: EventQueue<Ev> = EventQueue::new();
         for (j, job) in workload.jobs.iter().enumerate() {
-            queue.push(job.release_time.max(0.0), Ev::JobRelease(j));
+            s.queue.push(job.release_time.max(0.0), Ev::JobRelease(j));
         }
-        let mut flows = FlowNetwork::new(self.network.capacities().to_vec());
 
         let mut now = 0.0f64;
-
-        // Starts every startable job, in priority order.
-        let dispatch = |now: f64,
-                        released: &[bool],
-                        deps_left: &[usize],
-                        started: &mut [bool],
-                        busy: &mut [Vec<bool>],
-                        job_records: &mut [Option<JobRecord>],
-                        queue: &mut EventQueue<Ev>| {
-            let mut candidates: Vec<JobId> = (0..n)
-                .filter(|&j| !started[j] && released[j] && deps_left[j] == 0)
-                .collect();
-            candidates.sort_by_key(|&j| (workload.jobs[j].priority, j));
-            for j in candidates {
-                let procs = &workload.jobs[j].procs;
-                let cluster = procs.cluster();
-                if procs.iter().all(|p| !busy[cluster][p]) {
-                    for p in procs.iter() {
-                        busy[cluster][p] = true;
-                    }
-                    started[j] = true;
-                    let finish = now + workload.jobs[j].duration;
-                    job_records[j] = Some(JobRecord {
-                        job: j,
-                        start: now,
-                        finish,
-                        procs: procs.clone(),
-                    });
-                    queue.push(finish, Ev::JobFinish(j));
-                }
-            }
-        };
+        // The ready set and the busy map only change on the flagged paths
+        // below; while the flag is clear a dispatch could not start anything.
+        let mut dispatch_dirty = false;
 
         loop {
             if finished == n {
                 break;
             }
-            let next_queue = queue.peek_time();
-            let next_flow = flows.next_completion().map(|(t, _)| t);
+            let next_queue = s.queue.peek_time();
+            let next_flow = s.flows.next_completion().map(|(t, _)| t);
             let t_next = match (next_queue, next_flow) {
                 (None, None) => return Err(SimError::DependencyCycle),
                 (None, Some(t)) | (Some(t), None) => t,
@@ -172,47 +331,58 @@ impl<'a> Engine<'a> {
             let eps = 1e-9 * now.abs().max(1.0);
 
             // 1. Deliver every transfer completing at this instant.
-            while let Some((tf, tid)) = flows.next_completion() {
+            while let Some((tf, tid)) = s.flows.next_completion() {
                 if tf > now + eps {
                     break;
                 }
-                flows.complete(now, tid);
+                s.flows.complete(now, tid);
                 let tr = &workload.transfers[tid];
                 transfer_records[tid] = Some(TransferRecord {
                     transfer: tid,
-                    start: transfer_start[tid],
+                    start: s.transfer_start[tid],
                     finish: now,
                     bytes: tr.bytes,
                 });
-                deps_left[tr.to] -= 1;
+                s.deps_left[tr.to] -= 1;
+                if s.deps_left[tr.to] == 0 && s.released[tr.to] {
+                    s.insert_ready(&workload.jobs, tr.to);
+                    dispatch_dirty = true;
+                }
             }
 
             // 2. Process every queued event at this instant.
-            while queue.peek_time().is_some_and(|t| t <= now + eps) {
-                let ev = queue.pop().expect("peeked above");
+            while s.queue.peek_time().is_some_and(|t| t <= now + eps) {
+                let ev = s.queue.pop().expect("peeked above");
                 match ev.payload {
                     Ev::JobRelease(j) => {
-                        released[j] = true;
+                        s.released[j] = true;
+                        if s.deps_left[j] == 0 {
+                            s.insert_ready(&workload.jobs, j);
+                            dispatch_dirty = true;
+                        }
                     }
                     Ev::FlowStart(tid) => {
-                        let tr = &workload.transfers[tid];
-                        let route = self
-                            .network
-                            .route(&workload.jobs[tr.from].procs, &workload.jobs[tr.to].procs);
-                        flows.start(now, tid, route.links, tr.bytes);
+                        let route = s.transfer_routes[tid];
+                        s.flows
+                            .start(now, tid, route.links(), workload.transfers[tid].bytes);
                     }
                     Ev::JobFinish(j) => {
                         finished += 1;
                         let procs = &workload.jobs[j].procs;
+                        let cluster = procs.cluster();
+                        let base = self.cluster_offsets[cluster];
                         for p in procs.iter() {
-                            busy[procs.cluster()][p] = false;
+                            s.busy[base + p] = false;
                         }
-                        for &tid in &out_transfers[j] {
+                        s.cluster_epoch[cluster] += 1;
+                        dispatch_dirty = true;
+                        let lo = s.out_off[j] as usize;
+                        let hi = s.out_off[j + 1] as usize;
+                        for k in lo..hi {
+                            let tid = s.out_items[k] as usize;
                             let tr = &workload.transfers[tid];
-                            let route = self
-                                .network
-                                .route(&workload.jobs[tr.from].procs, &workload.jobs[tr.to].procs);
-                            transfer_start[tid] = now;
+                            let route = s.transfer_routes[tid];
+                            s.transfer_start[tid] = now;
                             if route.is_local() || tr.bytes <= 0.0 {
                                 transfer_records[tid] = Some(TransferRecord {
                                     transfer: tid,
@@ -220,24 +390,56 @@ impl<'a> Engine<'a> {
                                     finish: now,
                                     bytes: tr.bytes,
                                 });
-                                deps_left[tr.to] -= 1;
+                                s.deps_left[tr.to] -= 1;
+                                if s.deps_left[tr.to] == 0 && s.released[tr.to] {
+                                    s.insert_ready(&workload.jobs, tr.to);
+                                }
                             } else {
-                                queue.push(now + route.latency, Ev::FlowStart(tid));
+                                s.queue.push(now + route.latency, Ev::FlowStart(tid));
                             }
                         }
                     }
                 }
             }
 
-            dispatch(
-                now,
-                &released,
-                &deps_left,
-                &mut started,
-                &mut busy,
-                &mut job_records,
-                &mut queue,
-            );
+            // 3. Start every startable job, in (priority, id) order — the
+            //    ready set is kept sorted, so this is one in-order sweep.
+            //    A job found blocked stays blocked until a processor of its
+            //    cluster is freed (starts only make the cluster busier), so
+            //    its processor check is skipped while the epoch is unchanged.
+            if dispatch_dirty {
+                dispatch_dirty = false;
+                let mut w = 0usize;
+                for r in 0..s.ready.len() {
+                    let j = s.ready[r];
+                    let procs = &workload.jobs[j].procs;
+                    let cluster = procs.cluster();
+                    if s.blocked_at[j] == s.cluster_epoch[cluster] {
+                        s.ready[w] = j;
+                        w += 1;
+                        continue;
+                    }
+                    let base = self.cluster_offsets[cluster];
+                    if procs.iter().all(|p| !s.busy[base + p]) {
+                        for p in procs.iter() {
+                            s.busy[base + p] = true;
+                        }
+                        let finish = now + workload.jobs[j].duration;
+                        job_records[j] = Some(JobRecord {
+                            job: j,
+                            start: now,
+                            finish,
+                            procs: procs.clone(),
+                        });
+                        s.queue.push(finish, Ev::JobFinish(j));
+                    } else {
+                        s.blocked_at[j] = s.cluster_epoch[cluster];
+                        s.ready[w] = j;
+                        w += 1;
+                    }
+                }
+                s.ready.truncate(w);
+            }
         }
 
         let trace = ExecutionTrace {
@@ -253,6 +455,7 @@ impl<'a> Engine<'a> {
 mod tests {
     use super::*;
     use crate::job::SimJob;
+    use crate::reference::reference_execute;
     use mcsched_platform::{PlatformBuilder, ProcSet};
 
     fn platform() -> Platform {
@@ -466,5 +669,67 @@ mod tests {
         let a = e.execute(&w).unwrap();
         let b = e.execute(&w).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_reuse_stays_bit_identical_to_reference() {
+        // Three runs on the same engine reuse the pooled scratch; each run
+        // must still match the frozen reference exactly.
+        let p = platform();
+        let mut w = SimWorkload::new();
+        for i in 0..8 {
+            let mut job = SimJob::new(
+                format!("j{i}"),
+                pset(i % 2, (i / 3) % 4, 1 + i % 2),
+                0.5 + i as f64,
+                (8 - i) as u64,
+            );
+            job.release_time = (i % 3) as f64;
+            w.add_job(job);
+        }
+        w.add_transfer(0, 3, 2.0e7);
+        w.add_transfer(1, 4, 3.0e8);
+        w.add_transfer(2, 5, 0.0);
+        w.add_transfer(3, 6, 5.0e7);
+        let expected = reference_execute(&p, &w).unwrap();
+        let e = Engine::new(&p);
+        for _ in 0..3 {
+            assert_eq!(e.execute(&w).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn pair_route_table_matches_network_routes() {
+        let p = platform();
+        let e = Engine::new(&p);
+        let net = e.network();
+        for c1 in 0..p.num_clusters() {
+            for c2 in 0..p.num_clusters() {
+                let flat = &e.pair_routes[c1 * p.num_clusters() + c2];
+                let (src, dst) = if c1 == c2 {
+                    (ProcSet::contiguous(c1, 0, 1), ProcSet::contiguous(c2, 1, 1))
+                } else {
+                    (ProcSet::contiguous(c1, 0, 2), ProcSet::contiguous(c2, 0, 2))
+                };
+                let route = net.route(&src, &dst);
+                assert_eq!(flat.links(), &route.links[..]);
+                assert_eq!(flat.latency.to_bits(), route.latency.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_job_starts_after_the_right_finish() {
+        // Job c needs all 4 processors of cluster 0; a and b each hold 2 and
+        // finish at different times. c is re-examined when a finishes (epoch
+        // bump), found still blocked, and starts only once b also finishes.
+        let p = platform();
+        let mut w = SimWorkload::new();
+        w.add_job(SimJob::new("a", pset(0, 0, 2), 1.0, 0));
+        w.add_job(SimJob::new("b", pset(0, 2, 2), 3.0, 1));
+        w.add_job(SimJob::new("c", pset(0, 0, 4), 1.0, 2));
+        let out = Engine::new(&p).execute(&w).unwrap();
+        assert!((out.trace.job(2).unwrap().start - 3.0).abs() < 1e-9);
+        assert!((out.makespan - 4.0).abs() < 1e-9);
     }
 }

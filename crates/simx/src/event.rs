@@ -72,6 +72,13 @@ impl<T: PartialEq> EventQueue<T> {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// Drops all pending events and rewinds the sequence counter, keeping
+    /// the heap's storage (a reused queue allocates nothing on its next run).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()

@@ -8,8 +8,24 @@
 //! same fluid model SimGrid uses for TCP-level simulation and is what makes
 //! the shared-switch sites exhibit more contention than the
 //! per-cluster-switch sites.
+//!
+//! Two implementations live here:
+//!
+//! * [`max_min_fair_rates`] — the pure, allocating specification of the
+//!   progressive-filling computation. Kept as the reference the network is
+//!   tested against (and reused verbatim by the frozen engine in
+//!   [`crate::reference`]);
+//! * [`FlowNetwork`] — the engine's network. It stores flows
+//!   structure-of-arrays with inline link lists (site routes cross at most
+//!   [`MAX_ROUTE_LINKS`] links), reuses internal scratch buffers so that
+//!   starting/completing a flow allocates nothing once warm, and caches the
+//!   next-completion horizon so [`FlowNetwork::next_completion`] is O(1)
+//!   between changes.
 
 use crate::resources::LinkId;
+
+/// Maximum number of links a route may cross (uplink, fabric, downlink).
+pub const MAX_ROUTE_LINKS: usize = 3;
 
 /// A flow crossing a set of links with some bytes left to transfer.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +41,10 @@ pub struct Flow {
 ///
 /// Flows crossing no link (local transfers) get an infinite rate. The
 /// returned vector is indexed like `flows`.
+///
+/// This is the executable specification: [`FlowNetwork`] implements the
+/// same computation over its flat storage without allocating, and its tests
+/// check the two agree bit for bit.
 pub fn max_min_fair_rates(capacities: &[f64], flows: &[Flow]) -> Vec<f64> {
     let mut rates = vec![f64::INFINITY; flows.len()];
     if flows.is_empty() {
@@ -85,13 +105,31 @@ pub fn max_min_fair_rates(capacities: &[f64], flows: &[Flow]) -> Vec<f64> {
 
 /// The set of in-flight transfers, advancing them in simulated time under
 /// max-min fair sharing.
+///
+/// Flows are stored structure-of-arrays with inline link lists; the fair-rate
+/// recomputation runs over reusable scratch buffers, so the per-event cost
+/// allocates nothing once the buffers are warm. The next-completion horizon
+/// is cached after every change, making [`FlowNetwork::next_completion`]
+/// constant-time (the engine polls it several times per event step).
 #[derive(Debug, Clone, Default)]
 pub struct FlowNetwork {
     capacities: Vec<f64>,
-    /// (caller key, flow)
-    flows: Vec<(usize, Flow)>,
+    /// Caller keys, in flow start order.
+    keys: Vec<usize>,
+    /// Links crossed by each flow (first `num_links[i]` entries are valid).
+    links: Vec<[LinkId; MAX_ROUTE_LINKS]>,
+    num_links: Vec<u8>,
+    /// Bytes remaining per flow.
+    remaining: Vec<f64>,
     rates: Vec<f64>,
     last_update: f64,
+    /// Cached `(time, key)` of the earliest-finishing flow; valid until the
+    /// flow set changes (rates and residuals only move on start/complete).
+    next_done: Option<(f64, usize)>,
+    // Scratch for the progressive-filling computation, reused across calls.
+    scratch_capacity: Vec<f64>,
+    scratch_users: Vec<usize>,
+    scratch_frozen: Vec<bool>,
 }
 
 impl FlowNetwork {
@@ -99,85 +137,180 @@ impl FlowNetwork {
     pub fn new(capacities: Vec<f64>) -> Self {
         Self {
             capacities,
-            flows: Vec::new(),
-            rates: Vec::new(),
-            last_update: 0.0,
+            ..Self::default()
         }
     }
 
     /// Number of in-flight flows.
     pub fn len(&self) -> usize {
-        self.flows.len()
+        self.keys.len()
     }
 
     /// Whether no flow is in flight.
     pub fn is_empty(&self) -> bool {
-        self.flows.is_empty()
+        self.keys.is_empty()
     }
 
-    /// Advances all flows to time `now` and recomputes fair rates.
+    /// Drops all flows and rewinds the clock to 0, keeping the capacities
+    /// and every internal buffer's storage (so a reused network allocates
+    /// nothing on its next run).
+    pub fn reset(&mut self) {
+        self.keys.clear();
+        self.links.clear();
+        self.num_links.clear();
+        self.remaining.clear();
+        self.rates.clear();
+        self.last_update = 0.0;
+        self.next_done = None;
+    }
+
+    /// Advances all flows to time `now`.
     fn advance(&mut self, now: f64) {
         let dt = now - self.last_update;
         if dt > 0.0 {
-            for (i, (_, f)) in self.flows.iter_mut().enumerate() {
+            for (i, rem) in self.remaining.iter_mut().enumerate() {
                 let rate = self.rates.get(i).copied().unwrap_or(0.0);
                 if rate.is_finite() {
-                    f.remaining = (f.remaining - rate * dt).max(0.0);
+                    *rem = (*rem - rate * dt).max(0.0);
                 } else {
-                    f.remaining = 0.0;
+                    *rem = 0.0;
                 }
             }
         }
         self.last_update = now;
     }
 
+    /// Progressive filling over the flat storage — the same computation as
+    /// [`max_min_fair_rates`], without allocating.
     fn recompute(&mut self) {
-        let flows: Vec<Flow> = self.flows.iter().map(|(_, f)| f.clone()).collect();
-        self.rates = max_min_fair_rates(&self.capacities, &flows);
+        let nf = self.keys.len();
+        self.rates.clear();
+        self.rates.resize(nf, f64::INFINITY);
+        if nf == 0 {
+            return;
+        }
+
+        self.scratch_capacity.clear();
+        self.scratch_capacity.extend_from_slice(&self.capacities);
+        self.scratch_frozen.clear();
+        self.scratch_frozen.resize(nf, false);
+        for i in 0..nf {
+            if self.num_links[i] == 0 {
+                self.scratch_frozen[i] = true;
+            }
+        }
+
+        loop {
+            self.scratch_users.clear();
+            self.scratch_users.resize(self.capacities.len(), 0);
+            for i in 0..nf {
+                if self.scratch_frozen[i] {
+                    continue;
+                }
+                for &l in &self.links[i][..self.num_links[i] as usize] {
+                    self.scratch_users[l] += 1;
+                }
+            }
+            let mut bottleneck: Option<(LinkId, f64)> = None;
+            for (l, &u) in self.scratch_users.iter().enumerate() {
+                if u == 0 {
+                    continue;
+                }
+                let share = self.scratch_capacity[l] / u as f64;
+                match bottleneck {
+                    None => bottleneck = Some((l, share)),
+                    Some((_, best)) if share < best => bottleneck = Some((l, share)),
+                    _ => {}
+                }
+            }
+            let Some((bl, share)) = bottleneck else {
+                break; // every flow is frozen
+            };
+            for i in 0..nf {
+                if self.scratch_frozen[i]
+                    || !self.links[i][..self.num_links[i] as usize].contains(&bl)
+                {
+                    continue;
+                }
+                self.rates[i] = share;
+                self.scratch_frozen[i] = true;
+                for &l in &self.links[i][..self.num_links[i] as usize] {
+                    self.scratch_capacity[l] = (self.scratch_capacity[l] - share).max(0.0);
+                }
+            }
+        }
+    }
+
+    /// Recomputes the cached next-completion horizon. Rates and residuals
+    /// only change on [`FlowNetwork::start`]/[`FlowNetwork::complete`], so
+    /// the cache stays valid between them.
+    fn refresh_next_done(&mut self) {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, &key) in self.keys.iter().enumerate() {
+            let rate = self.rates.get(i).copied().unwrap_or(0.0);
+            let rem = self.remaining[i];
+            let finish = if rem <= 0.0 || rate.is_infinite() {
+                self.last_update
+            } else if rate <= 0.0 {
+                f64::INFINITY
+            } else {
+                self.last_update + rem / rate
+            };
+            match best {
+                None => best = Some((finish, key)),
+                Some((t, _)) if finish < t => best = Some((finish, key)),
+                _ => {}
+            }
+        }
+        self.next_done = best;
     }
 
     /// Starts a new flow identified by `key` at time `now`, transferring
     /// `bytes` bytes across `links`.
-    pub fn start(&mut self, now: f64, key: usize, links: Vec<LinkId>, bytes: f64) {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route crosses more than [`MAX_ROUTE_LINKS`] links (site
+    /// routes never do).
+    pub fn start(&mut self, now: f64, key: usize, links: &[LinkId], bytes: f64) {
         self.advance(now);
-        self.flows.push((
-            key,
-            Flow {
-                links,
-                remaining: bytes.max(0.0),
-            },
-        ));
+        let mut inline = [0usize; MAX_ROUTE_LINKS];
+        inline[..links.len()].copy_from_slice(links);
+        self.keys.push(key);
+        self.links.push(inline);
+        self.num_links.push(links.len() as u8);
+        self.remaining.push(bytes.max(0.0));
         self.recompute();
+        self.refresh_next_done();
     }
 
     /// Time at which the next flow completes, together with its key, if any
     /// flow is in flight.
     pub fn next_completion(&self) -> Option<(f64, usize)> {
-        let mut best: Option<(f64, usize)> = None;
-        for (i, (key, f)) in self.flows.iter().enumerate() {
-            let rate = self.rates.get(i).copied().unwrap_or(0.0);
-            let finish = if f.remaining <= 0.0 || rate.is_infinite() {
-                self.last_update
-            } else if rate <= 0.0 {
-                f64::INFINITY
-            } else {
-                self.last_update + f.remaining / rate
-            };
-            match best {
-                None => best = Some((finish, *key)),
-                Some((t, _)) if finish < t => best = Some((finish, *key)),
-                _ => {}
-            }
-        }
-        best
+        self.next_done
     }
 
     /// Completes the flow identified by `key` at time `now` (removes it and
     /// recomputes the rates of the survivors).
     pub fn complete(&mut self, now: f64, key: usize) {
         self.advance(now);
-        self.flows.retain(|(k, _)| *k != key);
+        let mut w = 0usize;
+        for i in 0..self.keys.len() {
+            if self.keys[i] == key {
+                continue;
+            }
+            self.keys[w] = self.keys[i];
+            self.links[w] = self.links[i];
+            self.num_links[w] = self.num_links[i];
+            self.remaining[w] = self.remaining[i];
+            w += 1;
+        }
+        self.keys.truncate(w);
+        self.links.truncate(w);
+        self.num_links.truncate(w);
+        self.remaining.truncate(w);
         self.recompute();
+        self.refresh_next_done();
     }
 }
 
@@ -252,14 +385,45 @@ mod tests {
     }
 
     #[test]
+    fn network_rates_match_the_specification_bit_for_bit() {
+        // A contended mix over 4 links: some flows share every link, some
+        // only the fabric, one is local. The network's in-place progressive
+        // filling must produce exactly the rates of the pure specification.
+        let capacities = vec![125.0e6, 1.0e9, 125.0e6, 50.0e6];
+        let link_sets: Vec<Vec<LinkId>> = vec![
+            vec![0, 1, 2],
+            vec![1],
+            vec![0, 3],
+            vec![],
+            vec![2, 3],
+            vec![1, 3],
+        ];
+        let mut net = FlowNetwork::new(capacities.clone());
+        let mut spec_flows = Vec::new();
+        for (i, links) in link_sets.iter().enumerate() {
+            let bytes = 1.0e8 * (i + 1) as f64;
+            net.start(0.0, i, links, bytes);
+            spec_flows.push(Flow {
+                links: links.clone(),
+                remaining: bytes,
+            });
+        }
+        let spec = max_min_fair_rates(&capacities, &spec_flows);
+        assert_eq!(net.rates.len(), spec.len());
+        for (i, (&got, &want)) in net.rates.iter().zip(spec.iter()).enumerate() {
+            assert_eq!(got.to_bits(), want.to_bits(), "flow {i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
     fn flow_network_completion_times_with_contention() {
         // Two 100-byte flows on a 100 B/s link starting together: both
         // progress at 50 B/s; the first completes at t=2; after it leaves the
         // second would already be done too (it also finished its 100 bytes
         // by t=2 at 50 B/s).
         let mut net = FlowNetwork::new(vec![100.0]);
-        net.start(0.0, 1, vec![0], 100.0);
-        net.start(0.0, 2, vec![0], 100.0);
+        net.start(0.0, 1, &[0], 100.0);
+        net.start(0.0, 2, &[0], 100.0);
         let (t, key) = net.next_completion().unwrap();
         assert!((t - 2.0).abs() < 1e-9);
         net.complete(t, key);
@@ -272,8 +436,8 @@ mod tests {
         // Flow 1 starts alone (100 B/s); at t=0.5 flow 2 arrives and both run
         // at 50 B/s. Flow 1 has 50 bytes left => completes at 1.5.
         let mut net = FlowNetwork::new(vec![100.0]);
-        net.start(0.0, 1, vec![0], 100.0);
-        net.start(0.5, 2, vec![0], 100.0);
+        net.start(0.0, 1, &[0], 100.0);
+        net.start(0.5, 2, &[0], 100.0);
         let (t, key) = net.next_completion().unwrap();
         assert_eq!(key, 1);
         assert!((t - 1.5).abs() < 1e-9);
@@ -287,7 +451,7 @@ mod tests {
     #[test]
     fn zero_byte_flow_completes_immediately() {
         let mut net = FlowNetwork::new(vec![100.0]);
-        net.start(1.0, 7, vec![0], 0.0);
+        net.start(1.0, 7, &[0], 0.0);
         let (t, key) = net.next_completion().unwrap();
         assert_eq!(key, 7);
         assert!((t - 1.0).abs() < 1e-12);
@@ -298,5 +462,20 @@ mod tests {
         let net = FlowNetwork::new(vec![100.0]);
         assert!(net.next_completion().is_none());
         assert!(net.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_flows_but_keeps_capacities() {
+        let mut net = FlowNetwork::new(vec![100.0]);
+        net.start(0.0, 1, &[0], 100.0);
+        net.complete(1.0, 1);
+        net.reset();
+        assert!(net.is_empty());
+        assert!(net.next_completion().is_none());
+        // A fresh flow behaves as if the network were brand new.
+        net.start(0.0, 2, &[0], 100.0);
+        let (t, key) = net.next_completion().unwrap();
+        assert_eq!(key, 2);
+        assert!((t - 1.0).abs() < 1e-9);
     }
 }

@@ -34,6 +34,7 @@ pub mod error;
 pub mod event;
 pub mod flow;
 pub mod job;
+pub mod reference;
 pub mod resources;
 pub mod trace;
 
@@ -41,5 +42,6 @@ pub use engine::{Engine, SimOutcome};
 pub use error::SimError;
 pub use flow::FlowNetwork;
 pub use job::{JobId, SimJob, SimTransfer, SimWorkload};
+pub use reference::reference_execute;
 pub use resources::{LinkId, Route, SiteNetwork};
 pub use trace::{ExecutionTrace, JobRecord, TransferRecord};
