@@ -44,6 +44,22 @@ type BetaCache = HashMap<String, Arc<Vec<f64>>>;
 /// Per-(constraint, allocation) cache, keyed by the policies' cache keys.
 type AllocationCache = HashMap<(String, String), Arc<Vec<RefAllocation>>>;
 
+/// The context's engine: owned for one-shot batch scenarios, borrowed when a
+/// long-lived caller (the online scheduler) keeps one engine — and its warm
+/// scratch arenas and routing tables — across many short-lived contexts.
+#[derive(Debug)]
+enum EngineStore<'a> {
+    Owned(Box<Engine<'a>>),
+    Shared(&'a Engine<'a>),
+}
+
+/// Owned-or-borrowed [`ReferencePlatform`], mirroring [`EngineStore`].
+#[derive(Debug)]
+enum ReferenceStore<'a> {
+    Owned(ReferencePlatform),
+    Shared(&'a ReferencePlatform),
+}
+
 /// Memoized evaluation state for one scenario: a platform, the set of PTGs
 /// submitted together (with their release times), and the base policies
 /// shared by every strategy compared on that scenario.
@@ -55,8 +71,8 @@ pub struct ScheduleContext<'a> {
     base: SchedulerConfig,
     base_allocation: Arc<dyn AllocationPolicy>,
     base_mapping: Arc<dyn MappingPolicy>,
-    reference: ReferencePlatform,
-    engine: Engine<'a>,
+    reference: ReferenceStore<'a>,
+    engine: EngineStore<'a>,
     betas: Mutex<BetaCache>,
     allocations: Mutex<AllocationCache>,
     /// One slot (and one lock) per application, so concurrent callers of a
@@ -97,8 +113,8 @@ impl<'a> ScheduleContext<'a> {
         base_mapping: Arc<dyn MappingPolicy>,
     ) -> Self {
         Self {
-            reference: ReferencePlatform::new(platform),
-            engine: Engine::new(platform),
+            reference: ReferenceStore::Owned(ReferencePlatform::new(platform)),
+            engine: EngineStore::Owned(Box::new(Engine::new(platform))),
             betas: Mutex::new(HashMap::new()),
             allocations: Mutex::new(HashMap::new()),
             dedicated: (0..ptgs.len()).map(|_| Mutex::new(None)).collect(),
@@ -110,6 +126,44 @@ impl<'a> ScheduleContext<'a> {
             base,
             base_allocation,
             base_mapping,
+        }
+    }
+
+    /// Creates a context that *borrows* an engine and homogeneous reference
+    /// view built once by the caller — the online scheduler's per-event
+    /// path. A fresh context still re-derives β vectors, allocations and
+    /// dedicated baselines for its (changed) resident set, but the engine's
+    /// expensive parts — routing tables and the warm scratch-arena pool —
+    /// carry over across every event of a run instead of being rebuilt.
+    ///
+    /// The engine and the reference view must have been built on the same
+    /// platform (debug-asserted).
+    pub fn with_shared_engine(
+        engine: &'a Engine<'a>,
+        reference: &'a ReferencePlatform,
+        ptgs: &'a [Ptg],
+        base: SchedulerConfig,
+    ) -> Self {
+        let platform = engine.platform();
+        debug_assert_eq!(
+            reference,
+            &ReferencePlatform::new(platform),
+            "engine and reference view must share a platform"
+        );
+        Self {
+            reference: ReferenceStore::Shared(reference),
+            engine: EngineStore::Shared(engine),
+            betas: Mutex::new(HashMap::new()),
+            allocations: Mutex::new(HashMap::new()),
+            dedicated: (0..ptgs.len()).map(|_| Mutex::new(None)).collect(),
+            dedicated_sims: AtomicUsize::new(0),
+            concurrent_sims: AtomicUsize::new(0),
+            release_times: vec![0.0; ptgs.len()],
+            platform,
+            ptgs,
+            base,
+            base_allocation: base.allocation.to_policy(),
+            base_mapping: base.mapping.to_policy(),
         }
     }
 
@@ -183,17 +237,23 @@ impl<'a> ScheduleContext<'a> {
 
     /// The memoized homogeneous reference view of the platform.
     pub fn reference(&self) -> &ReferencePlatform {
-        &self.reference
+        match &self.reference {
+            ReferenceStore::Owned(r) => r,
+            ReferenceStore::Shared(r) => r,
+        }
     }
 
     /// The memoized flattened site network (routing and link capacities).
     pub fn network(&self) -> &SiteNetwork {
-        self.engine.network()
+        self.engine().network()
     }
 
     /// The simulation engine bound to the scenario's platform.
     pub fn engine(&self) -> &Engine<'a> {
-        &self.engine
+        match &self.engine {
+            EngineStore::Owned(e) => e,
+            EngineStore::Shared(e) => e,
+        }
     }
 
     /// β constraints of every application under `policy`, memoized by the
@@ -202,7 +262,7 @@ impl<'a> ScheduleContext<'a> {
         let mut cache = self.betas.lock();
         Arc::clone(cache.entry(policy.cache_key()).or_insert_with(|| {
             let _p = crate::profile::scope(crate::profile::Phase::BetaAlloc);
-            Arc::new(policy.betas(self.ptgs, &self.reference))
+            Arc::new(policy.betas(self.ptgs, self.reference()))
         }))
     }
 
@@ -224,7 +284,7 @@ impl<'a> ScheduleContext<'a> {
                         self.ptgs
                             .iter()
                             .zip(betas.iter())
-                            .map(|(ptg, &beta)| allocation.allocate(&self.reference, ptg, beta))
+                            .map(|(ptg, &beta)| allocation.allocate(self.reference(), ptg, beta))
                             .collect(),
                     )
                 }),
@@ -260,7 +320,7 @@ impl<'a> ScheduleContext<'a> {
     pub fn execute(&self, workload: &SimWorkload) -> Result<SimOutcome, SchedError> {
         self.concurrent_sims.fetch_add(1, Ordering::Relaxed);
         let _p = crate::profile::scope(crate::profile::Phase::SimxExecute);
-        self.engine.execute(workload).map_err(SchedError::from)
+        self.engine().execute(workload).map_err(SchedError::from)
     }
 
     /// Maps already-allocated applications onto the platform through an
@@ -273,8 +333,8 @@ impl<'a> ScheduleContext<'a> {
     ) -> Schedule {
         let _p = crate::profile::scope(crate::profile::Phase::Mapping);
         mapping.map(&MappingRequest {
-            reference: &self.reference,
-            network: self.engine.network(),
+            reference: self.reference(),
+            network: self.engine().network(),
             platform: self.platform,
             ptgs: self.ptgs,
             allocations,
@@ -378,13 +438,13 @@ impl<'a> ScheduleContext<'a> {
         let ptg = &self.ptgs[app];
         let alloc = {
             let _p = crate::profile::scope(crate::profile::Phase::BetaAlloc);
-            self.base_allocation.allocate(&self.reference, ptg, 1.0)
+            self.base_allocation.allocate(self.reference(), ptg, 1.0)
         };
         let schedule = {
             let _p = crate::profile::scope(crate::profile::Phase::Mapping);
             self.base_mapping.map(&MappingRequest {
-                reference: &self.reference,
-                network: self.engine.network(),
+                reference: self.reference(),
+                network: self.engine().network(),
                 platform: self.platform,
                 ptgs: std::slice::from_ref(ptg),
                 allocations: std::slice::from_ref(&alloc),
@@ -393,7 +453,7 @@ impl<'a> ScheduleContext<'a> {
         };
         self.dedicated_sims.fetch_add(1, Ordering::Relaxed);
         let _p = crate::profile::scope(crate::profile::Phase::SimxExecute);
-        let outcome = self.engine.execute(&schedule.workload)?;
+        let outcome = self.engine().execute(&schedule.workload)?;
         Ok(outcome.makespan)
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! Set `MCSCHED_PROFILE=1` (or pass `--profile` to the fig binaries, which
 //! sets the variable) to accumulate wall time per pipeline phase — workload
-//! generation, β + allocation, mapping, simulation, statistics — and print a
+//! generation, β + allocation, mapping, simulation, statistics, and the
+//! online event loop — and print a
 //! summary to stderr at the end of the run. When the variable is unset the
 //! instrumentation is a branch on a cached boolean, so the hot path pays
 //! nothing measurable.
@@ -29,9 +30,13 @@ pub enum Phase {
     SimxExecute = 3,
     /// Statistics: summaries, bootstrap CIs, paired analysis.
     Stats = 4,
+    /// The online scheduler's event loop proper: event selection, admission
+    /// control and bookkeeping — *excluding* the nested β+alloc / mapping /
+    /// simx phases it triggers, which report under their own names.
+    OnlineLoop = 5,
 }
 
-const NUM_PHASES: usize = 5;
+const NUM_PHASES: usize = 6;
 
 const PHASE_NAMES: [&str; NUM_PHASES] = [
     "workload-gen",
@@ -39,6 +44,7 @@ const PHASE_NAMES: [&str; NUM_PHASES] = [
     "mapping",
     "simx-execute",
     "stats",
+    "online-loop",
 ];
 
 struct Table {

@@ -1,0 +1,186 @@
+//! Text-table and CSV rendering of online runs and campaigns.
+//!
+//! Same contract as the batch harness renderers: pure functions of the
+//! result value, so equal results produce byte-equal text at any thread
+//! count — the determinism tests compare these bytes directly.
+
+use crate::campaign::CampaignResult;
+use crate::metrics::OnlineReport;
+use mcsched_stats::OrderingVerdict;
+use std::fmt::Write as _;
+
+/// Renders one run as an aligned text table: the backpressure counters and
+/// the open-system aggregates.
+#[must_use]
+pub fn table_run(report: &OnlineReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Online run: {} ==", report.name);
+    let c = &report.counters;
+    let rows: [(&str, String); 12] = [
+        ("arrivals", c.arrivals.to_string()),
+        ("admitted", c.admitted.to_string()),
+        ("completed", c.completed.to_string()),
+        ("shed", c.shed.to_string()),
+        ("peak pending", c.peak_pending.to_string()),
+        ("peak resident", c.peak_resident.to_string()),
+        ("elapsed (s)", format!("{:.3}", report.elapsed)),
+        ("jobs/ks", format!("{:.3}", report.throughput())),
+        ("shed rate", format!("{:.4}", report.shed_rate())),
+        ("mean stretch", format!("{:.4}", report.mean_stretch())),
+        ("avg queue depth", format!("{:.3}", report.avg_queue_depth)),
+        ("utilization", format!("{:.4}", report.utilization)),
+    ];
+    for (k, v) in rows {
+        let _ = writeln!(out, "{k:<16}{v:>14}");
+    }
+    out
+}
+
+/// Renders the per-job lifecycle records of one run as CSV
+/// (`index,arrival,completion,response,dedicated,stretch,slowdown`).
+#[must_use]
+pub fn csv_jobs(report: &OnlineReport) -> String {
+    let mut out = String::from("index,arrival,completion,response,dedicated,stretch,slowdown\n");
+    for j in &report.jobs {
+        let _ = writeln!(
+            out,
+            "{},{:.3},{:.3},{:.3},{:.3},{:.6},{:.6}",
+            j.index, j.arrival, j.completion, j.response, j.dedicated, j.stretch, j.slowdown
+        );
+    }
+    out
+}
+
+/// Renders a campaign as one summary table (a strategy per row) plus the
+/// paired stretch verdicts.
+#[must_use]
+pub fn table_campaign(result: &CampaignResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Online campaign ==");
+    let _ = write!(out, "{:<12}", "strategy");
+    for h in ["completed", "shed", "stretch", "jobs/ks", "util"] {
+        let _ = write!(out, "{h:>12}");
+    }
+    let _ = writeln!(out);
+    for o in &result.outcomes {
+        let _ = write!(out, "{:<12}", o.strategy.name());
+        let (tput, util) = {
+            let n = o.reports.len().max(1) as f64;
+            (
+                o.reports.iter().map(OnlineReport::throughput).sum::<f64>() / n,
+                o.reports.iter().map(|r| r.utilization).sum::<f64>() / n,
+            )
+        };
+        let _ = write!(out, "{:>12}", o.completed());
+        let _ = write!(out, "{:>12}", o.shed());
+        let _ = write!(out, "{:>12.4}", o.pooled_mean_stretch());
+        let _ = write!(out, "{:>12.3}", tput);
+        let _ = writeln!(out, "{:>12.4}", util);
+    }
+    if !result.comparisons.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "== Paired stretch verdicts ==");
+        for cmp in &result.comparisons {
+            let verdict = match &cmp.verdict {
+                Some(OrderingVerdict::Ordered { a_below_b, ci, p }) => {
+                    let winner = if *a_below_b { &cmp.a } else { &cmp.b };
+                    format!(
+                        "Ordered: {winner} lower (ci [{:.4}, {:.4}], p={:.4})",
+                        ci.lo, ci.hi, p
+                    )
+                }
+                Some(OrderingVerdict::Inconclusive { ci, p }) => {
+                    format!("Inconclusive (ci [{:.4}, {:.4}], p={:.4})", ci.lo, ci.hi, p)
+                }
+                None => "Inconclusive (too few paired jobs)".into(),
+            };
+            let _ = writeln!(
+                out,
+                "{} vs {} ({} paired jobs): {}",
+                cmp.a, cmp.b, cmp.paired_jobs, verdict
+            );
+        }
+    }
+    out
+}
+
+/// Renders a campaign as CSV, one row per strategy × replication
+/// (`strategy,replication,arrivals,completed,shed,mean_stretch,`
+/// `throughput,utilization,avg_queue_depth,reschedules`).
+#[must_use]
+pub fn csv_campaign(result: &CampaignResult) -> String {
+    let mut out = String::from(
+        "strategy,replication,arrivals,completed,shed,mean_stretch,\
+         throughput,utilization,avg_queue_depth,reschedules\n",
+    );
+    for o in &result.outcomes {
+        for (rep, r) in o.reports.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{}",
+                o.strategy.name(),
+                rep,
+                r.counters.arrivals,
+                r.counters.completed,
+                r.counters.shed,
+                r.mean_stretch(),
+                r.throughput(),
+                r.utilization,
+                r.avg_queue_depth,
+                r.reschedules
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{AdmissionCounters, JobOutcome};
+
+    fn report() -> OnlineReport {
+        OnlineReport {
+            name: "ES/on-arrival".into(),
+            jobs: vec![JobOutcome {
+                index: 0,
+                arrival: 0.0,
+                completion: 12.5,
+                response: 12.5,
+                dedicated: 10.0,
+                stretch: 1.25,
+                slowdown: 0.8,
+            }],
+            counters: AdmissionCounters {
+                arrivals: 2,
+                admitted: 1,
+                shed: 1,
+                completed: 1,
+                peak_pending: 1,
+                peak_resident: 1,
+            },
+            elapsed: 12.5,
+            avg_queue_depth: 0.2,
+            busy_proc_seconds: 40.0,
+            utilization: 0.1,
+            reschedules: 3,
+        }
+    }
+
+    #[test]
+    fn run_table_mentions_every_headline_number() {
+        let table = table_run(&report());
+        assert!(table.contains("== Online run: ES/on-arrival =="));
+        assert!(table.contains("shed"));
+        assert!(table.contains("1.2500"));
+        assert!(table.contains("80.000")); // 1 job / 12.5 s → 80 jobs/ks
+    }
+
+    #[test]
+    fn job_csv_has_header_plus_one_row_per_job() {
+        let csv = csv_jobs(&report());
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("index,arrival,"));
+        assert!(csv.contains("0,0.000,12.500,12.500,10.000,1.250000,0.800000"));
+    }
+}

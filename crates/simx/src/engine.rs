@@ -2,7 +2,7 @@
 //!
 //! The event loop is built for campaign-scale throughput: a simulation
 //! executes tens of thousands of times per experiment, so the kernel keeps
-//! every per-run structure in a reusable [`EngineScratch`] (popped from a
+//! every per-run structure in a reusable `EngineScratch` (popped from a
 //! pool on the engine, so concurrent callers each get their own), feeds a
 //! sorted *ready set* incrementally instead of rescanning and re-sorting all
 //! jobs at every step, memoizes routes per cluster pair and per transfer,
@@ -26,6 +26,26 @@ pub struct SimOutcome {
     /// Per-job and per-transfer records.
     pub trace: ExecutionTrace,
     /// Completion time of the last job, in seconds.
+    pub makespan: f64,
+}
+
+/// Outcome of a horizon-capped execution ([`Engine::execute_until`]): the
+/// state of the run at the first event instant past the horizon.
+///
+/// Job records present in `trace` are *committed starts* — the engine is
+/// non-preemptive, so a recorded `(start, finish)` pair is exact even when
+/// `finish` lies beyond the horizon. Jobs without a record had not started
+/// when the run was paused.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialOutcome {
+    /// Per-job and per-transfer records (unstarted jobs / undelivered
+    /// transfers are `None`).
+    pub trace: ExecutionTrace,
+    /// Number of jobs whose finish event was processed within the horizon.
+    pub finished_jobs: usize,
+    /// Whether every job finished (the run was not actually cut short).
+    pub complete: bool,
+    /// Latest committed finish time (0 when nothing started).
     pub makespan: f64,
 }
 
@@ -247,6 +267,36 @@ impl<'a> Engine<'a> {
     /// [`SimError::DependencyCycle`] if the simulation deadlocks (which
     /// validation normally rules out).
     pub fn execute(&self, workload: &SimWorkload) -> Result<SimOutcome, SimError> {
+        let outcome = self.execute_until(workload, f64::INFINITY)?;
+        debug_assert!(outcome.complete, "uncapped run must complete");
+        Ok(SimOutcome {
+            trace: outcome.trace,
+            makespan: outcome.makespan,
+        })
+    }
+
+    /// Executes the workload up to a virtual-time `horizon`: the event loop
+    /// pauses (scratch returned to the pool, no arena rebuilt) as soon as
+    /// the next pending event lies strictly beyond the horizon. The prefix
+    /// processed within the horizon is bit-identical to the corresponding
+    /// prefix of an uncapped [`Engine::execute`] run — the online scheduler
+    /// uses this to advance a committed schedule only as far as the next
+    /// arrival can invalidate it. `f64::INFINITY` reproduces `execute`
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::execute`].
+    ///
+    /// # Panics
+    ///
+    /// When `horizon` is NaN.
+    pub fn execute_until(
+        &self,
+        workload: &SimWorkload,
+        horizon: f64,
+    ) -> Result<PartialOutcome, SimError> {
+        assert!(!horizon.is_nan(), "horizon must not be NaN");
         workload.validate(self.platform)?;
         let mut scratch = self
             .scratch
@@ -254,7 +304,7 @@ impl<'a> Engine<'a> {
             .unwrap_or_else(PoisonError::into_inner)
             .pop()
             .unwrap_or_default();
-        let result = self.run(workload, &mut scratch);
+        let result = self.run_until(workload, &mut scratch, horizon);
         self.scratch
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -263,7 +313,12 @@ impl<'a> Engine<'a> {
     }
 
     /// The event loop proper, operating on a (reused) scratch.
-    fn run(&self, workload: &SimWorkload, s: &mut EngineScratch) -> Result<SimOutcome, SimError> {
+    fn run_until(
+        &self,
+        workload: &SimWorkload,
+        s: &mut EngineScratch,
+        horizon: f64,
+    ) -> Result<PartialOutcome, SimError> {
         let n = workload.jobs.len();
         let nt = workload.transfers.len();
         let nc = self.platform.num_clusters();
@@ -323,6 +378,9 @@ impl<'a> Engine<'a> {
                 (None, Some(t)) | (Some(t), None) => t,
                 (Some(tq), Some(tf)) => tq.min(tf),
             };
+            if t_next > horizon {
+                break;
+            }
             now = now.max(t_next);
             // Everything scheduled within `eps` of the chosen instant is
             // processed before dispatching, so that simultaneous events
@@ -447,7 +505,12 @@ impl<'a> Engine<'a> {
             transfers: transfer_records,
         };
         let makespan = trace.makespan();
-        Ok(SimOutcome { trace, makespan })
+        Ok(PartialOutcome {
+            trace,
+            finished_jobs: finished,
+            complete: finished == n,
+            makespan,
+        })
     }
 }
 
@@ -509,6 +572,39 @@ mod tests {
             "low priority starts after high"
         );
         assert!((out.makespan - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn horizon_capped_run_commits_exactly_the_prefix() {
+        let p = platform();
+        let mut w = SimWorkload::new();
+        // Same processors: high runs [0, 3), low runs [3, 5).
+        w.add_job(SimJob::new("low", pset(0, 0, 4), 2.0, 10));
+        w.add_job(SimJob::new("high", pset(0, 0, 4), 3.0, 1));
+        let engine = Engine::new(&p);
+
+        // Horizon 2: only the t = 0 events ran; high started (committed
+        // finish 3 > horizon is exact under non-preemption), low did not.
+        let early = engine.execute_until(&w, 2.0).unwrap();
+        assert_eq!(early.finished_jobs, 0);
+        assert!(!early.complete);
+        assert!(early.trace.job(0).is_none());
+        assert!((early.trace.job(1).unwrap().finish - 3.0).abs() < 1e-9);
+
+        // Horizon 3: high's finish event ran, low's start was committed.
+        let mid = engine.execute_until(&w, 3.0).unwrap();
+        assert_eq!(mid.finished_jobs, 1);
+        assert!(!mid.complete);
+        assert!((mid.trace.job(0).unwrap().start - 3.0).abs() < 1e-9);
+        assert!((mid.makespan - 5.0).abs() < 1e-9);
+
+        // Infinite horizon reproduces execute bit for bit.
+        let full = engine.execute_until(&w, f64::INFINITY).unwrap();
+        let reference = engine.execute(&w).unwrap();
+        assert!(full.complete);
+        assert_eq!(full.finished_jobs, 2);
+        assert_eq!(full.trace, reference.trace);
+        assert_eq!(full.makespan.to_bits(), reference.makespan.to_bits());
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod reference;
 pub mod resources;
 pub mod trace;
 
-pub use engine::{Engine, SimOutcome};
+pub use engine::{Engine, PartialOutcome, SimOutcome};
 pub use error::SimError;
 pub use flow::FlowNetwork;
 pub use job::{JobId, SimJob, SimTransfer, SimWorkload};

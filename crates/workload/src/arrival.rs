@@ -79,9 +79,96 @@ impl ArrivalProcess {
     /// Draws `n` non-decreasing release times, the first at `t = 0`.
     ///
     /// The batch process draws nothing from `rng`, so a batch source is
-    /// byte-identical to the legacy no-arrival generation path.
+    /// byte-identical to the legacy no-arrival generation path. Delegates to
+    /// [`ArrivalProcess::release_iter`]; the draw sequence is bit-identical
+    /// to the historical closed-form implementation.
     pub fn release_times<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        self.release_iter(&mut *rng).take(n).collect()
+    }
+
+    /// An *unbounded* iterator of non-decreasing release times, the first at
+    /// `t = 0` — the streaming form of [`ArrivalProcess::release_times`] for
+    /// callers (the online scheduler) that do not know the job count up
+    /// front. Yielding index `i > 0` performs exactly the draws the vector
+    /// form performs for index `i`, so `release_iter(rng).take(n)` is
+    /// bit-identical to `release_times(n, rng)`.
+    pub fn release_iter<R: Rng>(&self, rng: R) -> ReleaseIter<R> {
+        ReleaseIter {
+            process: *self,
+            rng,
+            index: 0,
+            t: 0.0,
+        }
+    }
+
+    /// The canonical spec string of the process (parsable by the
+    /// [`crate::catalog::WorkloadCatalog`]).
+    #[must_use]
+    pub fn spec(&self) -> String {
         match *self {
+            ArrivalProcess::Batch => "batch".to_string(),
+            ArrivalProcess::Poisson { lambda } => format!("poisson@lambda={lambda}"),
+            ArrivalProcess::Uniform { lo, hi } => format!("uniform@lo={lo},hi={hi}"),
+            ArrivalProcess::Bursty { burst, gap } => format!("bursty@burst={burst},gap={gap}"),
+        }
+    }
+}
+
+/// The unbounded release-time stream returned by
+/// [`ArrivalProcess::release_iter`]. Never returns `None`.
+#[derive(Debug)]
+pub struct ReleaseIter<R> {
+    process: ArrivalProcess,
+    rng: R,
+    index: u64,
+    t: f64,
+}
+
+impl<R: Rng> Iterator for ReleaseIter<R> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        let i = self.index;
+        self.index += 1;
+        let t = match self.process {
+            ArrivalProcess::Batch => 0.0,
+            ArrivalProcess::Poisson { lambda } => {
+                if i > 0 {
+                    let u: f64 = self.rng.gen_range(0.0..1.0);
+                    self.t += -(1.0 - u).ln() / lambda;
+                }
+                self.t
+            }
+            ArrivalProcess::Uniform { lo, hi } => {
+                if i > 0 {
+                    self.t += if hi > lo {
+                        self.rng.gen_range(lo..=hi)
+                    } else {
+                        lo
+                    };
+                }
+                self.t
+            }
+            ArrivalProcess::Bursty { burst, gap } => (i / burst as u64) as f64 * gap,
+        };
+        Some(t)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (usize::MAX, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// The pre-iterator closed-form implementation, frozen verbatim as the
+    /// bit-equality oracle for the delegating vector form.
+    fn frozen_release_times<R: Rng>(process: &ArrivalProcess, n: usize, rng: &mut R) -> Vec<f64> {
+        match *process {
             ArrivalProcess::Batch => vec![0.0; n],
             ArrivalProcess::Poisson { lambda } => {
                 let mut t = 0.0f64;
@@ -112,24 +199,43 @@ impl ArrivalProcess {
         }
     }
 
-    /// The canonical spec string of the process (parsable by the
-    /// [`crate::catalog::WorkloadCatalog`]).
-    #[must_use]
-    pub fn spec(&self) -> String {
-        match *self {
-            ArrivalProcess::Batch => "batch".to_string(),
-            ArrivalProcess::Poisson { lambda } => format!("poisson@lambda={lambda}"),
-            ArrivalProcess::Uniform { lo, hi } => format!("uniform@lo={lo},hi={hi}"),
-            ArrivalProcess::Bursty { burst, gap } => format!("bursty@burst={burst},gap={gap}"),
+    #[test]
+    fn vector_form_is_bit_identical_to_frozen_closed_form() {
+        let processes = [
+            ArrivalProcess::Batch,
+            ArrivalProcess::Poisson { lambda: 0.05 },
+            ArrivalProcess::Uniform { lo: 2.0, hi: 5.0 },
+            ArrivalProcess::Uniform { lo: 3.0, hi: 3.0 },
+            ArrivalProcess::Bursty {
+                burst: 3,
+                gap: 60.0,
+            },
+        ];
+        for process in &processes {
+            for n in [0usize, 1, 2, 7, 100] {
+                let new = process.release_times(n, &mut rng(42));
+                let old = frozen_release_times(process, n, &mut rng(42));
+                let new_bits: Vec<u64> = new.iter().map(|t| t.to_bits()).collect();
+                let old_bits: Vec<u64> = old.iter().map(|t| t.to_bits()).collect();
+                assert_eq!(new_bits, old_bits, "{} n={n}", process.spec());
+            }
         }
     }
-}
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    #[test]
+    fn release_iter_is_unbounded_and_leaves_rng_in_vector_state() {
+        let p = ArrivalProcess::Poisson { lambda: 0.2 };
+        // Pulling n items from the iterator advances the RNG exactly as the
+        // vector form does, so the two can be interleaved with other draws.
+        let mut r1 = rng(7);
+        let _ = p.release_times(10, &mut r1);
+        let mut r2 = rng(7);
+        let _: Vec<f64> = p.release_iter(&mut r2).take(10).collect();
+        assert_eq!(r1.gen_range(0..u32::MAX), r2.gen_range(0..u32::MAX));
+        // The iterator never ends (spot-check well past typical batch sizes).
+        let mut it = ArrivalProcess::Bursty { burst: 2, gap: 5.0 }.release_iter(rng(0));
+        assert_eq!(it.nth(9_999), Some(24_995.0));
+    }
 
     fn rng(seed: u64) -> ChaCha8Rng {
         ChaCha8Rng::seed_from_u64(seed)

@@ -19,6 +19,9 @@
 //!   bursty) producing deterministic per-application release times;
 //! * [`source`] — the [`WorkloadSource`] trait and the built-in generator
 //!   sources;
+//! * [`stream`] — lazy unbounded [`stream::JobStream`]s splitting arrival
+//!   timing from on-demand graph materialisation, the bounded-memory feed
+//!   of the online scheduler;
 //! * [`catalog`] — the [`WorkloadCatalog`] resolving spec strings such as
 //!   `daggen@n=50,width=0.5` or `poisson@lambda=0.1` into sources;
 //! * [`trace`] — JSON export/import of complete workloads (graphs, costs,
@@ -74,6 +77,7 @@ pub mod catalog;
 pub mod daggen;
 pub mod json;
 pub mod source;
+pub mod stream;
 pub mod trace;
 
 pub use arrival::ArrivalProcess;
@@ -81,4 +85,5 @@ pub use calibration::{compare_paper_widths, width_report, WidthComparison, Width
 pub use catalog::WorkloadCatalog;
 pub use daggen::{daggen_ptg, DaggenConfig};
 pub use source::{AppGenerator, GeneratorSource, WorkloadRequest, WorkloadSource};
+pub use stream::{Arrival, GeneratorStream, JobStream, StreamRequest};
 pub use trace::{Trace, TraceEntry, TraceSource};

@@ -9,6 +9,7 @@
 
 use crate::arrival::ArrivalProcess;
 use crate::daggen::{daggen_ptg, DaggenConfig};
+use crate::stream::{GeneratorStream, JobStream, StreamRequest};
 use mcsched_core::{SchedError, Workload};
 use mcsched_ptg::gen::{fft_ptg, strassen_ptg, PtgClass};
 use mcsched_ptg::Ptg;
@@ -66,6 +67,23 @@ pub trait WorkloadSource: std::fmt::Debug + Send + Sync {
     /// [`SchedError`] when the source cannot satisfy the request (invalid
     /// configuration, or a trace that does not contain the request).
     fn generate(&self, request: &WorkloadRequest) -> Result<Workload, SchedError>;
+
+    /// Opens an unbounded lazy [`JobStream`] over the source — the online
+    /// scheduler's entry point (see [`crate::stream`] for the determinism
+    /// contract). Sources that can only replay finite materialised data
+    /// (traces) keep the default refusal.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidConfig`] when the source does not support
+    /// streaming or its parameters fail validation.
+    fn stream(&self, request: &StreamRequest) -> Result<Box<dyn JobStream>, SchedError> {
+        let _ = request;
+        Err(SchedError::InvalidConfig(format!(
+            "workload source `{}` does not support streaming",
+            self.spec()
+        )))
+    }
 }
 
 /// One application-graph generator usable inside a [`GeneratorSource`].
@@ -275,6 +293,10 @@ impl WorkloadSource for GeneratorSource {
             .collect();
         let release_times = self.arrival.release_times(request.count, &mut rng);
         Ok(Workload::released(ptgs, release_times)?.with_label(request.label.clone()))
+    }
+
+    fn stream(&self, request: &StreamRequest) -> Result<Box<dyn JobStream>, SchedError> {
+        Ok(Box::new(GeneratorStream::new(self, request)?))
     }
 }
 

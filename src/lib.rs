@@ -27,6 +27,9 @@
 //!   work-stealing pool (deterministic-index-order fan-outs, nesting,
 //!   panic propagation) and the content-addressed cell cache behind
 //!   `--cache-dir`/resume;
+//! * [`online`] — the event-driven online scheduling service: streamed
+//!   arrivals, admission control with backpressure, and open-system
+//!   metrics (response, stretch, shed rate) over the same pipeline;
 //! * [`exp`] — the experiment harness regenerating every table and figure of
 //!   the paper's evaluation.
 //!
@@ -65,6 +68,7 @@
 
 pub use mcsched_core as core;
 pub use mcsched_exp as exp;
+pub use mcsched_online as online;
 pub use mcsched_platform as platform;
 pub use mcsched_ptg as ptg;
 pub use mcsched_runtime as runtime;
@@ -82,6 +86,9 @@ pub mod prelude {
         SchedulerConfig, Workload,
     };
     pub use mcsched_exp::{CampaignConfig, MuSweepConfig};
+    pub use mcsched_online::{
+        AdmissionPolicy, OnlineConfig, OnlineReport, OnlineScheduler, ReschedulePolicy,
+    };
     pub use mcsched_platform::{
         grid5000, Cluster, NetworkTopology, Platform, PlatformBuilder, ProcSet,
     };
