@@ -138,6 +138,7 @@ fn main() {
         ("seed".into(), Json::num_u64(opts.seed)),
         ("smoke".into(), Json::Bool(opts.smoke)),
         ("platform".into(), Json::Str("lille".into())),
+        ("host".into(), mcsched_bench::host::host_json()),
         ("points".into(), Json::Arr(points)),
     ]);
     let mut out = doc.render();

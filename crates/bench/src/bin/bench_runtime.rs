@@ -279,10 +279,8 @@ fn main() {
     json.push_str(&format!("  \"combinations\": {},\n", shape.combinations));
     json.push_str(&format!("  \"replications\": {},\n", shape.replications));
     json.push_str(&format!(
-        "  \"available_parallelism\": {},\n",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        "  \"host\": {},\n",
+        mcsched_bench::host::host_json_string()
     ));
     json.push_str("  \"results\": [\n");
     for (i, m) in measurements.iter().enumerate() {

@@ -266,6 +266,10 @@ fn main() {
     json.push_str(&format!("  \"iterations\": {},\n", opts.iterations));
     json.push_str(&format!("  \"batch\": {},\n", opts.batch));
     json.push_str(&format!("  \"platform\": \"{}\",\n", platform.name()));
+    json.push_str(&format!(
+        "  \"host\": {},\n",
+        mcsched_bench::host::host_json_string()
+    ));
     json.push_str("  \"results\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         json.push_str(&format!(

@@ -79,6 +79,7 @@ fn run(
     // Safety bound: each task can gain at most `max_per_task - 1` processors,
     // so the loop terminates after at most n * max_per_task iterations.
     let max_iters = n * max_per_task + 1;
+    let mut grants = 0u64;
     // Critical path under the current allocation (communication costs are
     // ignored during allocation, as in the paper). The entry task is carried
     // across iterations: after a successful grant the inner loop already
@@ -138,11 +139,13 @@ fn run(
                 scratch.set_procs(t, alloc.procs_of(t));
                 frozen[t] = true;
             } else {
+                grants += 1;
                 entry = cp_entry;
                 continue 'outer;
             }
         }
     }
+    mcsched_obs::histogram!("alloc.grants").record(grants);
     alloc
 }
 

@@ -261,7 +261,7 @@ impl<'a> ScheduleContext<'a> {
     pub fn betas_for(&self, policy: &dyn ConstraintPolicy) -> Arc<Vec<f64>> {
         let mut cache = self.betas.lock();
         Arc::clone(cache.entry(policy.cache_key()).or_insert_with(|| {
-            let _p = crate::profile::scope(crate::profile::Phase::BetaAlloc);
+            let _p = mcsched_obs::phase::scope("beta+alloc");
             Arc::new(policy.betas(self.ptgs, self.reference()))
         }))
     }
@@ -279,7 +279,7 @@ impl<'a> ScheduleContext<'a> {
             cache
                 .entry((constraint.cache_key(), allocation.cache_key()))
                 .or_insert_with(|| {
-                    let _p = crate::profile::scope(crate::profile::Phase::BetaAlloc);
+                    let _p = mcsched_obs::phase::scope("beta+alloc");
                     Arc::new(
                         self.ptgs
                             .iter()
@@ -319,7 +319,7 @@ impl<'a> ScheduleContext<'a> {
     /// [`SchedError::Sim`], indicating a scheduler bug).
     pub fn execute(&self, workload: &SimWorkload) -> Result<SimOutcome, SchedError> {
         self.concurrent_sims.fetch_add(1, Ordering::Relaxed);
-        let _p = crate::profile::scope(crate::profile::Phase::SimxExecute);
+        let _p = mcsched_obs::phase::scope("simx-execute");
         self.engine().execute(workload).map_err(SchedError::from)
     }
 
@@ -331,7 +331,7 @@ impl<'a> ScheduleContext<'a> {
         allocations: &[RefAllocation],
         release_times: &[f64],
     ) -> Schedule {
-        let _p = crate::profile::scope(crate::profile::Phase::Mapping);
+        let _p = mcsched_obs::phase::scope("mapping");
         mapping.map(&MappingRequest {
             reference: self.reference(),
             network: self.engine().network(),
@@ -437,11 +437,11 @@ impl<'a> ScheduleContext<'a> {
     fn simulate_dedicated(&self, app: usize) -> Result<f64, SchedError> {
         let ptg = &self.ptgs[app];
         let alloc = {
-            let _p = crate::profile::scope(crate::profile::Phase::BetaAlloc);
+            let _p = mcsched_obs::phase::scope("beta+alloc");
             self.base_allocation.allocate(self.reference(), ptg, 1.0)
         };
         let schedule = {
-            let _p = crate::profile::scope(crate::profile::Phase::Mapping);
+            let _p = mcsched_obs::phase::scope("mapping");
             self.base_mapping.map(&MappingRequest {
                 reference: self.reference(),
                 network: self.engine().network(),
@@ -452,7 +452,7 @@ impl<'a> ScheduleContext<'a> {
             })
         };
         self.dedicated_sims.fetch_add(1, Ordering::Relaxed);
-        let _p = crate::profile::scope(crate::profile::Phase::SimxExecute);
+        let _p = mcsched_obs::phase::scope("simx-execute");
         let outcome = self.engine().execute(&schedule.workload)?;
         Ok(outcome.makespan)
     }

@@ -1,20 +1,17 @@
-//! Lightweight per-phase wall-clock profiling.
+//! Lightweight per-phase wall-clock profiling — **deprecated shim**.
 //!
-//! Set `MCSCHED_PROFILE=1` (or pass `--profile` to the fig binaries, which
-//! sets the variable) to accumulate wall time per pipeline phase — workload
-//! generation, β + allocation, mapping, simulation, statistics, and the
-//! online event loop — and print a
-//! summary to stderr at the end of the run. When the variable is unset the
-//! instrumentation is a branch on a cached boolean, so the hot path pays
-//! nothing measurable.
+//! The profiling engine now lives in [`mcsched_obs::phase`]: phases are
+//! keyed by name instead of a closed enum, scopes double as obs tracing
+//! spans, and the report prints through the quiet-able stderr sink. This
+//! module forwards to it so existing callers keep working and the
+//! `MCSCHED_PROFILE=1` report stays byte-compatible, but new code should
+//! call `mcsched_obs::phase::scope("beta+alloc")` (etc.) directly.
 //!
-//! Counters are process-global atomics: the fan-out threads of a campaign
-//! all add into the same table, so the report shows *aggregate* busy time
-//! per phase (which can exceed wall time when threads overlap).
+//! Counters remain process-global: the fan-out threads of a campaign all
+//! add into the same table, so the report shows *aggregate* busy time per
+//! phase (which can exceed wall time when threads overlap).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::OnceLock;
-use std::time::Instant;
+use mcsched_obs::phase;
 
 /// The instrumented pipeline phases, in report order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,9 +33,16 @@ pub enum Phase {
     OnlineLoop = 5,
 }
 
-const NUM_PHASES: usize = 6;
+impl Phase {
+    /// The obs phase/span name this variant reports under.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        PHASE_NAMES[self as usize]
+    }
+}
 
-const PHASE_NAMES: [&str; NUM_PHASES] = [
+/// The phase names, in report order — the order [`report`] prints.
+pub const PHASE_NAMES: [&str; 6] = [
     "workload-gen",
     "beta+alloc",
     "mapping",
@@ -47,118 +51,48 @@ const PHASE_NAMES: [&str; NUM_PHASES] = [
     "online-loop",
 ];
 
-struct Table {
-    nanos: [AtomicU64; NUM_PHASES],
-    calls: [AtomicU64; NUM_PHASES],
-}
-
-static ENABLED: AtomicBool = AtomicBool::new(false);
-static INIT: OnceLock<()> = OnceLock::new();
-
-fn table() -> &'static Table {
-    static TABLE: OnceLock<Table> = OnceLock::new();
-    TABLE.get_or_init(|| Table {
-        nanos: [const { AtomicU64::new(0) }; NUM_PHASES],
-        calls: [const { AtomicU64::new(0) }; NUM_PHASES],
-    })
-}
-
 /// Whether profiling is enabled (`MCSCHED_PROFILE` set to anything but
 /// `0`/empty, or [`enable`] called). The environment is read once.
 #[must_use]
 pub fn enabled() -> bool {
-    INIT.get_or_init(|| {
-        if matches!(std::env::var("MCSCHED_PROFILE"), Ok(v) if !v.is_empty() && v != "0") {
-            ENABLED.store(true, Ordering::Relaxed);
-        }
-    });
-    ENABLED.load(Ordering::Relaxed)
+    phase::profiling_enabled()
 }
 
 /// Turns profiling on for the current process (what `--profile` does).
 pub fn enable() {
-    let _ = enabled(); // force env init so a later call cannot overwrite
-    ENABLED.store(true, Ordering::Relaxed);
+    phase::enable_profiling();
 }
 
 /// Times one phase scope: accumulates the elapsed wall time into `phase`
-/// when the guard drops. Returns `None` (no timing overhead) when profiling
-/// is disabled.
+/// when the guard drops. Returns `None` (no timing overhead) when both
+/// profiling and tracing are disabled.
+#[deprecated(note = "use mcsched_obs::phase::scope(name) with the phase's string name")]
 #[must_use]
 pub fn scope(phase: Phase) -> Option<PhaseGuard> {
-    if enabled() {
-        Some(PhaseGuard {
-            phase,
-            start: Instant::now(),
-        })
-    } else {
-        None
-    }
+    phase::scope(phase.name()).map(PhaseGuard)
 }
 
 /// Guard returned by [`scope`]; adds the elapsed time on drop.
 #[derive(Debug)]
-pub struct PhaseGuard {
-    phase: Phase,
-    start: Instant,
-}
-
-impl Drop for PhaseGuard {
-    fn drop(&mut self) {
-        let t = table();
-        let idx = self.phase as usize;
-        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        t.nanos[idx].fetch_add(nanos, Ordering::Relaxed);
-        t.calls[idx].fetch_add(1, Ordering::Relaxed);
-    }
-}
+pub struct PhaseGuard(#[allow(dead_code)] phase::PhaseScope); // held for Drop
 
 /// Accumulated (seconds, calls) for one phase.
+#[deprecated(note = "use mcsched_obs::phase::totals(name)")]
 #[must_use]
 pub fn phase_totals(phase: Phase) -> (f64, u64) {
-    let t = table();
-    let idx = phase as usize;
-    (
-        t.nanos[idx].load(Ordering::Relaxed) as f64 / 1e9,
-        t.calls[idx].load(Ordering::Relaxed),
-    )
+    mcsched_obs::phase::totals(phase.name())
 }
 
-/// Prints the per-phase totals to stderr (no-op when profiling is off or
-/// nothing was recorded).
+/// Prints the per-phase totals to stderr via the obs sink (no-op when
+/// profiling is off or nothing was recorded; silenced by `--quiet`).
 pub fn report() {
-    if !enabled() {
-        return;
-    }
-    let t = table();
-    let total: u64 = t.nanos.iter().map(|n| n.load(Ordering::Relaxed)).sum();
-    if total == 0 {
-        return;
-    }
-    eprintln!("profile: phase timings (aggregate across threads)");
-    for (i, name) in PHASE_NAMES.iter().enumerate() {
-        let nanos = t.nanos[i].load(Ordering::Relaxed);
-        let calls = t.calls[i].load(Ordering::Relaxed);
-        if calls == 0 {
-            continue;
-        }
-        eprintln!(
-            "profile:   {:<13} {:>10.3} ms  {:>9} calls  {:>5.1}%",
-            name,
-            nanos as f64 / 1e6,
-            calls,
-            100.0 * nanos as f64 / total as f64
-        );
-    }
+    phase::report(&PHASE_NAMES);
 }
 
-/// Resets every counter (used by tests).
+/// Resets every counter (used by tests). Clears *all* obs phases, not
+/// only the six named here.
 pub fn reset() {
-    let t = table();
-    for i in 0..NUM_PHASES {
-        t.nanos[i].store(0, Ordering::Relaxed);
-        t.calls[i].store(0, Ordering::Relaxed);
-    }
+    phase::reset();
 }
 
 #[cfg(test)]
@@ -166,7 +100,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn scope_accumulates_when_enabled() {
+    #[allow(deprecated)]
+    fn shim_forwards_to_obs_phases() {
         enable();
         reset();
         {
@@ -176,6 +111,18 @@ mod tests {
         let (secs, calls) = phase_totals(Phase::SimxExecute);
         assert_eq!(calls, 1);
         assert!(secs >= 0.0);
+        // The shim and the obs engine see the same table.
+        assert_eq!(mcsched_obs::phase::totals("simx-execute").1, 1);
         reset();
+    }
+
+    #[test]
+    fn phase_names_line_up() {
+        assert_eq!(Phase::WorkloadGen.name(), "workload-gen");
+        assert_eq!(Phase::BetaAlloc.name(), "beta+alloc");
+        assert_eq!(Phase::Mapping.name(), "mapping");
+        assert_eq!(Phase::SimxExecute.name(), "simx-execute");
+        assert_eq!(Phase::Stats.name(), "stats");
+        assert_eq!(Phase::OnlineLoop.name(), "online-loop");
     }
 }

@@ -18,9 +18,10 @@ fn main() {
         if packing {
             opts.maybe_export_campaign_trace(&config);
         }
-        eprintln!(
+        mcsched_obs::note!(
             "Ablation (packing = {packing}): {} combinations x 4 platforms, PTG counts {:?}",
-            config.combinations, config.ptg_counts
+            config.combinations,
+            config.ptg_counts
         );
         let result = CliOptions::or_exit(mcsched_exp::run_campaign(&config));
         println!("#### allocation packing: {packing} ####");

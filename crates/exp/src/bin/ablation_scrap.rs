@@ -21,7 +21,7 @@ fn main() {
         if procedure == AllocationProcedure::Scrap {
             opts.maybe_export_campaign_trace(&config);
         }
-        eprintln!(
+        mcsched_obs::note!(
             "Ablation ({}): {} combinations x 4 platforms, PTG counts {:?}",
             procedure.label(),
             config.combinations,

@@ -26,6 +26,7 @@ fn chain(name: &str, gflops: &[f64]) -> Ptg {
 }
 
 fn main() {
+    let opts = mcsched_exp::CliOptions::from_env();
     // Two identical 1 GFlop/s processors, as in the figure.
     let platform = PlatformBuilder::new("figure1")
         .cluster("c", 2, 1.0)
@@ -87,4 +88,5 @@ fn main() {
         "The small PTG starts immediately with the ready-task ordering, while the global\n\
          ordering postpones it behind the first task of the big PTG (Figure 1 of the paper)."
     );
+    opts.finish();
 }

@@ -15,10 +15,13 @@ fn main() {
         MuSweepConfig::quick()
     };
     let config = CliOptions::or_exit(opts.configure_mu_sweep(base));
-    eprintln!(
+    mcsched_obs::note!(
         "Figure 2: WPS-work mu sweep, {} combinations x 4 platforms x {} replications, \
          PTG counts {:?}, mu {:?}",
-        config.combinations, config.replications, config.ptg_counts, config.mu_values
+        config.combinations,
+        config.replications,
+        config.ptg_counts,
+        config.mu_values
     );
     opts.maybe_export_mu_sweep_trace(&config);
     let points = CliOptions::or_exit(mcsched_exp::run_mu_sweep(&config));

@@ -13,7 +13,7 @@ fn main() {
         CampaignConfig::quick(PtgClass::Fft)
     };
     let config = CliOptions::or_exit(opts.configure_campaign(base));
-    eprintln!(
+    mcsched_obs::note!(
         "Figure 4: FFT PTGs, {} combinations x 4 platforms x {} replications, \
          PTG counts {:?}, {} strategies",
         config.combinations,

@@ -15,7 +15,7 @@ fn main() {
         CampaignConfig::quick(PtgClass::Strassen)
     };
     let config = CliOptions::or_exit(opts.configure_campaign(base));
-    eprintln!(
+    mcsched_obs::note!(
         "Figure 5: Strassen PTGs, {} combinations x 4 platforms x {} replications, \
          PTG counts {:?}, {} strategies",
         config.combinations,

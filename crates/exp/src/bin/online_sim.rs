@@ -21,13 +21,47 @@
 //! * `--strategies a,b,c` — paper strategy names (`s,es,ps-cp,wps-width,...`);
 //! * `--replications N` — independent streams per strategy (paired verdicts
 //!   are printed when at least two strategies run);
-//! * `--threads N` / `--seed S` / `--csv PATH` / `--profile`.
+//! * `--threads N` / `--seed S` / `--csv PATH` / `--profile`;
+//! * `--obs-trace PATH` / `--obs-journal PATH` / `--obs-metrics PATH` /
+//!   `--quiet` — observability exports, as in the figure binaries
+//!   (environment equivalents `MCSCHED_OBS_*` / `MCSCHED_QUIET`);
+//! * `--obs-series PATH` (env `MCSCHED_OBS_SERIES`) — turn on the per-epoch
+//!   virtual-time recorder and write one CSV row per rescheduling epoch of
+//!   every (strategy, replication) run:
+//!   `strategy,replication,time,queue_depth,resident,utilization,shed_rate`.
+//!   Virtual-time quantities only, so the file is bit-exact across reruns
+//!   at any `--threads` count.
 
 use mcsched_core::ConstraintStrategy;
 use mcsched_online::{run_campaign, AdmissionPolicy, CampaignSpec, ReschedulePolicy};
 use mcsched_platform::{grid5000, Platform};
 use mcsched_stats::BootstrapConfig;
 use mcsched_workload::WorkloadCatalog;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Renders the per-epoch series of every campaign run as one flat CSV
+/// (column names shared with [`mcsched_online::SERIES_COLUMNS`], prefixed
+/// by the run identity).
+fn series_csv(result: &mcsched_online::CampaignResult) -> String {
+    let mut out = String::from("strategy,replication");
+    for column in mcsched_online::SERIES_COLUMNS {
+        let _ = write!(out, ",{column}");
+    }
+    out.push('\n');
+    for outcome in &result.outcomes {
+        for (rep, report) in outcome.reports.iter().enumerate() {
+            for row in report.series.rows() {
+                let _ = write!(out, "{},{rep}", outcome.strategy.name());
+                for v in row {
+                    let _ = write!(out, ",{v}");
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
 
 fn fail(message: &str) -> ! {
     eprintln!("error: {message}");
@@ -81,6 +115,8 @@ fn main() {
     spec.replications = 1;
     spec.base.max_jobs = 200;
     let mut csv: Option<String> = None;
+    let mut obs = mcsched_obs::ObsOptions::default();
+    let mut series: Option<PathBuf> = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -107,9 +143,23 @@ fn main() {
             "--seed" => spec.base.seed = numeric(&arg, &value(&mut it, &arg)),
             "--csv" => csv = Some(value(&mut it, &arg)),
             "--profile" => mcsched_core::profile::enable(),
+            "--quiet" => obs.quiet = true,
+            "--obs-trace" => obs.trace = Some(PathBuf::from(value(&mut it, &arg))),
+            "--obs-journal" => obs.journal = Some(PathBuf::from(value(&mut it, &arg))),
+            "--obs-metrics" => obs.metrics = Some(PathBuf::from(value(&mut it, &arg))),
+            "--obs-series" => series = Some(PathBuf::from(value(&mut it, &arg))),
             other => eprintln!("warning: ignoring unknown argument `{other}`"),
         }
     }
+    obs = obs.or(mcsched_obs::ObsOptions::from_env());
+    obs.activate();
+    mcsched_obs::set_thread_label("main");
+    if series.is_none() {
+        series = std::env::var_os("MCSCHED_OBS_SERIES")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from);
+    }
+    spec.base.record_series = series.is_some();
     spec.strategies = strategies;
     spec.bootstrap = BootstrapConfig::seeded(spec.base.seed ^ 0xB007);
 
@@ -117,7 +167,7 @@ fn main() {
     let source = WorkloadCatalog::builtin()
         .resolve(&workload)
         .unwrap_or_else(|e| fail(&e.to_string()));
-    eprintln!(
+    mcsched_obs::note!(
         "online_sim: {} on {site}, {} jobs / {} s window, queue {} / in-flight {}, \
          {} x {} replications ({}, {})",
         workload,
@@ -138,7 +188,17 @@ fn main() {
         if let Err(e) = std::fs::write(&path, text) {
             fail(&format!("cannot write CSV to `{path}`: {e}"));
         }
-        eprintln!("wrote {path}");
+        mcsched_obs::note!("wrote {path}");
+    }
+    if let Some(path) = series {
+        if let Err(e) = std::fs::write(&path, series_csv(&result)) {
+            fail(&format!(
+                "cannot write series CSV to `{}`: {e}",
+                path.display()
+            ));
+        }
+        mcsched_obs::note!("obs: time series written to {}", path.display());
     }
     mcsched_core::profile::report();
+    obs.finish();
 }

@@ -138,11 +138,12 @@ pub fn flush_cell_cache(cache: &CellCache) {
     }
 }
 
-/// Prints the end-of-run cache summary on stderr (never stdout: the figure
-/// tables stay byte-identical with and without a cache). CI's cache-warm
-/// smoke step greps for this line.
+/// Prints the end-of-run cache summary through the obs sink on stderr
+/// (never stdout: the figure tables stay byte-identical with and without a
+/// cache; `--quiet` silences it). CI's cache-warm smoke step greps for
+/// this line.
 pub fn report_cell_cache(cache: &CellCache) {
-    eprintln!("cell cache: {}", cache.summary());
+    mcsched_obs::note!("cell cache: {}", cache.summary());
 }
 
 /// Evaluates every policy on the scenario through the paired
@@ -157,6 +158,11 @@ pub fn evaluate_policies_cached(
     source_spec: &str,
     pipeline_key: &str,
 ) -> Vec<ScenarioOutcome> {
+    let _span = mcsched_obs::span!(
+        "cell-eval",
+        "scenario" = scenario.name.clone(),
+        "policies" = policies.len()
+    );
     let Some(cache) = cache else {
         return scenario.evaluate_policies(base, policies);
     };
@@ -276,6 +282,7 @@ impl CellJob {
         replication: usize,
         num_ptgs: usize,
     ) -> Result<DataPointOutcomes, SchedError> {
+        let _span = mcsched_obs::span!("data-point", "ptgs" = num_ptgs, "rep" = replication);
         let seed = replication_seed(self.seed, replication);
         let scenarios = Arc::new(generate_scenarios_with(
             self.source.as_ref(),
@@ -319,6 +326,11 @@ impl CellJob {
         self: &Arc<Self>,
         ptg_counts: &[usize],
     ) -> Result<Vec<(usize, DataPointOutcomes)>, SchedError> {
+        let _span = mcsched_obs::span!(
+            "campaign-grid",
+            "replications" = self.replications,
+            "ptg-counts" = ptg_counts.len()
+        );
         let grid: Vec<(usize, usize)> = (0..self.replications)
             .flat_map(|r| ptg_counts.iter().map(move |&n| (r, n)))
             .collect();

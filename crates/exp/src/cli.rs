@@ -40,7 +40,23 @@
 //! * `--progress` — narrate one stderr line per completed data point;
 //! * `--profile` — print per-phase wall-clock timings (workload generation,
 //!   β + allocation, mapping, simulation, statistics) to stderr at the end
-//!   of the run (equivalent to setting `MCSCHED_PROFILE=1`).
+//!   of the run (equivalent to setting `MCSCHED_PROFILE=1`);
+//! * `--obs-trace PATH` — enable structured tracing and write the span
+//!   timeline as Chrome-trace JSON (loadable in Perfetto /
+//!   `chrome://tracing`) at the end of the run;
+//! * `--obs-journal PATH` — enable tracing and write the deterministic
+//!   JSONL event journal (no timestamps or thread ids; byte-identical
+//!   across reruns of one configuration);
+//! * `--obs-metrics PATH` — write the metrics-registry snapshot (counters,
+//!   gauges, histograms) as an aligned table, or CSV when `PATH` ends in
+//!   `.csv`;
+//! * `--quiet` — silence informational stderr lines (progress, cache
+//!   summaries, profile output); genuine warnings still print.
+//!
+//! Each `--obs-*`/`--quiet` flag has an environment equivalent
+//! (`MCSCHED_OBS_TRACE`, `MCSCHED_OBS_JOURNAL`, `MCSCHED_OBS_METRICS`,
+//! `MCSCHED_QUIET`; flags win), and `MCSCHED_OBS=1` enables tracing with
+//! no export — see [`mcsched_obs::ObsOptions`].
 //!
 //! Malformed values of numeric flags (`--threads abc`, `--ci 1.5`, a
 //! missing value) are hard errors: the binaries print the problem and exit
@@ -94,6 +110,9 @@ pub struct CliOptions {
     pub progress: bool,
     /// Print per-phase wall-clock timings on stderr (`--profile`).
     pub profile: bool,
+    /// Observability exports and sink verbosity (`--obs-trace`,
+    /// `--obs-journal`, `--obs-metrics`, `--quiet`).
+    pub obs: mcsched_obs::ObsOptions,
 }
 
 /// Takes the value of a flag, erroring out when the argument list ends
@@ -194,6 +213,16 @@ impl CliOptions {
                 "--cache-dir" => {
                     opts.cache_dir = Some(PathBuf::from(value(&mut it, &arg)?));
                 }
+                "--quiet" => opts.obs.quiet = true,
+                "--obs-trace" => {
+                    opts.obs.trace = Some(PathBuf::from(value(&mut it, &arg)?));
+                }
+                "--obs-journal" => {
+                    opts.obs.journal = Some(PathBuf::from(value(&mut it, &arg)?));
+                }
+                "--obs-metrics" => {
+                    opts.obs.metrics = Some(PathBuf::from(value(&mut it, &arg)?));
+                }
                 other => eprintln!("warning: ignoring unknown argument `{other}`"),
             }
         }
@@ -201,23 +230,32 @@ impl CliOptions {
     }
 
     /// Parses the current process arguments, exiting with status 2 on a
-    /// malformed flag value.
+    /// malformed flag value. Also activates the run's instrumentation:
+    /// `--profile` enables phase timing, and the merged `--obs-*`/
+    /// environment options enable tracing and configure the stderr sink
+    /// (flags take precedence over `MCSCHED_OBS_*` variables).
     pub fn from_env() -> Self {
-        let opts = Self::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+        let mut opts = Self::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(2);
         });
         if opts.profile {
             mcsched_core::profile::enable();
         }
+        opts.obs = opts.obs.or(mcsched_obs::ObsOptions::from_env());
+        opts.obs.activate();
+        mcsched_obs::set_thread_label("main");
         opts
     }
 
     /// Ends the run's instrumentation: prints the per-phase profile to
-    /// stderr when `--profile` (or `MCSCHED_PROFILE=1`) is active. Binaries
-    /// call this as their last statement; it is a no-op otherwise.
+    /// stderr when `--profile` (or `MCSCHED_PROFILE=1`) is active, then
+    /// drains the trace buffers and writes every requested `--obs-*`
+    /// artefact. Binaries call this as their last statement; it is a no-op
+    /// otherwise.
     pub fn finish(&self) {
         mcsched_core::profile::report();
+        self.obs.finish();
     }
 
     /// Resolves the `--allocation` override into the built-in procedure
@@ -605,6 +643,28 @@ mod tests {
         assert_eq!(plain.cache_dir, None);
         assert!(plain.resume);
         assert!(!plain.progress);
+    }
+
+    #[test]
+    fn obs_flags_parse_into_the_options() {
+        let o = parse(&[
+            "--obs-trace",
+            "/tmp/t.json",
+            "--obs-journal",
+            "/tmp/j.jsonl",
+            "--obs-metrics",
+            "/tmp/m.csv",
+            "--quiet",
+        ]);
+        assert_eq!(o.obs.trace, Some(PathBuf::from("/tmp/t.json")));
+        assert_eq!(o.obs.journal, Some(PathBuf::from("/tmp/j.jsonl")));
+        assert_eq!(o.obs.metrics, Some(PathBuf::from("/tmp/m.csv")));
+        assert!(o.obs.quiet);
+        assert!(o.obs.wants_export());
+        assert!(parse_err(&["--obs-trace"]).contains("expects a value"));
+        let plain = parse(&[]);
+        assert!(!plain.obs.wants_export());
+        assert!(!plain.obs.quiet);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! # mcsched-obs
+//!
+//! Observability for the whole mcsched pipeline: structured tracing,
+//! a process-wide metrics registry, and exporters that turn both into
+//! artefacts you can open, diff and plot. Everything the scheduler, the
+//! runtime and the online service previously reported through ad-hoc
+//! `eprintln!` lines and a flat profile table now flows through this crate.
+//!
+//! Four pillars:
+//!
+//! * [`mod@span`] — span-based structured tracing: [`span!`] opens a named,
+//!   field-carrying span guard on the current thread; begin/end events land
+//!   in a per-thread buffer (contended only when a drain swaps it out) and
+//!   nest hierarchically in thread order. The whole layer is **off by
+//!   default**: the disabled cost of a `span!` call site is one relaxed
+//!   atomic load and a branch (the runtime subscriber check), and building
+//!   with the `off` feature compiles even that away, so golden figure
+//!   bytes can never depend on whether tracing is compiled in;
+//! * [`metrics`] — a registry of named [`metrics::Counter`]s,
+//!   [`metrics::Gauge`]s and log-scale [`metrics::Histogram`]s
+//!   (steal counts, cache hits, events per simulation, grants per
+//!   allocation, …), registered once via [`counter!`]/[`gauge!`]/
+//!   [`histogram!`] and snapshotted atomically into a sorted table or CSV;
+//! * [`export`] — Chrome-trace/Perfetto JSON for span timelines, a
+//!   deterministically ordered JSONL event journal, and the metrics
+//!   summary, written by [`ObsOptions::finish`] behind the binaries'
+//!   `--obs-trace` / `--obs-journal` / `--obs-metrics` flags (env
+//!   equivalents `MCSCHED_OBS_TRACE` / `MCSCHED_OBS_JOURNAL` /
+//!   `MCSCHED_OBS_METRICS`, plus `MCSCHED_OBS=1` to enable tracing without
+//!   exporting);
+//! * [`phase`] + [`series`] + [`sink`] — the per-phase wall-clock profile
+//!   (`MCSCHED_PROFILE=1`, byte-compatible with the old
+//!   `mcsched_core::profile` output), a virtual-time [`series::TimeSeries`]
+//!   recorder for the online service, and the one stderr [`note!`] sink all
+//!   informational lines go through (silenced wholesale by `--quiet` /
+//!   `MCSCHED_QUIET=1`).
+//!
+//! ## Determinism contract
+//!
+//! Tracing observes; it never participates. No RNG is touched, no output
+//! stream is shared with the figure tables, and every recorded field is a
+//! pure function of the work item — so figures are byte-identical with
+//! tracing fully enabled or disabled at any thread count, and the JSONL
+//! journal (which deliberately carries no wall-clock times or thread ids)
+//! is byte-identical across runs of the same configuration even under work
+//! stealing. Wall-clock attribution lives only in the Chrome trace, which
+//! is inherently run-specific.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod export;
+pub mod metrics;
+pub mod phase;
+pub mod series;
+pub mod sink;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot};
+pub use series::TimeSeries;
+pub use span::{
+    disable_tracing, enable_tracing, set_thread_label, tracing_enabled, Event, EventKind,
+    FieldValue, SpanGuard, ThreadEvents, TraceDump,
+};
+
+use std::path::PathBuf;
+
+/// The export/enablement configuration of one process run: where (if
+/// anywhere) to write the Chrome trace, the JSONL journal and the metrics
+/// summary, and whether the stderr sink is quiet. Binaries parse their
+/// `--obs-*`/`--quiet` flags into this and fall back to the environment
+/// ([`ObsOptions::from_env`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsOptions {
+    /// Chrome-trace (Perfetto-loadable) JSON output path (`--obs-trace`).
+    pub trace: Option<PathBuf>,
+    /// Deterministic JSONL event-journal output path (`--obs-journal`).
+    pub journal: Option<PathBuf>,
+    /// Metrics summary output path (`--obs-metrics`); a `.csv` extension
+    /// selects CSV, anything else the aligned text table.
+    pub metrics: Option<PathBuf>,
+    /// Silence the informational stderr sink (`--quiet`).
+    pub quiet: bool,
+}
+
+impl ObsOptions {
+    /// Reads the environment equivalents of the CLI flags:
+    /// `MCSCHED_OBS_TRACE`, `MCSCHED_OBS_JOURNAL`, `MCSCHED_OBS_METRICS`
+    /// (paths), `MCSCHED_QUIET` (non-empty, non-`0`). `MCSCHED_OBS` set to
+    /// anything but `0`/empty additionally turns tracing on even with no
+    /// export configured (for overhead measurements).
+    #[must_use]
+    pub fn from_env() -> Self {
+        let path = |key: &str| {
+            std::env::var_os(key)
+                .filter(|v| !v.is_empty())
+                .map(PathBuf::from)
+        };
+        let flag = |key: &str| matches!(std::env::var(key), Ok(v) if !v.is_empty() && v != "0");
+        if flag("MCSCHED_OBS") {
+            enable_tracing();
+        }
+        Self {
+            trace: path("MCSCHED_OBS_TRACE"),
+            journal: path("MCSCHED_OBS_JOURNAL"),
+            metrics: path("MCSCHED_OBS_METRICS"),
+            quiet: flag("MCSCHED_QUIET"),
+        }
+    }
+
+    /// Fills every unset field from `fallback` (CLI flags take precedence
+    /// over the environment).
+    #[must_use]
+    pub fn or(mut self, fallback: Self) -> Self {
+        self.trace = self.trace.or(fallback.trace);
+        self.journal = self.journal.or(fallback.journal);
+        self.metrics = self.metrics.or(fallback.metrics);
+        self.quiet = self.quiet || fallback.quiet;
+        self
+    }
+
+    /// Applies the options to the process: enables tracing when a trace or
+    /// journal export is requested and configures the stderr sink. Call
+    /// once, before the instrumented work starts.
+    pub fn activate(&self) {
+        if self.trace.is_some() || self.journal.is_some() {
+            enable_tracing();
+        }
+        if self.quiet {
+            sink::set_quiet(true);
+        }
+    }
+
+    /// Whether any export artefact was requested.
+    #[must_use]
+    pub fn wants_export(&self) -> bool {
+        self.trace.is_some() || self.journal.is_some() || self.metrics.is_some()
+    }
+
+    /// Drains the trace buffers and writes every requested artefact.
+    /// Failures degrade to a `warning:` line on stderr (observability must
+    /// never fail a run); successful writes are narrated through the sink.
+    pub fn finish(&self) {
+        if !self.wants_export() {
+            return;
+        }
+        let dump = if self.trace.is_some() || self.journal.is_some() {
+            Some(span::drain())
+        } else {
+            None
+        };
+        let write = |path: &PathBuf, what: &str, text: String| match std::fs::write(path, text) {
+            Ok(()) => crate::note!("obs: {what} written to {}", path.display()),
+            Err(e) => eprintln!("warning: obs: could not write {} ({e})", path.display()),
+        };
+        if let (Some(path), Some(dump)) = (&self.trace, dump.as_ref()) {
+            write(path, "chrome trace", export::chrome_trace(dump));
+        }
+        if let (Some(path), Some(dump)) = (&self.journal, dump.as_ref()) {
+            write(path, "event journal", export::journal_jsonl(dump));
+        }
+        if let Some(path) = &self.metrics {
+            let snapshot = metrics::snapshot();
+            let text = if path.extension().is_some_and(|e| e == "csv") {
+                snapshot.render_csv()
+            } else {
+                snapshot.render_table()
+            };
+            write(path, "metrics summary", text);
+        }
+    }
+}
+
+/// Serializes tests that touch the process-global subscriber/registry
+/// state (the harness runs tests in parallel threads).
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_merge_prefers_self() {
+        let flags = ObsOptions {
+            trace: Some(PathBuf::from("/a")),
+            ..ObsOptions::default()
+        };
+        let env = ObsOptions {
+            trace: Some(PathBuf::from("/b")),
+            journal: Some(PathBuf::from("/j")),
+            quiet: true,
+            ..ObsOptions::default()
+        };
+        let merged = flags.or(env);
+        assert_eq!(merged.trace, Some(PathBuf::from("/a")));
+        assert_eq!(merged.journal, Some(PathBuf::from("/j")));
+        assert!(merged.quiet);
+        assert!(merged.wants_export());
+        assert!(!ObsOptions::default().wants_export());
+    }
+}

@@ -1,0 +1,352 @@
+//! Span-based structured tracing.
+//!
+//! A *span* is a named interval of work carried out by one thread, opened
+//! with [`crate::span!`] and closed when the returned guard drops. Spans
+//! carry typed `key = value` fields and nest: because begin/end events are
+//! recorded in program order on each thread, the parent of a span is simply
+//! the innermost span still open on the same thread — no ids need to be
+//! threaded through APIs.
+//!
+//! Recording is buffered per thread: each thread lazily registers one
+//! buffer in a process-wide registry and appends to it through a
+//! mutex that only the draining side ever contends, so the enabled hot
+//! path is an `Instant::now()` plus a `Vec::push`. The **disabled** hot
+//! path — the common case — is a single relaxed atomic load in
+//! [`tracing_enabled`]; compiling with the `off` feature turns even that
+//! into a constant `false` so the whole call site folds away.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// A typed span field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer field.
+    U64(u64),
+    /// Signed integer field.
+    I64(i64),
+    /// Floating-point field.
+    F64(f64),
+    /// Borrowed string field (the common case for policy names etc.).
+    Static(&'static str),
+    /// Owned string field.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&'static str> for FieldValue {
+    fn from(v: &'static str) -> Self {
+        FieldValue::Static(v)
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// What a recorded [`Event`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (`ph: "B"` in Chrome-trace terms).
+    Begin,
+    /// A span closed (`ph: "E"`).
+    End,
+    /// A point event with no duration (`ph: "i"`).
+    Instant,
+}
+
+/// One recorded trace event on one thread.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Span or event name (static — names form a small fixed taxonomy).
+    pub name: &'static str,
+    /// Begin / end / instant.
+    pub kind: EventKind,
+    /// Nanoseconds since the process-wide trace epoch.
+    pub t_ns: u64,
+    /// Typed fields, in call-site order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// The drained events of one thread, in program order.
+#[derive(Debug, Clone)]
+pub struct ThreadEvents {
+    /// Stable registration ordinal (used as Chrome-trace `tid`).
+    pub ordinal: usize,
+    /// Human-readable label (`worker-3`, or `thread-N` if never labelled).
+    pub label: String,
+    /// Events in the order the thread recorded them.
+    pub events: Vec<Event>,
+}
+
+/// Everything [`drain`] pulled out of the per-thread buffers, sorted by
+/// thread ordinal.
+#[derive(Debug, Clone, Default)]
+pub struct TraceDump {
+    /// Per-thread event streams (threads that recorded nothing are omitted).
+    pub threads: Vec<ThreadEvents>,
+}
+
+struct ThreadBuf {
+    ordinal: usize,
+    label: Mutex<String>,
+    events: Mutex<Vec<Event>>,
+}
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static NEXT_ORDINAL: AtomicUsize = AtomicUsize::new(0);
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+thread_local! {
+    static BUF: OnceLock<Arc<ThreadBuf>> = const { OnceLock::new() };
+}
+
+fn with_buf<R>(f: impl FnOnce(&ThreadBuf) -> R) -> R {
+    BUF.with(|cell| {
+        let buf = cell.get_or_init(|| {
+            let buf = Arc::new(ThreadBuf {
+                ordinal: NEXT_ORDINAL.fetch_add(1, Ordering::Relaxed),
+                label: Mutex::new(String::new()),
+                events: Mutex::new(Vec::new()),
+            });
+            registry().lock().unwrap().push(Arc::clone(&buf));
+            buf
+        });
+        f(buf)
+    })
+}
+
+/// Whether span recording is live. With the `off` feature this is a
+/// constant `false` and every `span!` call site folds away entirely.
+#[inline(always)]
+#[must_use]
+pub fn tracing_enabled() -> bool {
+    #[cfg(feature = "off")]
+    {
+        false
+    }
+    #[cfg(not(feature = "off"))]
+    {
+        TRACING.load(Ordering::Relaxed)
+    }
+}
+
+/// Turns span recording on (the trace epoch is pinned at first enable).
+/// A no-op under the `off` feature.
+pub fn enable_tracing() {
+    let _ = epoch();
+    TRACING.store(true, Ordering::Relaxed);
+}
+
+/// Turns span recording off again (buffers are kept until [`drain`]).
+pub fn disable_tracing() {
+    TRACING.store(false, Ordering::Relaxed);
+}
+
+/// Labels the current thread for trace exports (e.g. `worker-3`). Cheap
+/// and unconditional: labels are recorded even before tracing is enabled
+/// so that late-enabled traces still name their threads.
+pub fn set_thread_label(label: &str) {
+    #[cfg(feature = "off")]
+    {
+        let _ = label;
+    }
+    #[cfg(not(feature = "off"))]
+    with_buf(|buf| label.clone_into(&mut buf.label.lock().unwrap()));
+}
+
+fn push(event: Event) {
+    with_buf(|buf| buf.events.lock().unwrap().push(event));
+}
+
+/// An open span; records its `End` event when dropped. Construct through
+/// [`crate::span!`], which performs the enabled check first.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+}
+
+impl SpanGuard {
+    /// Records the `Begin` event and arms the guard. Callers must have
+    /// checked [`tracing_enabled`] — the `span!` macro does.
+    #[must_use]
+    pub fn begin(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Self {
+        push(Event {
+            name,
+            kind: EventKind::Begin,
+            t_ns: now_ns(),
+            fields,
+        });
+        SpanGuard { name }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        push(Event {
+            name: self.name,
+            kind: EventKind::End,
+            t_ns: now_ns(),
+            fields: Vec::new(),
+        });
+    }
+}
+
+/// Records a point event (no duration) if tracing is enabled.
+pub fn instant(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+    if tracing_enabled() {
+        push(Event {
+            name,
+            kind: EventKind::Instant,
+            t_ns: now_ns(),
+            fields,
+        });
+    }
+}
+
+/// Opens a span if tracing is enabled. Fields are `"key" = value`
+/// pairs; values go through [`FieldValue::from`] and are **not evaluated**
+/// when tracing is off. Bind the result to keep the span open:
+///
+/// ```
+/// mcsched_obs::enable_tracing();
+/// let _span = mcsched_obs::span!("cell", "policy" = "hcpa", "rep" = 3u64);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        if $crate::span::tracing_enabled() {
+            Some($crate::span::SpanGuard::begin($name, ::std::vec::Vec::new()))
+        } else {
+            None
+        }
+    };
+    ($name:expr, $($key:literal = $value:expr),+ $(,)?) => {
+        if $crate::span::tracing_enabled() {
+            Some($crate::span::SpanGuard::begin(
+                $name,
+                ::std::vec![$(($key, $crate::span::FieldValue::from($value))),+],
+            ))
+        } else {
+            None
+        }
+    };
+}
+
+/// Swaps every thread's buffer out and returns the accumulated events,
+/// sorted by thread ordinal. Spans still open keep working — their `End`
+/// events simply land in the next drain.
+#[must_use]
+pub fn drain() -> TraceDump {
+    let registry = registry().lock().unwrap();
+    let mut threads: Vec<ThreadEvents> = registry
+        .iter()
+        .map(|buf| ThreadEvents {
+            ordinal: buf.ordinal,
+            label: buf.label.lock().unwrap().clone(),
+            events: std::mem::take(&mut *buf.events.lock().unwrap()),
+        })
+        .filter(|t| !t.events.is_empty())
+        .collect();
+    threads.sort_by_key(|t| t.ordinal);
+    for t in &mut threads {
+        if t.label.is_empty() {
+            t.label = format!("thread-{}", t.ordinal);
+        }
+    }
+    TraceDump { threads }
+}
+
+/// Test hook: disables tracing and discards all buffered events.
+pub fn reset() {
+    disable_tracing();
+    let _ = drain();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        // Tests in this crate share the global subscriber; serialize.
+        let _lock = crate::test_guard();
+        reset();
+        {
+            let _g = crate::span!("quiet");
+        }
+        assert!(drain().threads.is_empty());
+    }
+
+    #[cfg(not(feature = "off"))]
+    #[test]
+    fn spans_nest_and_carry_fields() {
+        let _lock = crate::test_guard();
+        reset();
+        enable_tracing();
+        set_thread_label("tester");
+        {
+            let _outer = crate::span!("outer", "n" = 2u64);
+            let _inner = crate::span!("inner", "policy" = "hcpa");
+        }
+        instant("tick", vec![("at", FieldValue::from(1.5))]);
+        disable_tracing();
+        let dump = drain();
+        assert_eq!(dump.threads.len(), 1);
+        let t = &dump.threads[0];
+        assert_eq!(t.label, "tester");
+        let kinds: Vec<(&str, EventKind)> = t.events.iter().map(|e| (e.name, e.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("outer", EventKind::Begin),
+                ("inner", EventKind::Begin),
+                ("inner", EventKind::End),
+                ("outer", EventKind::End),
+                ("tick", EventKind::Instant),
+            ]
+        );
+        assert_eq!(t.events[0].fields, vec![("n", FieldValue::U64(2))]);
+        // Timestamps are monotone within a thread.
+        assert!(t.events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+    }
+}

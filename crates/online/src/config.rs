@@ -132,6 +132,14 @@ pub struct OnlineConfig {
     /// Base pipeline configuration (constraint strategy, allocation
     /// procedure, mapping options) applied to the resident set per event.
     pub base: SchedulerConfig,
+    /// Record one [`mcsched_obs::TimeSeries`] row per rescheduling epoch
+    /// (virtual time, queue depth, resident set, cumulative utilisation and
+    /// shed rate) into [`crate::OnlineReport::series`]. Off by default:
+    /// long runs reschedule once or more per job, and the recorder's only
+    /// cost is the rows themselves. The sampled values are pure functions
+    /// of simulated state, so the series is bit-exact across runs and
+    /// thread counts.
+    pub record_series: bool,
 }
 
 impl Default for OnlineConfig {
@@ -146,6 +154,7 @@ impl Default for OnlineConfig {
             reschedule: ReschedulePolicy::OnArrival,
             admission: AdmissionPolicy::DropNewest,
             base: SchedulerConfig::default(),
+            record_series: false,
         }
     }
 }

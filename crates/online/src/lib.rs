@@ -38,5 +38,5 @@ pub use campaign::{
     StretchComparison,
 };
 pub use config::{AdmissionPolicy, OnlineConfig, ReschedulePolicy};
-pub use metrics::{AdmissionCounters, JobOutcome, OnlineReport};
+pub use metrics::{AdmissionCounters, JobOutcome, OnlineReport, SERIES_COLUMNS};
 pub use scheduler::OnlineScheduler;

@@ -12,7 +12,19 @@
 //! * **shed rate**, **queue depth over time** and **utilisation** — the
 //!   backpressure picture.
 
+use mcsched_obs::TimeSeries;
 use mcsched_stats::{bootstrap_mean_ci, BootstrapConfig, Ci, Samples};
+
+/// Column names of [`OnlineReport::series`], in order: virtual time of the
+/// epoch, pending-queue depth, resident-set size, cumulative utilisation
+/// and cumulative shed rate at that instant.
+pub const SERIES_COLUMNS: [&str; 5] = [
+    "time",
+    "queue_depth",
+    "resident",
+    "utilization",
+    "shed_rate",
+];
 
 /// The lifecycle record of one completed job.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +90,11 @@ pub struct OnlineReport {
     pub utilization: f64,
     /// Number of pipeline reschedules performed.
     pub reschedules: u64,
+    /// One row per rescheduling epoch ([`SERIES_COLUMNS`]), recorded only
+    /// when [`crate::OnlineConfig::record_series`] is set; empty otherwise.
+    /// Values are virtual-time quantities, so the rendered CSV is bit-exact
+    /// across runs.
+    pub series: TimeSeries,
 }
 
 impl OnlineReport {
@@ -183,6 +200,7 @@ mod tests {
             busy_proc_seconds: 100.0,
             utilization: 0.2,
             reschedules: 4,
+            series: TimeSeries::default(),
         }
     }
 

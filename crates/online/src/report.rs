@@ -164,6 +164,7 @@ mod tests {
             busy_proc_seconds: 40.0,
             utilization: 0.1,
             reschedules: 3,
+            series: Default::default(),
         }
     }
 

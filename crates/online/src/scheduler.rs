@@ -34,9 +34,9 @@
 //! events).
 
 use crate::config::{AdmissionPolicy, OnlineConfig, ReschedulePolicy};
-use crate::metrics::{AdmissionCounters, JobOutcome, OnlineReport};
-use mcsched_core::profile::{self, Phase};
+use crate::metrics::{AdmissionCounters, JobOutcome, OnlineReport, SERIES_COLUMNS};
 use mcsched_core::{slowdown, ConcurrentScheduler, ReferencePlatform, SchedError, ScheduleContext};
+use mcsched_obs::{phase, TimeSeries};
 use mcsched_platform::Platform;
 use mcsched_ptg::Ptg;
 use mcsched_simx::Engine;
@@ -112,6 +112,7 @@ impl<'p> OnlineScheduler<'p> {
             self.config.seed,
             self.config.label.clone(),
         ))?;
+        let total_procs = self.platform.total_procs() as f64;
         let mut state = LoopState {
             cfg: &self.config,
             engine: &engine,
@@ -129,11 +130,12 @@ impl<'p> OnlineScheduler<'p> {
             reschedules: 0,
             counters: AdmissionCounters::default(),
             outcomes: Vec::new(),
+            total_procs,
+            series: TimeSeries::new(&SERIES_COLUMNS),
         };
         state.next_arrival = state.pull();
         state.drive()?;
         let elapsed = state.now;
-        let total_procs = self.platform.total_procs() as f64;
         Ok(OnlineReport {
             name: format!(
                 "{}/{}",
@@ -155,6 +157,7 @@ impl<'p> OnlineScheduler<'p> {
             reschedules: state.reschedules,
             counters: state.counters,
             jobs: state.outcomes,
+            series: state.series,
         })
     }
 }
@@ -183,6 +186,11 @@ struct LoopState<'e, 'p> {
     reschedules: u64,
     counters: AdmissionCounters,
     outcomes: Vec<JobOutcome>,
+    /// Total platform processors, for the cumulative-utilisation sample.
+    total_procs: f64,
+    /// Per-epoch samples ([`SERIES_COLUMNS`]); stays empty unless
+    /// `cfg.record_series` is set.
+    series: TimeSeries,
 }
 
 impl LoopState<'_, '_> {
@@ -272,7 +280,7 @@ impl LoopState<'_, '_> {
                 continue;
             }
             let event = {
-                let _g = profile::scope(Phase::OnlineLoop);
+                let _g = phase::scope("online-loop");
                 self.select_event()
             };
             match event {
@@ -280,14 +288,14 @@ impl LoopState<'_, '_> {
                 Event::Replan => self.reschedule()?,
                 Event::Quantum(t) => {
                     {
-                        let _g = profile::scope(Phase::OnlineLoop);
+                        let _g = phase::scope("online-loop");
                         self.advance_to(t);
                     }
                     self.reschedule()?;
                 }
                 Event::Arrival => {
                     let reschedule = {
-                        let _g = profile::scope(Phase::OnlineLoop);
+                        let _g = phase::scope("online-loop");
                         let arrival = self.next_arrival.expect("selected arrival exists");
                         self.advance_to(arrival.release_time);
                         self.enqueue(arrival);
@@ -300,7 +308,7 @@ impl LoopState<'_, '_> {
                 }
                 Event::Completion(t, pos) => {
                     let reschedule = {
-                        let _g = profile::scope(Phase::OnlineLoop);
+                        let _g = phase::scope("online-loop");
                         self.advance_to(t);
                         self.complete(pos);
                         matches!(
@@ -358,6 +366,35 @@ impl LoopState<'_, '_> {
         });
     }
 
+    /// Samples the post-admission state of this rescheduling epoch: obs
+    /// metrics always (relaxed atomics), one time-series row when the
+    /// config asks for it. Every value is a pure function of virtual state,
+    /// so the series is bit-exact across runs and thread counts.
+    fn sample_epoch(&mut self) {
+        mcsched_obs::histogram!("online.queue_depth").record(self.pending.len() as u64);
+        mcsched_obs::gauge!("online.resident").set(self.res_meta.len() as u64);
+        if !self.cfg.record_series {
+            return;
+        }
+        let utilization = if self.now > 0.0 && self.total_procs > 0.0 {
+            self.busy_total / (self.total_procs * self.now)
+        } else {
+            0.0
+        };
+        let shed_rate = if self.counters.arrivals > 0 {
+            self.counters.shed as f64 / self.counters.arrivals as f64
+        } else {
+            0.0
+        };
+        self.series.push(&[
+            self.now,
+            self.pending.len() as f64,
+            self.res_meta.len() as f64,
+            utilization,
+            shed_rate,
+        ]);
+    }
+
     /// Admits pending jobs into free resident slots, then re-runs the full
     /// pipeline for the resident set (the virtual restart) and refreshes the
     /// committed finish times.
@@ -372,7 +409,7 @@ impl LoopState<'_, '_> {
                 release_time,
             };
             let ptg = {
-                let _g = profile::scope(Phase::WorkloadGen);
+                let _g = phase::scope("workload-gen");
                 self.stream.materialize(&arrival)
             };
             let dedicated = {
@@ -396,6 +433,7 @@ impl LoopState<'_, '_> {
             self.counters.admitted += 1;
         }
         self.counters.peak_resident = self.counters.peak_resident.max(self.res_ptgs.len());
+        self.sample_epoch();
         if self.res_meta.is_empty() {
             return Ok(());
         }
@@ -422,7 +460,7 @@ impl LoopState<'_, '_> {
             _ => f64::INFINITY,
         };
         let outcome = {
-            let _g = profile::scope(Phase::SimxExecute);
+            let _g = phase::scope("simx-execute");
             self.engine
                 .execute_until(&schedule.workload, horizon)
                 .map_err(SchedError::from)?
@@ -477,6 +515,33 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.counters.arrivals, 40);
         assert_eq!(a.counters.completed + a.counters.shed, 40);
+        // Off by default: no per-epoch rows are retained.
+        assert!(a.series.is_empty());
+    }
+
+    #[test]
+    fn series_records_one_row_per_epoch_bit_exactly() {
+        let platform = grid5000::lille();
+        let cfg = OnlineConfig {
+            record_series: true,
+            ..config(30)
+        };
+        let sched = OnlineScheduler::new(&platform, cfg).unwrap();
+        let a = sched.run(&source(0.01)).unwrap();
+        let b = sched.run(&source(0.01)).unwrap();
+        assert_eq!(a.series.columns(), SERIES_COLUMNS);
+        assert_eq!(a.series.len() as u64, a.reschedules);
+        assert_eq!(a.series.to_csv(), b.series.to_csv());
+        let last = a.series.rows().last().expect("at least one epoch");
+        // Virtual time is monotone and the sampled depths respect the caps.
+        let mut t = 0.0;
+        for row in a.series.rows() {
+            assert!(row[0] >= t);
+            t = row[0];
+            assert!(row[1] <= a.counters.peak_pending as f64);
+            assert!(row[2] <= a.counters.peak_resident as f64);
+        }
+        assert!(last[4] <= 1.0);
     }
 
     #[test]

@@ -203,8 +203,14 @@ impl CellCache {
             .get(&key.0)
             .copied();
         match found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                mcsched_obs::counter!("cache.hit").inc();
+                self.hits.fetch_add(1, Ordering::Relaxed)
+            }
+            None => {
+                mcsched_obs::counter!("cache.miss").inc();
+                self.misses.fetch_add(1, Ordering::Relaxed)
+            }
         };
         found
     }
@@ -266,6 +272,7 @@ impl CellCache {
             std::fs::write(&tmp, render_shard(&shard.cells))?;
             std::fs::rename(&tmp, &path)?;
             shard.dirty = false;
+            mcsched_obs::counter!("cache.shard_write").inc();
         }
         Ok(())
     }
@@ -278,6 +285,7 @@ impl CellCache {
             Ok(text) => text,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return 0,
             Err(e) => {
+                mcsched_obs::counter!("cache.corrupt_shard").inc();
                 eprintln!(
                     "warning: cell cache: cannot read {} ({e}); its cells will be recomputed",
                     path.display()
@@ -295,6 +303,7 @@ impl CellCache {
                 count
             }
             Err(reason) => {
+                mcsched_obs::counter!("cache.corrupt_shard").inc();
                 eprintln!(
                     "warning: cell cache: ignoring {} ({reason}); its cells will be recomputed",
                     path.display()

@@ -119,6 +119,9 @@ impl PoolShared {
                 continue;
             }
             if let Some(task) = lock(&self.queues[victim]).pop_front() {
+                if me.is_some() {
+                    mcsched_obs::counter!("pool.steal").inc();
+                }
                 return Some(task);
             }
         }
@@ -330,10 +333,11 @@ fn worker_main(shared: &Arc<PoolShared>, index: usize) {
     WORKER_CONTEXT.with(|ctx| {
         *ctx.borrow_mut() = Some((shared.id, index, Arc::clone(shared)));
     });
+    mcsched_obs::set_thread_label(&format!("mcsched-worker-{}-{index}", shared.id));
     let mut seen_generation = u64::MAX; // force one scan before first park
     loop {
         while let Some(task) = shared.find_task(Some(index)) {
-            task();
+            run_task(task);
         }
         let mut sleep = lock(&shared.sleep);
         loop {
@@ -344,12 +348,22 @@ fn worker_main(shared: &Arc<PoolShared>, index: usize) {
                 seen_generation = sleep.generation;
                 break; // work may have arrived since the last scan
             }
+            mcsched_obs::counter!("pool.park").inc();
             sleep = shared
                 .wake
                 .wait(sleep)
                 .unwrap_or_else(PoisonError::into_inner);
         }
     }
+}
+
+/// Executes one pool task. The `pool-task` obs span lives *inside* the
+/// task closure (around the user function, before the completion signal),
+/// not here: a guard dropped after `complete_one` could land its `End`
+/// event behind a caller that already drained the trace.
+fn run_task(task: Task) {
+    mcsched_obs::counter!("pool.task").inc();
+    task();
 }
 
 /// Worker index of the calling thread on `shared`, if it is one of its
@@ -385,7 +399,13 @@ where
         let scope = Arc::clone(&scope);
         shared.push(
             Box::new(move || {
-                match catch_unwind(AssertUnwindSafe(|| f(index))) {
+                // The `pool-task` span closes *before* `complete_one`: a
+                // caller that returns from the fan-out and drains the trace
+                // must never observe a still-open task span.
+                match catch_unwind(AssertUnwindSafe(|| {
+                    let _span = mcsched_obs::span!("pool-task");
+                    f(index)
+                })) {
                     Ok(value) => *lock(&slots[index]) = Some(value),
                     Err(payload) => scope.record_panic(payload),
                 }
@@ -425,7 +445,7 @@ fn wait_for_scope(shared: &PoolShared, scope: &ScopeState, origin: Option<usize>
     if origin.is_some() {
         while !scope.is_done() {
             match shared.find_task(origin) {
-                Some(task) => task(),
+                Some(task) => run_task(task),
                 None => {
                     // The remaining tasks run on other workers; park briefly
                     // on the scope instead of spinning.

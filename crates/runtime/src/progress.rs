@@ -2,7 +2,8 @@
 //!
 //! Paper-scale campaigns run for minutes; `--progress` makes them narrate
 //! one line per completed *data point* (the resume grain of the cell
-//! cache), on **stderr** so the byte-identical-stdout guarantee of the
+//! cache), on **stderr** through the obs sink (`mcsched_obs::note!`, so
+//! `--quiet` silences it) — the byte-identical-stdout guarantee of the
 //! figure tables is untouched. The reporter is safe to tick from any pool
 //! worker and deliberately has no notion of ETA — data points are wildly
 //! uneven (10 PTGs cost far more than 2), so an extrapolation would
@@ -36,15 +37,16 @@ impl Progress {
     }
 
     /// Marks one step done and, when enabled, prints
-    /// `progress[label]: done/total detail (elapsed)` to stderr. Returns
-    /// the number of completed steps.
+    /// `progress[label]: done/total detail (elapsed)` through the obs
+    /// stderr sink. Returns the number of completed steps.
     pub fn tick(&self, detail: &str) -> usize {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         if self.enabled {
             let elapsed = self.start.elapsed().as_secs_f64();
-            eprintln!(
+            mcsched_obs::note!(
                 "progress[{}]: {done}/{} {detail} ({elapsed:.1}s elapsed)",
-                self.label, self.total
+                self.label,
+                self.total
             );
         }
         done

@@ -366,6 +366,9 @@ impl<'a> Engine<'a> {
         // The ready set and the busy map only change on the flagged paths
         // below; while the flag is clear a dispatch could not start anything.
         let mut dispatch_dirty = false;
+        // Event accounting stays in a local and is flushed to the obs
+        // counters once per run, keeping the loop body free of atomics.
+        let mut events = 0u64;
 
         loop {
             if finished == n {
@@ -394,6 +397,7 @@ impl<'a> Engine<'a> {
                     break;
                 }
                 s.flows.complete(now, tid);
+                events += 1;
                 let tr = &workload.transfers[tid];
                 transfer_records[tid] = Some(TransferRecord {
                     transfer: tid,
@@ -411,6 +415,7 @@ impl<'a> Engine<'a> {
             // 2. Process every queued event at this instant.
             while s.queue.peek_time().is_some_and(|t| t <= now + eps) {
                 let ev = s.queue.pop().expect("peeked above");
+                events += 1;
                 match ev.payload {
                     Ev::JobRelease(j) => {
                         s.released[j] = true;
@@ -500,6 +505,9 @@ impl<'a> Engine<'a> {
             }
         }
 
+        mcsched_obs::counter!("simx.runs").inc();
+        mcsched_obs::counter!("simx.events").add(events);
+        mcsched_obs::counter!("simx.jobs").add(finished as u64);
         let trace = ExecutionTrace {
             jobs: job_records,
             transfers: transfer_records,

@@ -30,6 +30,10 @@
 //! * [`online`] — the event-driven online scheduling service: streamed
 //!   arrivals, admission control with backpressure, and open-system
 //!   metrics (response, stretch, shed rate) over the same pipeline;
+//! * [`obs`] — observability across all of the above: span-based structured
+//!   tracing (zero-cost when off), the named-metrics registry, per-phase
+//!   profiling, the virtual-time series recorder and the Chrome-trace /
+//!   JSONL / metrics exporters behind the binaries' `--obs-*` flags;
 //! * [`exp`] — the experiment harness regenerating every table and figure of
 //!   the paper's evaluation.
 //!
@@ -68,6 +72,7 @@
 
 pub use mcsched_core as core;
 pub use mcsched_exp as exp;
+pub use mcsched_obs as obs;
 pub use mcsched_online as online;
 pub use mcsched_platform as platform;
 pub use mcsched_ptg as ptg;

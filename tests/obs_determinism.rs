@@ -1,0 +1,163 @@
+//! The observability layer's two contracts:
+//!
+//! * **Tracing observes, never participates** — the figure tables and CSVs
+//!   are byte-for-byte identical with tracing fully enabled or disabled, at
+//!   1, 2 and 8 worker threads (every `f64` compared exactly through the
+//!   rendered bytes);
+//! * **Exports are valid and reproducible** — the Chrome trace parses as
+//!   JSON with a non-empty, span-covered timeline; the JSONL journal (which
+//!   deliberately drops wall-clock times and thread ids) is byte-identical
+//!   across reruns of the same configuration; the online time-series CSV is
+//!   bit-exact across runs at 8 threads.
+//!
+//! Tracing state is process-global, so every test touching it serializes
+//! through one mutex and resets the buffers on entry.
+
+use mcsched::exp::{csv_campaign, run_campaign, table_campaign, CampaignConfig};
+use mcsched::obs::{disable_tracing, enable_tracing, export, span};
+use mcsched::online;
+use mcsched::platform::grid5000;
+use mcsched::ptg::gen::PtgClass;
+use mcsched::workload::json::Json;
+use mcsched::workload::WorkloadCatalog;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Serializes tests that flip the process-global tracing subscriber.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A small-but-not-trivial campaign exercising the full pipeline: 2 PTG
+/// counts × 2 combinations × 4 platforms × 6 strategies.
+fn campaign_config(threads: usize) -> CampaignConfig {
+    CampaignConfig {
+        ptg_counts: vec![2, 4],
+        combinations: 2,
+        threads,
+        ..CampaignConfig::quick(PtgClass::Strassen)
+    }
+}
+
+/// The rendered bytes every figure binary derives from a campaign.
+fn campaign_bytes(threads: usize) -> (String, String) {
+    let result = run_campaign(&campaign_config(threads)).expect("campaign runs");
+    (table_campaign(&result), csv_campaign(&result))
+}
+
+#[test]
+fn figures_are_byte_identical_with_tracing_on_or_off() {
+    let _lock = obs_lock();
+    span::reset(); // also disables tracing
+    let baseline = campaign_bytes(1);
+    enable_tracing();
+    for threads in [1, 2, 8] {
+        assert_eq!(
+            campaign_bytes(threads),
+            baseline,
+            "tracing must not perturb figure bytes at {threads} threads"
+        );
+    }
+    span::reset();
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_a_span_covered_timeline() {
+    let _lock = obs_lock();
+    span::reset();
+    enable_tracing();
+    let _ = campaign_bytes(2);
+    disable_tracing();
+    let dump = span::drain();
+    let trace = export::chrome_trace(&dump);
+    let doc = Json::parse(&trace).expect("chrome trace parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "the trace must record spans");
+    // Every event carries the Chrome-trace envelope and a known phase tag.
+    let mut begins = 0usize;
+    let mut ends = 0usize;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph tag");
+        assert!(matches!(ph, "M" | "B" | "E" | "i"), "unknown phase {ph}");
+        match ph {
+            "B" => begins += 1,
+            "E" => ends += 1,
+            _ => {}
+        }
+        if ph != "M" {
+            assert!(ev.get("ts").and_then(Json::as_f64).is_some());
+            assert!(ev.get("name").and_then(Json::as_str).is_some());
+        }
+    }
+    assert!(begins > 0, "span begins recorded");
+    assert_eq!(begins, ends, "every span that opened also closed");
+    // The instrumented pipeline names its phases in the timeline.
+    for name in ["beta+alloc", "mapping", "simx-execute", "cell-eval"] {
+        assert!(
+            trace.contains(&format!("\"name\":\"{name}\"")),
+            "trace names the `{name}` span"
+        );
+    }
+}
+
+#[test]
+fn journal_is_reproducible_for_a_fixed_configuration() {
+    let _lock = obs_lock();
+    let journal = |threads: usize| {
+        span::reset();
+        enable_tracing();
+        let _ = campaign_bytes(threads);
+        disable_tracing();
+        export::journal_jsonl(&span::drain())
+    };
+    let a = journal(2);
+    let b = journal(2);
+    assert!(!a.is_empty(), "the journal must record events");
+    assert_eq!(a, b, "same configuration, same journal bytes");
+    // Every line is a standalone JSON object and the file is sorted — the
+    // deterministic-order contract the exporter claims.
+    let lines: Vec<&str> = a.lines().collect();
+    for line in &lines {
+        let doc = Json::parse(line).expect("journal line parses");
+        assert!(doc.get("event").and_then(Json::as_str).is_some());
+        assert!(doc.get("name").and_then(Json::as_str).is_some());
+    }
+    let mut sorted = lines.clone();
+    sorted.sort_unstable();
+    assert_eq!(lines, sorted, "journal lines are sorted");
+    span::reset();
+}
+
+#[test]
+fn online_series_is_bit_exact_across_runs_at_8_threads() {
+    let platform = grid5000::lille();
+    let source = WorkloadCatalog::builtin()
+        .resolve("daggen@n=8/poisson@lambda=0.01")
+        .expect("built-in spec resolves");
+    let run = || {
+        let mut spec = online::CampaignSpec::new(vec![
+            mcsched::core::ConstraintStrategy::EqualShare,
+            mcsched::core::ConstraintStrategy::Selfish,
+        ]);
+        spec.replications = 2;
+        spec.threads = 8;
+        spec.base.max_jobs = 25;
+        spec.base.record_series = true;
+        let result = online::run_campaign(&platform, &source, &spec).expect("campaign runs");
+        let mut csvs = Vec::new();
+        for outcome in &result.outcomes {
+            for report in &outcome.reports {
+                assert_eq!(report.series.len() as u64, report.reschedules);
+                csvs.push(report.series.to_csv());
+            }
+        }
+        csvs
+    };
+    let a = run();
+    let b = run();
+    assert!(a.iter().all(|csv| csv.lines().count() > 1));
+    assert_eq!(a, b, "per-epoch series must be bit-exact across runs");
+}
