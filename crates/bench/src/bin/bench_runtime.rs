@@ -3,7 +3,7 @@
 //! executor it replaced, and writes the measurements as machine-readable
 //! JSON — the first datapoint of the runtime's performance trajectory.
 //!
-//! Three families are timed at each requested thread count over the same
+//! Four families are timed at each requested thread count over the same
 //! campaign shape:
 //!
 //! * `legacy-fanout` — the pre-runtime harness, faithfully replayed: a
@@ -12,6 +12,10 @@
 //!   result mutex (the deprecated `mcsched_exp::fanout`);
 //! * `pool-cold` — `run_campaign` on the persistent work-stealing pool,
 //!   nested fan-outs, no cache;
+//! * `shard-cold` — one shard of a 3-way sharded campaign (`shard 0/3`),
+//!   cold: the per-process cost of the multi-process workflow, expected to
+//!   approach one third of `pool-cold` (the digest partition is modular,
+//!   not balanced by cost, so some deviation is inherent);
 //! * `pool-warm` — `run_campaign` on the pool with a pre-populated cell
 //!   cache: every cell is served from the content-addressed store.
 //!
@@ -244,6 +248,25 @@ fn main() {
             max_ms,
         });
 
+        // One shard of a 3-way split, cold and uncached: what each process
+        // of a sharded campaign pays in pure compute.
+        let mut shard = cold.clone();
+        shard.shard = Some((0, 3));
+        let (mean_ms, min_ms, max_ms) = time_runs(cold_iterations, || {
+            std::hint::black_box(run_campaign(&shard).expect("sharded campaign runs"));
+        });
+        eprintln!(
+            "{:>14} threads={threads:<2} mean {mean_ms:9.1} ms",
+            "shard-cold"
+        );
+        measurements.push(Measurement {
+            family: "shard-cold",
+            threads,
+            mean_ms,
+            min_ms,
+            max_ms,
+        });
+
         let mut warm = cold.clone();
         warm.cache_dir = Some(warm_dir.clone());
         let (mean_ms, min_ms, max_ms) = time_runs(opts.iterations, || {
@@ -299,11 +322,16 @@ fn main() {
     for (i, &threads) in opts.threads.iter().enumerate() {
         let legacy = mean_of("legacy-fanout", threads).unwrap_or(f64::NAN);
         let cold = mean_of("pool-cold", threads).unwrap_or(f64::NAN);
+        let shard = mean_of("shard-cold", threads).unwrap_or(f64::NAN);
         let warm = mean_of("pool-warm", threads).unwrap_or(f64::NAN);
+        // `shard_split_factor` is pool-cold over shard-cold: how much of the
+        // full campaign's wall-clock one of three shard processes carries
+        // (ideal: 3.0; the modular partition is not cost-balanced).
         json.push_str(&format!(
-            "    {{\"threads\": {threads}, \"pool_cold\": {:.4}, \"pool_warm\": {:.4}}}{}\n",
+            "    {{\"threads\": {threads}, \"pool_cold\": {:.4}, \"pool_warm\": {:.4}, \"shard_split_factor\": {:.4}}}{}\n",
             legacy / cold,
             legacy / warm,
+            cold / shard,
             if i + 1 == opts.threads.len() { "" } else { "," }
         ));
     }

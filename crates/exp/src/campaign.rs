@@ -61,6 +61,14 @@ pub struct CampaignConfig {
     /// (`--progress`). Never touches stdout, so the figure tables stay
     /// byte-identical.
     pub progress: bool,
+    /// `Some((index, of))` runs only partition `index` of a deterministic
+    /// `of`-way split of the cell grid (`--shard i/N`): out-of-partition
+    /// cells are skipped entirely (not evaluated, not cached) and render as
+    /// NaN. N such runs with disjoint `cache_dir`s fill disjoint caches;
+    /// merge them (`mcsched-merge`) and re-run unsharded+warm to produce
+    /// tables byte-identical to a single-process run. `None` (the default)
+    /// evaluates everything.
+    pub shard: Option<(usize, usize)>,
 }
 
 impl CampaignConfig {
@@ -89,6 +97,7 @@ impl CampaignConfig {
             cache_dir: None,
             resume: true,
             progress: false,
+            shard: None,
         }
     }
 
@@ -294,6 +303,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, SchedErro
         config.resume,
         config.progress,
         config.ptg_counts.len(),
+        config.shard,
     )?;
 
     // (num_ptgs, strategy index) -> per-run samples, aggregated in grid

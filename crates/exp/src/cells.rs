@@ -158,14 +158,46 @@ pub fn evaluate_policies_cached(
     source_spec: &str,
     pipeline_key: &str,
 ) -> Vec<ScenarioOutcome> {
+    evaluate_policies_sharded(
+        scenario,
+        base,
+        policies,
+        cache,
+        source_spec,
+        pipeline_key,
+        None,
+    )
+    .0
+}
+
+/// The shard-aware core of [`evaluate_policies_cached`]: with
+/// `shard = Some((index, of))`, cells whose digest falls outside partition
+/// `index` of `of` ([`CellDigest::in_shard`]) are **skipped entirely** — no
+/// evaluation, no cache lookup, no insert — and recorded as
+/// [`ScenarioOutcome::skipped`] placeholders (all-NaN, invisible to the
+/// best-makespan aggregation). In-shard cells behave exactly as unsharded:
+/// because each policy of the paired path is evaluated independently over
+/// the shared context, evaluating only the in-shard subset yields
+/// bit-identical metrics, so N disjoint shard runs collectively populate
+/// the exact cells one unsharded run would. Returns the outcomes plus the
+/// number of out-of-shard cells skipped.
+pub fn evaluate_policies_sharded(
+    scenario: &Scenario,
+    base: &SchedulerConfig,
+    policies: &[Arc<dyn ConstraintPolicy>],
+    cache: Option<&CellCache>,
+    source_spec: &str,
+    pipeline_key: &str,
+    shard: Option<(usize, usize)>,
+) -> (Vec<ScenarioOutcome>, u64) {
     let _span = mcsched_obs::span!(
         "cell-eval",
         "scenario" = scenario.name.clone(),
         "policies" = policies.len()
     );
-    let Some(cache) = cache else {
-        return scenario.evaluate_policies(base, policies);
-    };
+    if cache.is_none() && shard.is_none() {
+        return (scenario.evaluate_policies(base, policies), 0);
+    }
     // The content walk over the scenario's graphs happens once; each policy
     // only finalizes a clone of the shared builder with its cache key.
     let shared = scenario_digest(source_spec, pipeline_key, scenario);
@@ -173,15 +205,25 @@ pub fn evaluate_policies_cached(
         .iter()
         .map(|p| shared.clone().str(&p.cache_key()).finish())
         .collect();
+    let mut skipped = 0u64;
     let mut outcomes: Vec<Option<ScenarioOutcome>> = keys
         .iter()
         .zip(policies)
         .map(|(key, policy)| {
-            cache.lookup(*key).map(|m| ScenarioOutcome {
-                strategy: policy.name(),
-                unfairness: m.unfairness,
-                makespan: m.makespan,
-                average_slowdown: m.average_slowdown,
+            if let Some((index, of)) = shard {
+                if !key.in_shard(index, of) {
+                    skipped += 1;
+                    mcsched_obs::counter!("cells.shard_skip").inc();
+                    return Some(ScenarioOutcome::skipped(policy.name()));
+                }
+            }
+            cache.and_then(|cache| {
+                cache.lookup(*key).map(|m| ScenarioOutcome {
+                    strategy: policy.name(),
+                    unfairness: m.unfairness,
+                    makespan: m.makespan,
+                    average_slowdown: m.average_slowdown,
+                })
             })
         })
         .collect();
@@ -193,21 +235,24 @@ pub fn evaluate_policies_cached(
             missing.iter().map(|&i| Arc::clone(&policies[i])).collect();
         let fresh = scenario.evaluate_policies(base, &subset);
         for (&slot, outcome) in missing.iter().zip(fresh) {
-            cache.insert(
-                keys[slot],
-                CellMetrics {
-                    unfairness: outcome.unfairness,
-                    makespan: outcome.makespan,
-                    average_slowdown: outcome.average_slowdown,
-                },
-            );
+            if let Some(cache) = cache {
+                cache.insert(
+                    keys[slot],
+                    CellMetrics {
+                        unfairness: outcome.unfairness,
+                        makespan: outcome.makespan,
+                        average_slowdown: outcome.average_slowdown,
+                    },
+                );
+            }
             outcomes[slot] = Some(outcome);
         }
     }
-    outcomes
+    let outcomes = outcomes
         .into_iter()
-        .map(|o| o.expect("every policy slot is cached or freshly evaluated"))
-        .collect()
+        .map(|o| o.expect("every policy slot is skipped, cached or freshly evaluated"))
+        .collect();
+    (outcomes, skipped)
 }
 
 /// Per-scenario outcomes of one data point: outer index = scenario in
@@ -231,16 +276,24 @@ pub struct CellJob {
     progress: Progress,
     spec: String,
     pipeline_key: String,
+    /// `Some((index, of))` for a sharded run: only cells of partition
+    /// `index` are evaluated; the rest become NaN placeholders.
+    shard: Option<(usize, usize)>,
+    /// Out-of-shard cells skipped so far (reported at the end of the grid).
+    skipped: std::sync::atomic::AtomicU64,
 }
 
 impl CellJob {
     /// Assembles a job: opens the cache (if configured), derives the
     /// source spec and pipeline key, and sizes the progress reporter to
-    /// `replications × ptg_count_len` data points.
+    /// `replications × ptg_count_len` data points. With `shard` set, the
+    /// progress label carries a `[shard i/N]` suffix and only that
+    /// partition of the cell grid is evaluated.
     ///
     /// # Errors
     ///
-    /// Propagates cache-directory failures (see [`open_cell_cache`]).
+    /// Propagates cache-directory failures (see [`open_cell_cache`]) and
+    /// rejects malformed shard specs (`index >= of` or `of == 0`).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         label: String,
@@ -255,8 +308,20 @@ impl CellJob {
         resume: bool,
         progress: bool,
         ptg_count_len: usize,
+        shard: Option<(usize, usize)>,
     ) -> Result<Arc<Self>, SchedError> {
         let replications = replications.max(1);
+        let label = match shard {
+            Some((index, of)) => {
+                if of == 0 || index >= of {
+                    return Err(SchedError::InvalidConfig(format!(
+                        "shard {index}/{of} is out of range (need index < N and N > 0)"
+                    )));
+                }
+                format!("{label} [shard {index}/{of}]")
+            }
+            None => label,
+        };
         Ok(Arc::new(Self {
             spec: source.spec(),
             pipeline_key: base.pipeline_cache_key(),
@@ -269,6 +334,8 @@ impl CellJob {
             seed,
             replications,
             threads,
+            shard,
+            skipped: std::sync::atomic::AtomicU64::new(0),
         }))
     }
 
@@ -293,14 +360,20 @@ impl CellJob {
         let job = Arc::clone(self);
         let task_scenarios = Arc::clone(&scenarios);
         let outcomes = run_indexed(self.threads, scenarios.len(), move |i| {
-            evaluate_policies_cached(
+            let (outcomes, skipped) = evaluate_policies_sharded(
                 &task_scenarios[i],
                 &job.base,
                 &job.policies,
                 job.cache.as_deref(),
                 &job.spec,
                 &job.pipeline_key,
-            )
+                job.shard,
+            );
+            if skipped > 0 {
+                job.skipped
+                    .fetch_add(skipped, std::sync::atomic::Ordering::Relaxed);
+            }
+            outcomes
         });
         if let Some(cache) = &self.cache {
             flush_cell_cache(cache);
@@ -349,6 +422,14 @@ impl CellJob {
         if let Some(cache) = &self.cache {
             flush_cell_cache(cache);
             report_cell_cache(cache);
+        }
+        if let Some((index, of)) = self.shard {
+            mcsched_obs::note!(
+                "shard {index}/{of}: skipped {} out-of-shard cell(s); merge the \
+                 shard cache dirs (mcsched-merge) and re-run unsharded to render \
+                 complete tables",
+                self.skipped.load(std::sync::atomic::Ordering::Relaxed)
+            );
         }
         Ok(points)
     }
@@ -457,6 +538,55 @@ mod tests {
             "cache hits reproduce the outcomes bit-exactly"
         );
         assert_eq!(cache.hits(), policies.len() as u64);
+    }
+
+    #[test]
+    fn sharded_evaluation_unions_to_the_direct_result() {
+        let base = SchedulerConfig::default();
+        let pipeline = base.pipeline_cache_key();
+        let scenarios = generate_scenarios(PtgClass::Strassen, 2, 1, 17);
+        let scenario = &scenarios[0];
+        let policies = policies();
+        let direct = scenario.evaluate_policies(&base, &policies);
+        let of = 2;
+        let mut merged: Vec<Option<ScenarioOutcome>> = vec![None; policies.len()];
+        let mut total_skipped = 0;
+        for index in 0..of {
+            let cache = CellCache::in_memory();
+            let (outcomes, skipped) = evaluate_policies_sharded(
+                scenario,
+                &base,
+                &policies,
+                Some(&cache),
+                "strassen",
+                &pipeline,
+                Some((index, of)),
+            );
+            total_skipped += skipped;
+            // Placeholders are all-NaN and never cached.
+            let evaluated = outcomes.iter().filter(|o| !o.makespan.is_nan()).count();
+            assert_eq!(cache.len(), evaluated, "only real cells enter the cache");
+            for (slot, outcome) in outcomes.into_iter().enumerate() {
+                if outcome.makespan.is_nan() {
+                    assert!(outcome.unfairness.is_nan());
+                    assert!(outcome.average_slowdown.is_nan());
+                } else {
+                    assert!(
+                        merged[slot].replace(outcome).is_none(),
+                        "each cell is evaluated by exactly one shard"
+                    );
+                }
+            }
+        }
+        // Every cell was evaluated by exactly one shard, bit-identically to
+        // the direct path, and skip counts complement evaluations.
+        let merged: Vec<ScenarioOutcome> = merged.into_iter().map(Option::unwrap).collect();
+        assert_eq!(merged, direct);
+        assert_eq!(
+            total_skipped as usize,
+            policies.len() * (of - 1),
+            "each cell is skipped by all other shards"
+        );
     }
 
     #[test]

@@ -37,6 +37,13 @@
 //!   interrupted runs resume from completed shards;
 //! * `--no-resume` — clear the cache directory instead of serving from it
 //!   (escape hatch for a cache suspected stale);
+//! * `--shard i/N` — evaluate only partition `i` of a deterministic `N`-way
+//!   split of the cell grid (digest modulo `N`, any `N`): the sharded-run
+//!   half of a multi-process campaign. Each of the `N` processes points its
+//!   own `--cache-dir` at a separate directory; afterwards `mcsched-merge`
+//!   unions the directories and a final warm unsharded run renders tables
+//!   byte-identical to a single-process run (a sharded run's own tables
+//!   contain NaN placeholders for the cells it skipped);
 //! * `--progress` — narrate one stderr line per completed data point;
 //! * `--profile` — print per-phase wall-clock timings (workload generation,
 //!   β + allocation, mapping, simulation, statistics) to stderr at the end
@@ -106,6 +113,9 @@ pub struct CliOptions {
     /// Clear the cache directory instead of resuming from it
     /// (`--no-resume`).
     pub no_resume: bool,
+    /// `Some((index, of))` evaluates only one partition of the cell grid
+    /// (`--shard i/N`).
+    pub shard: Option<(usize, usize)>,
     /// Narrate per-data-point progress on stderr (`--progress`).
     pub progress: bool,
     /// Print per-phase wall-clock timings on stderr (`--profile`).
@@ -212,6 +222,21 @@ impl CliOptions {
                 }
                 "--cache-dir" => {
                     opts.cache_dir = Some(PathBuf::from(value(&mut it, &arg)?));
+                }
+                "--shard" => {
+                    let raw = value(&mut it, &arg)?;
+                    let (index, of) = raw.split_once('/').ok_or_else(|| {
+                        format!("flag `--shard` expects `i/N` (e.g. `0/3`), got `{raw}`")
+                    })?;
+                    let index: usize = numeric(&arg, index.trim())?;
+                    let of: usize = numeric(&arg, of.trim())?;
+                    if of == 0 || index >= of {
+                        return Err(format!(
+                            "flag `--shard` expects an index below the shard count \
+                             (i < N, N > 0), got `{raw}`"
+                        ));
+                    }
+                    opts.shard = Some((index, of));
                 }
                 "--quiet" => opts.obs.quiet = true,
                 "--obs-trace" => {
@@ -339,6 +364,10 @@ impl CliOptions {
         if self.progress {
             config.progress = true;
         }
+        if let Some(shard) = self.shard {
+            self.warn_uncached_shard(config.cache_dir.is_none());
+            config.shard = Some(shard);
+        }
         Ok(config)
     }
 
@@ -384,7 +413,25 @@ impl CliOptions {
         if self.progress {
             config.progress = true;
         }
+        if let Some(shard) = self.shard {
+            self.warn_uncached_shard(config.cache_dir.is_none());
+            config.shard = Some(shard);
+        }
         Ok(config)
+    }
+
+    /// A sharded run's stdout tables are partial (NaN placeholders for
+    /// skipped cells); its *product* is the cache directory the merge step
+    /// collects. Sharding without `--cache-dir` therefore computes a
+    /// partition and throws it away — legal (e.g. for timing), but worth a
+    /// loud warning.
+    fn warn_uncached_shard(&self, uncached: bool) {
+        if uncached {
+            eprintln!(
+                "warning: --shard without --cache-dir computes a partition but persists \
+                 nothing; the skipped cells render as NaN and cannot be merged later"
+            );
+        }
     }
 
     /// A replayed trace holds one fixed workload per combination: extra
@@ -643,6 +690,34 @@ mod tests {
         assert_eq!(plain.cache_dir, None);
         assert!(plain.resume);
         assert!(!plain.progress);
+    }
+
+    #[test]
+    fn shard_flag_parses_and_applies_to_both_configs() {
+        let o = parse(&["--shard", "1/3", "--cache-dir", "/tmp/cells"]);
+        assert_eq!(o.shard, Some((1, 3)));
+        let cfg = o
+            .configure_campaign(CampaignConfig::quick(PtgClass::Random))
+            .unwrap();
+        assert_eq!(cfg.shard, Some((1, 3)));
+        let sweep = o.configure_mu_sweep(MuSweepConfig::quick()).unwrap();
+        assert_eq!(sweep.shard, Some((1, 3)));
+        // Whitespace tolerated, like the other list-ish flags.
+        assert_eq!(parse(&["--shard", "0 / 16"]).shard, Some((0, 16)));
+        // Unsharded runs keep the default.
+        let plain = parse(&[])
+            .configure_campaign(CampaignConfig::quick(PtgClass::Random))
+            .unwrap();
+        assert_eq!(plain.shard, None);
+    }
+
+    #[test]
+    fn malformed_shard_specs_are_hard_errors() {
+        assert!(parse_err(&["--shard", "3"]).contains("i/N"));
+        assert!(parse_err(&["--shard", "a/b"]).contains("--shard"));
+        assert!(parse_err(&["--shard", "3/3"]).contains("i < N"));
+        assert!(parse_err(&["--shard", "0/0"]).contains("i < N"));
+        assert!(parse_err(&["--shard"]).contains("expects a value"));
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod report;
 pub mod scenario;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, CellSamples, StrategyPoint};
-pub use cells::{cell_digest, evaluate_policies_cached};
+pub use cells::{cell_digest, evaluate_policies_cached, evaluate_policies_sharded};
 pub use cli::CliOptions;
 pub use mu_sweep::{paired_mu_unfairness, run_mu_sweep, MuSamples, MuSweepConfig, MuSweepPoint};
 pub use report::{

@@ -53,6 +53,12 @@ pub struct MuSweepConfig {
     pub resume: bool,
     /// Narrate one stderr line per completed data point (`--progress`).
     pub progress: bool,
+    /// `Some((index, of))` runs only partition `index` of a deterministic
+    /// `of`-way split of the cell grid (`--shard i/N`); see
+    /// [`crate::CampaignConfig::shard`] — sweeps shard by the same digest
+    /// partition, so a sharded sweep and a sharded campaign sharing a
+    /// cache dir stay consistent.
+    pub shard: Option<(usize, usize)>,
 }
 
 impl MuSweepConfig {
@@ -71,6 +77,7 @@ impl MuSweepConfig {
             cache_dir: None,
             resume: true,
             progress: false,
+            shard: None,
         }
     }
 
@@ -177,6 +184,7 @@ pub fn run_mu_sweep(config: &MuSweepConfig) -> Result<Vec<MuSweepPoint>, SchedEr
         config.resume,
         config.progress,
         config.ptg_counts.len(),
+        config.shard,
     )?;
 
     let mut cells_map: BTreeMap<(usize, usize), MuSamples> = BTreeMap::new();

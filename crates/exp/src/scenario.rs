@@ -259,6 +259,21 @@ impl ScenarioOutcome {
             average_slowdown: evaluation.fairness.average_slowdown,
         }
     }
+
+    /// The placeholder a sharded run (`--shard i/N`) records for a cell
+    /// outside its own partition: all-NaN metrics that aggregation treats
+    /// as "no measurement" (NaN fails every `> 0.0` best-makespan filter).
+    /// Deliberately **never cached** — only real evaluations enter the
+    /// store, so merging shard caches can never conflict on a placeholder.
+    #[must_use]
+    pub fn skipped(strategy: String) -> Self {
+        ScenarioOutcome {
+            strategy,
+            unfairness: f64::NAN,
+            makespan: f64::NAN,
+            average_slowdown: f64::NAN,
+        }
+    }
 }
 
 #[cfg(test)]

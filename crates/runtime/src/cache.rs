@@ -25,8 +25,38 @@
 //! or at the new complete state — never half-written. Stale `*.tmp` files
 //! and unreadable/corrupt shards are skipped (with a warning) at load time:
 //! a damaged cache degrades to recomputation, never to wrong results or a
-//! crash. Entries whose embedded salt differs from [`CACHE_SALT`] are
-//! ignored wholesale, which is how bumping the salt invalidates old caches.
+//! crash. A *structurally* valid shard with individually malformed cell
+//! records recovers **per cell**: the bad records are skipped and counted,
+//! the good ones are served (an early version discarded the whole shard on
+//! one bad record, silently recomputing everything). Entries whose embedded
+//! salt differs from [`CACHE_SALT`] are ignored wholesale, which is how
+//! bumping the salt invalidates old caches.
+//!
+//! ## Float fidelity, including non-finite values
+//!
+//! Finite metrics are stored as shortest-round-trip numeric tokens (parsed
+//! from the raw token text, so they round-trip bit-exactly). Non-finite
+//! metrics — NaN of any payload, ±∞ — have no JSON literal and are stored
+//! as an explicit bit-pattern sentinel string (`"bits:<16 hex digits>"`),
+//! which round-trips *losslessly* too. An early version emitted the raw
+//! Rust formatting (`NaN`), producing an invalid token that poisoned its
+//! entire shard on reload; and because `f64::NAN != f64::NAN`, the old
+//! `PartialEq`-based dirtiness check rewrote any NaN-bearing shard on every
+//! flush forever. Both identity checks (dirtiness, merge conflicts) now
+//! compare **bit patterns** ([`CellMetrics::bits_eq`]).
+//!
+//! ## Merging cache directories
+//!
+//! [`merge_cache_dirs`] unions any number of cache directories into a
+//! destination — the collection step of a sharded multi-process campaign
+//! (`--shard i/N` + `mcsched-merge`). Sources are salt- and
+//! version-checked (a stale source is a hard error, unlike resume, which
+//! merely skips), duplicate cells must agree bit-for-bit, and a digest
+//! mapped to *different* metrics by two sources aborts the merge naming
+//! both files ([`MergeError::Conflict`]). The destination is written with
+//! the same key-sorted deterministic rendering as a flush, so merging the
+//! disjoint caches of a sharded campaign produces a directory byte-identical
+//! to the one a single unsharded run would have written.
 
 use crate::digest::{CellDigest, CACHE_SALT};
 use mcsched_workload::json::Json;
@@ -60,13 +90,34 @@ pub struct CellMetrics {
 }
 
 impl CellMetrics {
-    /// Whether every field is finite — only finite metrics are cached (JSON
-    /// has no literal for NaN/∞; real evaluations never produce them).
+    /// Whether every field is finite. Real evaluations never produce
+    /// non-finite metrics, but the cache no longer depends on that: NaN/∞
+    /// round-trip losslessly through the bit-pattern sentinel encoding.
     #[must_use]
     pub fn is_finite(&self) -> bool {
         self.unfairness.is_finite()
             && self.makespan.is_finite()
             && self.average_slowdown.is_finite()
+    }
+
+    /// The three metrics as raw bit patterns — the identity the cache uses
+    /// for dirtiness and merge-conflict checks, under which every NaN
+    /// payload equals itself and `-0.0 != 0.0`.
+    #[must_use]
+    pub fn to_bits(&self) -> [u64; 3] {
+        [
+            self.unfairness.to_bits(),
+            self.makespan.to_bits(),
+            self.average_slowdown.to_bits(),
+        ]
+    }
+
+    /// Bit-pattern equality (NaN-safe, unlike the derived `PartialEq`,
+    /// whose float semantics made a re-inserted NaN cell compare unequal to
+    /// itself and kept its shard perpetually dirty).
+    #[must_use]
+    pub fn bits_eq(&self, other: &Self) -> bool {
+        self.to_bits() == other.to_bits()
     }
 }
 
@@ -215,14 +266,17 @@ impl CellCache {
         found
     }
 
-    /// Stores a cell. Non-finite metrics are ignored (they cannot be
-    /// serialized and no real evaluation produces them).
+    /// Stores a cell. Non-finite metrics are stored too (they serialize
+    /// through the lossless bit-pattern sentinel). The shard only becomes
+    /// dirty when the stored *bit patterns* change: re-inserting an
+    /// identical value — NaN included — never triggers a rewrite.
     pub fn insert(&self, key: CellDigest, metrics: CellMetrics) {
-        if !metrics.is_finite() {
-            return;
-        }
         let mut shard = lock(&self.shards[key.shard(SHARD_COUNT)]);
-        if shard.cells.insert(key.0, metrics) != Some(metrics) {
+        let changed = match shard.cells.insert(key.0, metrics) {
+            Some(previous) => !previous.bits_eq(&metrics),
+            None => true,
+        };
+        if changed {
             shard.dirty = true;
         }
     }
@@ -256,12 +310,19 @@ impl CellCache {
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures (callers downgrade to a warning: a cache
-    /// that cannot persist costs recomputation, not correctness).
+    /// Aggregates I/O failures: **every** dirty shard is attempted even
+    /// when an earlier one fails (an early version returned on the first
+    /// error, abandoning all later shards unflushed and leaving the failed
+    /// shard's temporary behind), failed temporaries are removed, and the
+    /// returned error names every shard that could not be written. Shards
+    /// that failed stay dirty, so a later flush retries them. Callers
+    /// downgrade the error to a warning: a cache that cannot persist costs
+    /// recomputation, not correctness.
     pub fn flush(&self) -> io::Result<()> {
         let Some(dir) = &self.dir else {
             return Ok(());
         };
+        let mut failures: Vec<String> = Vec::new();
         for (index, shard) in self.shards.iter().enumerate() {
             let mut shard = lock(shard);
             if !shard.dirty {
@@ -269,12 +330,28 @@ impl CellCache {
             }
             let path = shard_path(dir, index);
             let tmp = path.with_extension("json.tmp");
-            std::fs::write(&tmp, render_shard(&shard.cells))?;
-            std::fs::rename(&tmp, &path)?;
-            shard.dirty = false;
-            mcsched_obs::counter!("cache.shard_write").inc();
+            let written = std::fs::write(&tmp, render_shard(&shard.cells))
+                .and_then(|()| std::fs::rename(&tmp, &path));
+            match written {
+                Ok(()) => {
+                    shard.dirty = false;
+                    mcsched_obs::counter!("cache.shard_write").inc();
+                }
+                Err(e) => {
+                    let _ = std::fs::remove_file(&tmp);
+                    failures.push(format!("{}: {e}", path.display()));
+                }
+            }
         }
-        Ok(())
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(io::Error::other(format!(
+                "{} shard flush(es) failed: {}",
+                failures.len(),
+                failures.join("; ")
+            )))
+        }
     }
 
     /// Loads one shard file into memory, returning the number of cells
@@ -294,7 +371,15 @@ impl CellCache {
             }
         };
         match parse_shard(&text) {
-            Ok(cells) => {
+            Ok((cells, skipped)) => {
+                if skipped > 0 {
+                    mcsched_obs::counter!("cache.corrupt_cell").add(skipped as u64);
+                    eprintln!(
+                        "warning: cell cache: {} skipped {skipped} malformed cell record(s); \
+                         they will be recomputed",
+                        path.display()
+                    );
+                }
                 let count = cells.len();
                 let shard = self.shards[index]
                     .get_mut()
@@ -336,6 +421,33 @@ fn remove_stale_temporaries(dir: &Path) -> io::Result<()> {
     Ok(())
 }
 
+/// Serializes one metric field. Finite values become shortest-round-trip
+/// numeric tokens (bit-exact through the raw-token parser); non-finite
+/// values have no JSON literal and become the lossless bit-pattern sentinel
+/// `"bits:<16 hex digits>"` (an early version fed them to the numeric
+/// formatter, producing an invalid `NaN` token that poisoned its shard).
+fn render_f64_cell(value: f64) -> Json {
+    if value.is_finite() {
+        Json::num_f64(value)
+    } else {
+        Json::Str(format!("bits:{:016x}", value.to_bits()))
+    }
+}
+
+/// Parses a metric field written by [`render_f64_cell`]: a numeric token
+/// (any finite value, recovered from the raw token text) or the
+/// `"bits:<16 hex digits>"` sentinel (recovered by exact bit pattern).
+fn parse_f64_cell(value: &Json) -> Option<f64> {
+    if let Some(v) = value.as_f64() {
+        return Some(v);
+    }
+    let hex = value.as_str()?.strip_prefix("bits:")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok().map(f64::from_bits)
+}
+
 /// Serializes a shard. Cells are emitted in key order so flushing the same
 /// content always produces the same bytes (shard files diff cleanly).
 fn render_shard(cells: &HashMap<u128, CellMetrics>) -> String {
@@ -347,9 +459,12 @@ fn render_shard(cells: &HashMap<u128, CellMetrics>) -> String {
             let m = &cells[key];
             Json::Obj(vec![
                 ("key".into(), Json::Str(CellDigest(*key).to_hex())),
-                ("unfairness".into(), Json::num_f64(m.unfairness)),
-                ("makespan".into(), Json::num_f64(m.makespan)),
-                ("average_slowdown".into(), Json::num_f64(m.average_slowdown)),
+                ("unfairness".into(), render_f64_cell(m.unfairness)),
+                ("makespan".into(), render_f64_cell(m.makespan)),
+                (
+                    "average_slowdown".into(),
+                    render_f64_cell(m.average_slowdown),
+                ),
             ])
         })
         .collect();
@@ -363,11 +478,15 @@ fn render_shard(cells: &HashMap<u128, CellMetrics>) -> String {
     text
 }
 
-/// Parses a shard document. Version/salt mismatches and malformed entries
-/// reject the *whole shard* (the caller warns and recomputes its cells): a
-/// file that fails any structural check has no trustworthy parts, and
-/// recomputation is always safe.
-fn parse_shard(text: &str) -> Result<HashMap<u128, CellMetrics>, String> {
+/// Parses a shard document, returning the recovered cells and the number of
+/// individually malformed entries that were skipped. Failures of the
+/// *document* (unparseable JSON, wrong version, wrong salt, no `cells`
+/// array) still reject the whole shard — those checks guard the contract,
+/// not one record. But within a structurally valid document, recovery is
+/// **per cell**: a malformed entry is skipped and counted while every good
+/// entry is served (an early version discarded the whole shard on one bad
+/// record, silently recomputing everything).
+fn parse_shard(text: &str) -> Result<(HashMap<u128, CellMetrics>, usize), String> {
     let doc = Json::parse(text)?;
     let version = doc.get("version").and_then(Json::as_u64);
     if version != Some(FORMAT_VERSION) {
@@ -386,31 +505,244 @@ fn parse_shard(text: &str) -> Result<HashMap<u128, CellMetrics>, String> {
         .and_then(Json::as_arr)
         .ok_or("missing `cells` array")?;
     let mut cells = HashMap::with_capacity(entries.len());
+    let mut skipped = 0usize;
     for entry in entries {
-        let Some(key) = entry
+        let parsed = entry
             .get("key")
             .and_then(Json::as_str)
             .and_then(CellDigest::from_hex)
-        else {
-            return Err("entry with a missing or malformed `key`".to_string());
-        };
-        let field = |name: &str| -> Result<f64, String> {
-            entry
-                .get(name)
-                .and_then(Json::as_f64)
-                .filter(|v| v.is_finite())
-                .ok_or_else(|| format!("entry {key} has a malformed `{name}`"))
-        };
-        cells.insert(
-            key.0,
-            CellMetrics {
-                unfairness: field("unfairness")?,
-                makespan: field("makespan")?,
-                average_slowdown: field("average_slowdown")?,
-            },
-        );
+            .and_then(|key| {
+                let field = |name: &str| entry.get(name).and_then(parse_f64_cell);
+                Some((
+                    key,
+                    CellMetrics {
+                        unfairness: field("unfairness")?,
+                        makespan: field("makespan")?,
+                        average_slowdown: field("average_slowdown")?,
+                    },
+                ))
+            });
+        match parsed {
+            Some((key, metrics)) => {
+                cells.insert(key.0, metrics);
+            }
+            None => skipped += 1,
+        }
     }
-    Ok(cells)
+    Ok((cells, skipped))
+}
+
+/// What [`merge_cache_dirs`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Source directories read (the destination, when it already held
+    /// cells, counts as one).
+    pub sources: usize,
+    /// Total distinct cells in the merged destination.
+    pub cells: usize,
+    /// Cells the merge added beyond what the destination already held.
+    pub added: usize,
+    /// Cells seen more than once across sources (bit-identical, or the
+    /// merge would have aborted with [`MergeError::Conflict`]).
+    pub duplicates: usize,
+    /// Individually malformed cell records skipped across all sources.
+    pub skipped: usize,
+}
+
+impl MergeReport {
+    /// One-line human summary of the merge.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "merged {} source dir(s): {} cells ({} added, {} duplicate(s), {} skipped record(s))",
+            self.sources, self.cells, self.added, self.duplicates, self.skipped
+        )
+    }
+}
+
+/// Why a merge refused to produce a destination.
+#[derive(Debug)]
+pub enum MergeError {
+    /// Filesystem failure reading a source or writing the destination.
+    Io(io::Error),
+    /// A source shard file exists but is not a cache shard this build can
+    /// trust: unparseable JSON, wrong format version, or — most commonly —
+    /// a [`CACHE_SALT`] from different scheduling semantics. Unlike resume
+    /// (which warns and recomputes), merge treats this as a hard error: a
+    /// merge output must never silently omit a source the caller named.
+    Incompatible {
+        /// The offending shard file.
+        path: PathBuf,
+        /// The parser's rejection reason.
+        reason: String,
+    },
+    /// Two sources map the same digest to *different* metrics. Content
+    /// addressing makes this impossible for honest caches of the same code
+    /// version, so it always indicates a real problem (mixed builds, a
+    /// corrupted store, or hand-edited files) — the merge aborts naming
+    /// both files rather than pick a winner.
+    Conflict {
+        /// The digest both sources claim.
+        digest: CellDigest,
+        /// The shard file whose value was seen first.
+        first: PathBuf,
+        /// The shard file that disagreed.
+        second: PathBuf,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "merge I/O failure: {e}"),
+            Self::Incompatible { path, reason } => {
+                write!(f, "incompatible source shard {}: {reason}", path.display())
+            }
+            Self::Conflict {
+                digest,
+                first,
+                second,
+            } => write!(
+                f,
+                "merge conflict: digest {digest} has different metrics in {} and {}",
+                first.display(),
+                second.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+impl From<io::Error> for MergeError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Unions any number of cache directories into `dest` — the collection step
+/// of a sharded campaign (`--shard i/N` processes filling disjoint dirs,
+/// then one `mcsched-merge`). If `dest` already holds cells it acts as an
+/// implicit additional source (so merging *into* a partial cache — e.g. to
+/// pre-populate a re-sharded run — works), and merging is idempotent: a
+/// digest may appear in any number of sources as long as every occurrence
+/// is bit-identical. The destination is rewritten with the same key-sorted
+/// deterministic rendering as a flush, so merging the disjoint caches of a
+/// sharded campaign yields a directory **byte-identical** to the one a
+/// single unsharded run would have written.
+///
+/// Individually malformed cell records inside structurally valid source
+/// shards are skipped and counted (same per-cell recovery as resume);
+/// missing shard files are simply empty. Sources may be given in any order
+/// without changing the result.
+///
+/// # Errors
+///
+/// [`MergeError::Io`] on filesystem failures, [`MergeError::Incompatible`]
+/// when a shard file is unparseable or carries a foreign salt/version, and
+/// [`MergeError::Conflict`] when two sources disagree on a digest's metrics
+/// (both file paths are named; nothing is written).
+pub fn merge_cache_dirs(sources: &[PathBuf], dest: &Path) -> Result<MergeReport, MergeError> {
+    // Union in memory first: conflicts must abort before any byte of the
+    // destination changes.
+    let mut merged: HashMap<u128, (CellMetrics, PathBuf)> = HashMap::new();
+    let mut duplicates = 0usize;
+    let mut skipped = 0usize;
+    let mut read_sources = 0usize;
+    let mut dest_cells = 0usize;
+
+    let mut absorb = |dir: &Path,
+                      merged: &mut HashMap<u128, (CellMetrics, PathBuf)>|
+     -> Result<(usize, usize), MergeError> {
+        let mut absorbed = 0usize;
+        let mut present = 0usize;
+        for index in 0..SHARD_COUNT {
+            let path = shard_path(dir, index);
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(MergeError::Io(e)),
+            };
+            present += 1;
+            let (cells, bad) = parse_shard(&text).map_err(|reason| MergeError::Incompatible {
+                path: path.clone(),
+                reason,
+            })?;
+            skipped += bad;
+            for (key, metrics) in cells {
+                match merged.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(seen) => {
+                        let (existing, first) = seen.get();
+                        if !existing.bits_eq(&metrics) {
+                            mcsched_obs::counter!("cache.merge.conflict").inc();
+                            return Err(MergeError::Conflict {
+                                digest: CellDigest(key),
+                                first: first.clone(),
+                                second: path.clone(),
+                            });
+                        }
+                        duplicates += 1;
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert((metrics, path.clone()));
+                        absorbed += 1;
+                    }
+                }
+            }
+        }
+        Ok((absorbed, present))
+    };
+
+    if dest.is_dir() {
+        let (absorbed, present) = absorb(dest, &mut merged)?;
+        dest_cells = absorbed;
+        if present > 0 {
+            read_sources += 1;
+        }
+    }
+    for source in sources {
+        let (_, present) = absorb(source, &mut merged)?;
+        if present > 0 {
+            read_sources += 1;
+        }
+    }
+
+    // Regroup by file shard and write with the flush rendering. Only
+    // non-empty shards get a file — exactly what an unsharded run's
+    // flush-on-dirty policy produces, preserving byte-identical dirs.
+    std::fs::create_dir_all(dest).map_err(MergeError::Io)?;
+    let mut by_shard: Vec<HashMap<u128, CellMetrics>> =
+        (0..SHARD_COUNT).map(|_| HashMap::new()).collect();
+    for (key, (metrics, _)) in &merged {
+        by_shard[CellDigest(*key).shard(SHARD_COUNT)].insert(*key, *metrics);
+    }
+    for (index, cells) in by_shard.iter().enumerate() {
+        if cells.is_empty() {
+            continue;
+        }
+        let path = shard_path(dest, index);
+        let tmp = path.with_extension("json.tmp");
+        let written =
+            std::fs::write(&tmp, render_shard(cells)).and_then(|()| std::fs::rename(&tmp, &path));
+        if let Err(e) = written {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(MergeError::Io(e));
+        }
+    }
+
+    let report = MergeReport {
+        sources: read_sources,
+        cells: merged.len(),
+        added: merged.len() - dest_cells,
+        duplicates,
+        skipped,
+    };
+    mcsched_obs::counter!("cache.merge.sources").add(report.sources as u64);
+    mcsched_obs::counter!("cache.merge.cells").add(report.cells as u64);
+    mcsched_obs::counter!("cache.merge.added").add(report.added as u64);
+    mcsched_obs::counter!("cache.merge.duplicates").add(report.duplicates as u64);
+    mcsched_obs::note!("cell cache: {}", report.summary());
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -573,18 +905,230 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_metrics_are_not_cached() {
-        let cache = CellCache::in_memory();
-        cache.insert(
-            key(9),
-            CellMetrics {
-                unfairness: f64::NAN,
-                makespan: 1.0,
-                average_slowdown: 1.0,
-            },
+    fn non_finite_metrics_round_trip_bit_exactly() {
+        // NaN (a non-canonical payload, to prove losslessness), +∞, -0.0:
+        // all must survive a flush/reload by exact bit pattern. An early
+        // version emitted `NaN` as a raw token, which poisoned the whole
+        // shard at parse time.
+        let dir = TempDir::new("nonfinite");
+        let weird = CellMetrics {
+            unfairness: f64::from_bits(0x7ff8_0000_0000_beef),
+            makespan: f64::INFINITY,
+            average_slowdown: -0.0,
+        };
+        {
+            let cache = CellCache::open(dir.path(), true).unwrap();
+            cache.insert(key(9), weird);
+            cache.insert(key(10), metrics(1.0));
+            cache.flush().unwrap();
+        }
+        let cache = CellCache::open(dir.path(), true).unwrap();
+        assert_eq!(cache.resumed(), 2, "NaN no longer poisons its shard");
+        let loaded = cache.lookup(key(9)).unwrap();
+        assert_eq!(loaded.to_bits(), weird.to_bits());
+        assert_eq!(cache.lookup(key(10)), Some(metrics(1.0)));
+    }
+
+    #[test]
+    fn reinserting_nan_does_not_keep_the_shard_dirty() {
+        let dir = TempDir::new("nandirty");
+        let nan = CellMetrics {
+            unfairness: f64::NAN,
+            makespan: 2.0,
+            average_slowdown: 3.0,
+        };
+        let cache = CellCache::open(dir.path(), true).unwrap();
+        cache.insert(key(1), nan);
+        cache.flush().unwrap();
+        let path = {
+            let mut files: Vec<_> = std::fs::read_dir(dir.path())
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .collect();
+            files.sort();
+            assert_eq!(files.len(), 1);
+            files.remove(0)
+        };
+        let before = std::fs::metadata(&path).unwrap().modified().unwrap();
+        // Under the old float-`PartialEq` dirtiness check, NaN != NaN made
+        // this re-insert mark the shard dirty and rewrite it every flush.
+        cache.insert(key(1), nan);
+        cache.flush().unwrap();
+        let after = std::fs::metadata(&path).unwrap().modified().unwrap();
+        assert_eq!(before, after, "identical re-insert must not rewrite");
+    }
+
+    #[test]
+    fn malformed_records_are_skipped_per_cell() {
+        let dir = TempDir::new("percell");
+        let good_a = key(1);
+        let good_b = key(2);
+        std::fs::write(
+            shard_path(dir.path(), good_a.shard(SHARD_COUNT)),
+            format!(
+                "{{\"version\":1,\"salt\":\"{CACHE_SALT}\",\"cells\":[\
+                 {{\"key\":\"{}\",\"unfairness\":0.5,\"makespan\":10,\"average_slowdown\":2}},\
+                 {{\"key\":\"not-hex\",\"unfairness\":1,\"makespan\":1,\"average_slowdown\":1}},\
+                 {{\"key\":\"{}\",\"unfairness\":\"bits:zzzz\",\"makespan\":1,\"average_slowdown\":1}}\
+                 ]}}",
+                good_a.to_hex(),
+                good_b.to_hex(),
+            ),
+        )
+        .unwrap();
+        let cache = CellCache::open(dir.path(), true).unwrap();
+        // One good record served; the bad key and the bad sentinel skipped.
+        // (good_b shares good_a's file shard only by luck of the digest; it
+        // is in this shard file regardless because we wrote it there, and a
+        // lookup only consults the file shard its digest maps to — so only
+        // assert on resumed + good_a.)
+        assert_eq!(cache.resumed(), 1, "good records survive bad neighbours");
+        assert_eq!(
+            cache.lookup(good_a),
+            Some(CellMetrics {
+                unfairness: 0.5,
+                makespan: 10.0,
+                average_slowdown: 2.0
+            })
         );
-        assert!(cache.is_empty());
-        assert_eq!(cache.lookup(key(9)), None);
+    }
+
+    #[test]
+    fn merge_unions_disjoint_dirs_byte_identically() {
+        let a = TempDir::new("merge-a");
+        let b = TempDir::new("merge-b");
+        let all = TempDir::new("merge-all");
+        let dest = TempDir::new("merge-dest");
+        // Split ten cells across two dirs; write the union to a third.
+        {
+            let ca = CellCache::open(a.path(), true).unwrap();
+            let cb = CellCache::open(b.path(), true).unwrap();
+            let call = CellCache::open(all.path(), true).unwrap();
+            for tag in 0..10u64 {
+                let m = metrics(tag as f64 + 0.5);
+                call.insert(key(tag), m);
+                if key(tag).partition(2) == 0 {
+                    ca.insert(key(tag), m);
+                } else {
+                    cb.insert(key(tag), m);
+                }
+            }
+            ca.flush().unwrap();
+            cb.flush().unwrap();
+            call.flush().unwrap();
+        }
+        let report = merge_cache_dirs(
+            &[a.path().to_path_buf(), b.path().to_path_buf()],
+            dest.path(),
+        )
+        .unwrap();
+        assert_eq!(report.cells, 10);
+        assert_eq!(report.added, 10);
+        assert_eq!(report.duplicates, 0);
+        assert_eq!(report.skipped, 0);
+        // Byte-identical to the directory the unsharded cache wrote.
+        let listing = |p: &Path| -> Vec<(String, String)> {
+            let mut files: Vec<_> = std::fs::read_dir(p)
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .collect();
+            files.sort();
+            files
+                .into_iter()
+                .map(|f| {
+                    (
+                        f.file_name().unwrap().to_string_lossy().into_owned(),
+                        std::fs::read_to_string(&f).unwrap(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(listing(dest.path()), listing(all.path()));
+        // Idempotent: merging the same sources again adds nothing and the
+        // bytes do not change.
+        let again = merge_cache_dirs(
+            &[a.path().to_path_buf(), b.path().to_path_buf()],
+            dest.path(),
+        )
+        .unwrap();
+        assert_eq!(again.added, 0);
+        assert_eq!(again.duplicates, 10);
+        assert_eq!(listing(dest.path()), listing(all.path()));
+    }
+
+    #[test]
+    fn merge_conflict_names_both_sources() {
+        let a = TempDir::new("conflict-a");
+        let b = TempDir::new("conflict-b");
+        let dest = TempDir::new("conflict-dest");
+        {
+            let ca = CellCache::open(a.path(), true).unwrap();
+            ca.insert(key(5), metrics(1.0));
+            ca.flush().unwrap();
+            let cb = CellCache::open(b.path(), true).unwrap();
+            cb.insert(key(5), metrics(2.0));
+            cb.flush().unwrap();
+        }
+        let err = merge_cache_dirs(
+            &[a.path().to_path_buf(), b.path().to_path_buf()],
+            dest.path(),
+        )
+        .unwrap_err();
+        match err {
+            MergeError::Conflict {
+                digest,
+                first,
+                second,
+            } => {
+                assert_eq!(digest, key(5));
+                assert!(first.starts_with(a.path()));
+                assert!(second.starts_with(b.path()));
+            }
+            other => panic!("expected Conflict, got {other}"),
+        }
+        // Nothing was written: the destination stays empty.
+        assert_eq!(std::fs::read_dir(dest.path()).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn merge_rejects_foreign_salt_sources() {
+        let a = TempDir::new("salt-a");
+        let dest = TempDir::new("salt-dest");
+        {
+            let ca = CellCache::open(a.path(), true).unwrap();
+            ca.insert(key(3), metrics(3.0));
+            ca.flush().unwrap();
+        }
+        for entry in std::fs::read_dir(a.path()).unwrap() {
+            let path = entry.unwrap().path();
+            let text = std::fs::read_to_string(&path).unwrap();
+            std::fs::write(&path, text.replace(CACHE_SALT, "mcsched-cells-v0")).unwrap();
+        }
+        let err = merge_cache_dirs(&[a.path().to_path_buf()], dest.path()).unwrap_err();
+        assert!(
+            matches!(err, MergeError::Incompatible { .. }),
+            "foreign salt must be a hard error for merge, got {err}"
+        );
+    }
+
+    #[test]
+    fn merge_treats_existing_destination_as_source() {
+        let a = TempDir::new("into-a");
+        let dest = TempDir::new("into-dest");
+        {
+            let cd = CellCache::open(dest.path(), true).unwrap();
+            cd.insert(key(1), metrics(1.0));
+            cd.flush().unwrap();
+            let ca = CellCache::open(a.path(), true).unwrap();
+            ca.insert(key(2), metrics(2.0));
+            ca.flush().unwrap();
+        }
+        let report = merge_cache_dirs(&[a.path().to_path_buf()], dest.path()).unwrap();
+        assert_eq!(report.cells, 2);
+        assert_eq!(report.added, 1, "dest's own cell is not `added`");
+        let merged = CellCache::open(dest.path(), true).unwrap();
+        assert_eq!(merged.lookup(key(1)), Some(metrics(1.0)));
+        assert_eq!(merged.lookup(key(2)), Some(metrics(2.0)));
     }
 
     #[test]

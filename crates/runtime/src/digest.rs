@@ -62,12 +62,38 @@ impl CellDigest {
         u128::from_str_radix(text, 16).ok().map(Self)
     }
 
-    /// The shard this digest belongs to, in `0..shards`.
+    /// The *file* shard this digest belongs to, in `0..shards` — the
+    /// assignment of cells to the cache's on-disk JSON shards and lock
+    /// stripes. Computed over the top 64 bits; the mapping is part of the
+    /// on-disk cache layout and must never change for existing directories
+    /// to keep resolving (campaign-level work partitioning uses
+    /// [`CellDigest::partition`] instead, which is free to take any N).
     #[must_use]
     pub fn shard(self, shards: usize) -> usize {
         debug_assert!(shards > 0);
         // The top bits are as well-mixed as any after the SplitMix finalize.
         ((self.0 >> 64) as u64 % shards as u64) as usize
+    }
+
+    /// The *campaign* partition this digest belongs to, in `0..of`: the
+    /// distribution key of sharded multi-process campaigns (`--shard i/N`).
+    /// Computed modulo `of` over the **full 128-bit key**, so any partition
+    /// count works — not just the cache's fixed 16 file shards — and the
+    /// partitions are total and pairwise disjoint by construction.
+    /// Deliberately independent of [`CellDigest::shard`] (top-64 vs full
+    /// modulus), so partitioning never correlates with file-shard layout.
+    #[must_use]
+    pub fn partition(self, of: usize) -> usize {
+        debug_assert!(of > 0);
+        (self.0 % of as u128) as usize
+    }
+
+    /// Whether this digest falls into partition `index` of `of` (see
+    /// [`CellDigest::partition`]). Sharded campaigns evaluate a cell iff
+    /// its digest is in their own partition.
+    #[must_use]
+    pub fn in_shard(self, index: usize, of: usize) -> bool {
+        self.partition(of) == index
     }
 }
 
@@ -246,6 +272,35 @@ mod tests {
             seen[s] = true;
         }
         assert!(seen.iter().all(|&s| s), "all 16 shards should be hit");
+    }
+
+    #[test]
+    fn partitions_are_total_disjoint_and_cover_any_n() {
+        for of in [1usize, 2, 3, 5, 7, 16, 33] {
+            let mut hit = vec![false; of];
+            for i in 0..4096u64 {
+                let d = DigestBuilder::new().u64(i).finish();
+                let p = d.partition(of);
+                assert!(p < of);
+                hit[p] = true;
+                // Membership is exact: in the owning partition and no other.
+                for index in 0..of {
+                    assert_eq!(d.in_shard(index, of), index == p);
+                }
+            }
+            assert!(hit.iter().all(|&h| h), "all {of} partitions should be hit");
+        }
+    }
+
+    #[test]
+    fn partition_uses_the_full_key_not_just_the_top_bits() {
+        // Two digests agreeing on their top 64 bits must still be able to
+        // land in different partitions (the file-shard function cannot tell
+        // them apart for shard counts dividing 2^64).
+        let a = CellDigest((42u128 << 64) | 1);
+        let b = CellDigest((42u128 << 64) | 2);
+        assert_eq!(a.shard(16), b.shard(16));
+        assert_ne!(a.partition(3), b.partition(3));
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod digest;
 pub mod pool;
 pub mod progress;
 
-pub use cache::{CellCache, CellMetrics};
+pub use cache::{merge_cache_dirs, CellCache, CellMetrics, MergeError, MergeReport};
 pub use digest::{CellDigest, DigestBuilder, CACHE_SALT};
 pub use pool::{pool_for, resolve_threads, run_indexed, Pool};
 pub use progress::Progress;
