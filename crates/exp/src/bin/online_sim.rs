@@ -23,8 +23,10 @@
 //!   are printed when at least two strategies run);
 //! * `--threads N` / `--seed S` / `--csv PATH` / `--profile`;
 //! * `--obs-trace PATH` / `--obs-journal PATH` / `--obs-metrics PATH` /
-//!   `--quiet` — observability exports, as in the figure binaries
-//!   (environment equivalents `MCSCHED_OBS_*` / `MCSCHED_QUIET`);
+//!   `--obs-dir PATH` / `--quiet` — observability exports, as in the figure
+//!   binaries (environment equivalents `MCSCHED_OBS_*` / `MCSCHED_QUIET`);
+//!   `--obs-dir` additionally records a run manifest + heartbeat for
+//!   `mcsched-top`, refreshed per completed (strategy, replication) cell;
 //! * `--obs-series PATH` (env `MCSCHED_OBS_SERIES`) — turn on the per-epoch
 //!   virtual-time recorder and write one CSV row per rescheduling epoch of
 //!   every (strategy, replication) run:
@@ -147,6 +149,7 @@ fn main() {
             "--obs-trace" => obs.trace = Some(PathBuf::from(value(&mut it, &arg))),
             "--obs-journal" => obs.journal = Some(PathBuf::from(value(&mut it, &arg))),
             "--obs-metrics" => obs.metrics = Some(PathBuf::from(value(&mut it, &arg))),
+            "--obs-dir" => obs.dir = Some(PathBuf::from(value(&mut it, &arg))),
             "--obs-series" => series = Some(PathBuf::from(value(&mut it, &arg))),
             other => eprintln!("warning: ignoring unknown argument `{other}`"),
         }
@@ -160,6 +163,7 @@ fn main() {
             .map(PathBuf::from);
     }
     spec.base.record_series = series.is_some();
+    spec.obs_dir = obs.dir.clone();
     spec.strategies = strategies;
     spec.bootstrap = BootstrapConfig::seeded(spec.base.seed ^ 0xB007);
 

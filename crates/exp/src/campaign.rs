@@ -69,6 +69,12 @@ pub struct CampaignConfig {
     /// tables byte-identical to a single-process run. `None` (the default)
     /// evaluates everything.
     pub shard: Option<(usize, usize)>,
+    /// Fleet obs directory (`--obs-dir`): the run writes a
+    /// `run-<shard>.manifest.json` + heartbeat there while running and its
+    /// per-shard journal/metrics exports at the end, so `mcsched-top` and
+    /// `mcsched-obs-merge` can watch and union a sharded fleet. `None`
+    /// (the default) records nothing.
+    pub obs_dir: Option<PathBuf>,
 }
 
 impl CampaignConfig {
@@ -98,6 +104,7 @@ impl CampaignConfig {
             resume: true,
             progress: false,
             shard: None,
+            obs_dir: None,
         }
     }
 
@@ -304,6 +311,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, SchedErro
         config.progress,
         config.ptg_counts.len(),
         config.shard,
+        config.obs_dir.as_deref(),
     )?;
 
     // (num_ptgs, strategy index) -> per-run samples, aggregated in grid

@@ -281,6 +281,16 @@ pub struct CellJob {
     shard: Option<(usize, usize)>,
     /// Out-of-shard cells skipped so far (reported at the end of the grid).
     skipped: std::sync::atomic::AtomicU64,
+    /// Run label without the `[shard i/N]` suffix, for the run manifest.
+    manifest_label: String,
+    /// Fleet obs directory; [`CellJob::run_grid`] writes the run manifest
+    /// there and every data-point flush refreshes the heartbeat.
+    obs_dir: Option<std::path::PathBuf>,
+    /// Created by [`CellJob::run_grid`] once the grid (and with it the
+    /// config digest) is known; data points heartbeat through it.
+    recorder: std::sync::OnceLock<Option<mcsched_obs::RunRecorder>>,
+    /// In-shard cells evaluated or served so far (heartbeat progress).
+    cells_done: std::sync::atomic::AtomicU64,
 }
 
 impl CellJob {
@@ -309,8 +319,10 @@ impl CellJob {
         progress: bool,
         ptg_count_len: usize,
         shard: Option<(usize, usize)>,
+        obs_dir: Option<&Path>,
     ) -> Result<Arc<Self>, SchedError> {
         let replications = replications.max(1);
+        let manifest_label = label.clone();
         let label = match shard {
             Some((index, of)) => {
                 if of == 0 || index >= of {
@@ -336,7 +348,53 @@ impl CellJob {
             threads,
             shard,
             skipped: std::sync::atomic::AtomicU64::new(0),
+            manifest_label,
+            obs_dir: obs_dir.map(Path::to_path_buf),
+            recorder: std::sync::OnceLock::new(),
+            cells_done: std::sync::atomic::AtomicU64::new(0),
         }))
+    }
+
+    /// The fleet config digest of this grid: every input that determines
+    /// the campaign's cell set **except** the shard spec, so all shards of
+    /// one fleet share it and `mcsched-obs-merge` can refuse to union runs
+    /// of different campaigns (mirroring the per-cell digest composition).
+    fn config_digest(&self, ptg_counts: &[usize]) -> String {
+        let mut digest = DigestBuilder::new()
+            .str("fleet-config")
+            .str(&self.spec)
+            .str(&self.pipeline_key)
+            .u64(self.seed)
+            .usize(self.combinations)
+            .usize(self.replications);
+        for policy in &self.policies {
+            digest = digest.str(&policy.cache_key());
+        }
+        for &n in ptg_counts {
+            digest = digest.usize(n);
+        }
+        digest.finish().to_hex()
+    }
+
+    /// The run recorder, once [`CellJob::run_grid`] has created it.
+    fn recorder(&self) -> Option<&mcsched_obs::RunRecorder> {
+        self.recorder.get().and_then(Option::as_ref)
+    }
+
+    /// Refreshes this run's heartbeat record (no-op without an obs dir).
+    fn heartbeat(&self, detail: &str) {
+        let Some(recorder) = self.recorder() else {
+            return;
+        };
+        recorder.heartbeat(mcsched_obs::Heartbeat {
+            points_done: self.progress.done() as u64,
+            points_total: self.progress.total() as u64,
+            cells_done: self.cells_done.load(std::sync::atomic::Ordering::Relaxed),
+            cache_hits: self.cache.as_ref().map_or(0, |c| c.hits()),
+            cache_misses: self.cache.as_ref().map_or(0, |c| c.misses()),
+            detail: detail.to_string(),
+            ..mcsched_obs::Heartbeat::default()
+        });
     }
 
     /// Evaluates one (replication, PTG count) data point: generates its
@@ -373,16 +431,22 @@ impl CellJob {
                 job.skipped
                     .fetch_add(skipped, std::sync::atomic::Ordering::Relaxed);
             }
+            job.cells_done.fetch_add(
+                outcomes.len() as u64 - skipped,
+                std::sync::atomic::Ordering::Relaxed,
+            );
             outcomes
         });
         if let Some(cache) = &self.cache {
             flush_cell_cache(cache);
         }
-        self.progress.tick(&format!(
+        let detail = format!(
             "ptgs={num_ptgs} rep={}/{}",
             replication + 1,
             self.replications
-        ));
+        );
+        self.progress.tick(&detail);
+        self.heartbeat(&detail);
         Ok(outcomes)
     }
 
@@ -404,6 +468,24 @@ impl CellJob {
             "replications" = self.replications,
             "ptg-counts" = ptg_counts.len()
         );
+        // The config digest needs the grid's PTG counts, so the recorder is
+        // born here rather than in `new` (before any data point can flush).
+        let recorder = self.obs_dir.as_deref().map(|dir| {
+            mcsched_obs::RunRecorder::new(
+                dir,
+                mcsched_obs::RunManifest {
+                    label: self.manifest_label.clone(),
+                    shard: self.shard.unwrap_or((0, 1)),
+                    config_digest: self.config_digest(ptg_counts),
+                    salt: mcsched_runtime::CACHE_SALT.to_string(),
+                    pid: std::process::id(),
+                    start_unix_ms: mcsched_obs::manifest::unix_ms(),
+                    phase: mcsched_obs::RunPhase::Running,
+                },
+            )
+        });
+        let _ = self.recorder.set(recorder);
+        self.heartbeat("starting");
         let grid: Vec<(usize, usize)> = (0..self.replications)
             .flat_map(|r| ptg_counts.iter().map(move |&n| (r, n)))
             .collect();
@@ -417,7 +499,15 @@ impl CellJob {
         };
         let mut points = Vec::with_capacity(grid.len());
         for (&(_, num_ptgs), point) in grid.iter().zip(per_point) {
-            points.push((num_ptgs, point?));
+            match point {
+                Ok(point) => points.push((num_ptgs, point)),
+                Err(e) => {
+                    if let Some(recorder) = self.recorder() {
+                        recorder.finish(mcsched_obs::RunPhase::Failed);
+                    }
+                    return Err(e);
+                }
+            }
         }
         if let Some(cache) = &self.cache {
             flush_cell_cache(cache);
@@ -430,6 +520,9 @@ impl CellJob {
                  complete tables",
                 self.skipped.load(std::sync::atomic::Ordering::Relaxed)
             );
+        }
+        if let Some(recorder) = self.recorder() {
+            recorder.finish(mcsched_obs::RunPhase::Done);
         }
         Ok(points)
     }

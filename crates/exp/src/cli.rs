@@ -57,13 +57,19 @@
 //! * `--obs-metrics PATH` — write the metrics-registry snapshot (counters,
 //!   gauges, histograms) as an aligned table, or CSV when `PATH` ends in
 //!   `.csv`;
+//! * `--obs-dir PATH` — fleet observability: write a
+//!   `run-<shard>.manifest.json` + heartbeat into `PATH` while the run is
+//!   active (refreshed per completed data point) and the per-shard
+//!   deterministic journal + metrics JSON exports at the end. All shards of
+//!   a fleet share one directory; `mcsched-top` renders the live aggregate
+//!   view and `mcsched-obs-merge` unions the finished exports;
 //! * `--quiet` — silence informational stderr lines (progress, cache
 //!   summaries, profile output); genuine warnings still print.
 //!
 //! Each `--obs-*`/`--quiet` flag has an environment equivalent
 //! (`MCSCHED_OBS_TRACE`, `MCSCHED_OBS_JOURNAL`, `MCSCHED_OBS_METRICS`,
-//! `MCSCHED_QUIET`; flags win), and `MCSCHED_OBS=1` enables tracing with
-//! no export — see [`mcsched_obs::ObsOptions`].
+//! `MCSCHED_OBS_DIR`, `MCSCHED_QUIET`; flags win), and `MCSCHED_OBS=1`
+//! enables tracing with no export — see [`mcsched_obs::ObsOptions`].
 //!
 //! Malformed values of numeric flags (`--threads abc`, `--ci 1.5`, a
 //! missing value) are hard errors: the binaries print the problem and exit
@@ -248,6 +254,9 @@ impl CliOptions {
                 "--obs-metrics" => {
                     opts.obs.metrics = Some(PathBuf::from(value(&mut it, &arg)?));
                 }
+                "--obs-dir" => {
+                    opts.obs.dir = Some(PathBuf::from(value(&mut it, &arg)?));
+                }
                 other => eprintln!("warning: ignoring unknown argument `{other}`"),
             }
         }
@@ -268,6 +277,7 @@ impl CliOptions {
             mcsched_core::profile::enable();
         }
         opts.obs = opts.obs.or(mcsched_obs::ObsOptions::from_env());
+        opts.obs.run = Some(mcsched_obs::manifest::shard_label(opts.shard));
         opts.obs.activate();
         mcsched_obs::set_thread_label("main");
         opts
@@ -368,6 +378,7 @@ impl CliOptions {
             self.warn_uncached_shard(config.cache_dir.is_none());
             config.shard = Some(shard);
         }
+        config.obs_dir = self.obs.dir.clone();
         Ok(config)
     }
 
@@ -417,6 +428,7 @@ impl CliOptions {
             self.warn_uncached_shard(config.cache_dir.is_none());
             config.shard = Some(shard);
         }
+        config.obs_dir = self.obs.dir.clone();
         Ok(config)
     }
 
@@ -729,17 +741,36 @@ mod tests {
             "/tmp/j.jsonl",
             "--obs-metrics",
             "/tmp/m.csv",
+            "--obs-dir",
+            "/tmp/fleet",
             "--quiet",
         ]);
         assert_eq!(o.obs.trace, Some(PathBuf::from("/tmp/t.json")));
         assert_eq!(o.obs.journal, Some(PathBuf::from("/tmp/j.jsonl")));
         assert_eq!(o.obs.metrics, Some(PathBuf::from("/tmp/m.csv")));
+        assert_eq!(o.obs.dir, Some(PathBuf::from("/tmp/fleet")));
         assert!(o.obs.quiet);
         assert!(o.obs.wants_export());
         assert!(parse_err(&["--obs-trace"]).contains("expects a value"));
+        assert!(parse_err(&["--obs-dir"]).contains("expects a value"));
         let plain = parse(&[]);
         assert!(!plain.obs.wants_export());
         assert!(!plain.obs.quiet);
+    }
+
+    #[test]
+    fn obs_dir_applies_to_both_configs() {
+        let o = parse(&["--obs-dir", "/tmp/fleet"]);
+        let cfg = o
+            .configure_campaign(CampaignConfig::quick(PtgClass::Random))
+            .unwrap();
+        assert_eq!(cfg.obs_dir, Some(PathBuf::from("/tmp/fleet")));
+        let sweep = o.configure_mu_sweep(MuSweepConfig::quick()).unwrap();
+        assert_eq!(sweep.obs_dir, Some(PathBuf::from("/tmp/fleet")));
+        let plain = parse(&[])
+            .configure_campaign(CampaignConfig::quick(PtgClass::Random))
+            .unwrap();
+        assert_eq!(plain.obs_dir, None);
     }
 
     #[test]

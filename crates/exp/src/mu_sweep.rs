@@ -59,6 +59,9 @@ pub struct MuSweepConfig {
     /// partition, so a sharded sweep and a sharded campaign sharing a
     /// cache dir stay consistent.
     pub shard: Option<(usize, usize)>,
+    /// Fleet obs directory (`--obs-dir`); see
+    /// [`crate::CampaignConfig::obs_dir`].
+    pub obs_dir: Option<PathBuf>,
 }
 
 impl MuSweepConfig {
@@ -78,6 +81,7 @@ impl MuSweepConfig {
             resume: true,
             progress: false,
             shard: None,
+            obs_dir: None,
         }
     }
 
@@ -185,6 +189,7 @@ pub fn run_mu_sweep(config: &MuSweepConfig) -> Result<Vec<MuSweepPoint>, SchedEr
         config.progress,
         config.ptg_counts.len(),
         config.shard,
+        config.obs_dir.as_deref(),
     )?;
 
     let mut cells_map: BTreeMap<(usize, usize), MuSamples> = BTreeMap::new();

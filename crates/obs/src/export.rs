@@ -34,7 +34,7 @@ fn escape_into(out: &mut String, s: &str) {
     }
 }
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     escape_into(out, s);
     out.push('"');

@@ -50,12 +50,16 @@
 #![deny(unsafe_code)]
 
 pub mod export;
+pub mod fleet;
+pub mod jsonv;
+pub mod manifest;
 pub mod metrics;
 pub mod phase;
 pub mod series;
 pub mod sink;
 pub mod span;
 
+pub use manifest::{Heartbeat, RunManifest, RunPhase, RunRecorder};
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot};
 pub use series::TimeSeries;
 pub use span::{
@@ -79,6 +83,15 @@ pub struct ObsOptions {
     /// Metrics summary output path (`--obs-metrics`); a `.csv` extension
     /// selects CSV, anything else the aligned text table.
     pub metrics: Option<PathBuf>,
+    /// Fleet obs directory (`--obs-dir`): the run writes its manifest and
+    /// heartbeat there while running (see [`mod@manifest`]) and its
+    /// per-shard journal + metrics JSON exports at the end, named
+    /// `run-<shard>.*` so any number of shards can share one directory.
+    pub dir: Option<PathBuf>,
+    /// File-name shard label of the `run-<shard>.*` artefacts under
+    /// [`ObsOptions::dir`] (defaults to `0of1`; the CLI layer sets it from
+    /// `--shard`).
+    pub run: Option<String>,
     /// Silence the informational stderr sink (`--quiet`).
     pub quiet: bool,
 }
@@ -104,6 +117,8 @@ impl ObsOptions {
             trace: path("MCSCHED_OBS_TRACE"),
             journal: path("MCSCHED_OBS_JOURNAL"),
             metrics: path("MCSCHED_OBS_METRICS"),
+            dir: path("MCSCHED_OBS_DIR"),
+            run: None,
             quiet: flag("MCSCHED_QUIET"),
         }
     }
@@ -115,6 +130,8 @@ impl ObsOptions {
         self.trace = self.trace.or(fallback.trace);
         self.journal = self.journal.or(fallback.journal);
         self.metrics = self.metrics.or(fallback.metrics);
+        self.dir = self.dir.or(fallback.dir);
+        self.run = self.run.or(fallback.run);
         self.quiet = self.quiet || fallback.quiet;
         self
     }
@@ -123,7 +140,7 @@ impl ObsOptions {
     /// journal export is requested and configures the stderr sink. Call
     /// once, before the instrumented work starts.
     pub fn activate(&self) {
-        if self.trace.is_some() || self.journal.is_some() {
+        if self.trace.is_some() || self.journal.is_some() || self.dir.is_some() {
             enable_tracing();
         }
         if self.quiet {
@@ -134,7 +151,16 @@ impl ObsOptions {
     /// Whether any export artefact was requested.
     #[must_use]
     pub fn wants_export(&self) -> bool {
-        self.trace.is_some() || self.journal.is_some() || self.metrics.is_some()
+        self.trace.is_some()
+            || self.journal.is_some()
+            || self.metrics.is_some()
+            || self.dir.is_some()
+    }
+
+    /// File-name stem of this run's fleet artefacts (`run-<shard>`).
+    #[must_use]
+    pub fn run_stem(&self) -> String {
+        manifest::run_stem(self.run.as_deref().unwrap_or("0of1"))
     }
 
     /// Drains the trace buffers and writes every requested artefact.
@@ -144,7 +170,7 @@ impl ObsOptions {
         if !self.wants_export() {
             return;
         }
-        let dump = if self.trace.is_some() || self.journal.is_some() {
+        let dump = if self.trace.is_some() || self.journal.is_some() || self.dir.is_some() {
             Some(span::drain())
         } else {
             None
@@ -167,6 +193,27 @@ impl ObsOptions {
                 snapshot.render_table()
             };
             write(path, "metrics summary", text);
+        }
+        if let Some(dir) = &self.dir {
+            // Per-shard fleet exports: the deterministic journal and the
+            // JSON metrics snapshot `mcsched-obs-merge` unions.
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: obs: cannot create {} ({e})", dir.display());
+                return;
+            }
+            let stem = self.run_stem();
+            if let Some(dump) = dump.as_ref() {
+                write(
+                    &dir.join(format!("{stem}.journal.jsonl")),
+                    "shard journal",
+                    export::journal_jsonl(dump),
+                );
+            }
+            write(
+                &dir.join(format!("{stem}.metrics.json")),
+                "shard metrics",
+                metrics::snapshot().render_json(),
+            );
         }
     }
 }

@@ -335,6 +335,18 @@ pub fn reset() {
     }
 }
 
+/// Escapes one CSV field: fields containing a comma, a double quote or a
+/// line break are wrapped in double quotes with inner quotes doubled
+/// (RFC 4180), so merged fleet snapshots with arbitrary metric names still
+/// diff cleanly line by line.
+fn csv_field(raw: &str) -> String {
+    if raw.contains(',') || raw.contains('"') || raw.contains('\n') || raw.contains('\r') {
+        format!("\"{}\"", raw.replace('"', "\"\""))
+    } else {
+        raw.to_string()
+    }
+}
+
 impl MetricsSnapshot {
     /// Renders the aligned, human-readable summary table.
     #[must_use]
@@ -357,11 +369,12 @@ impl MetricsSnapshot {
         }
         for (name, h) in &self.histograms {
             out.push_str(&format!(
-                "histogram  {name:<width$}  count={} sum={} mean={:.2} p50<={} p99<={}\n",
+                "histogram  {name:<width$}  count={} sum={} mean={:.2} p50<={} p90<={} p99<={}\n",
                 h.count,
                 h.sum,
                 h.mean(),
                 h.quantile_upper_bound(0.50),
+                h.quantile_upper_bound(0.90),
                 h.quantile_upper_bound(0.99),
             ));
         }
@@ -369,27 +382,180 @@ impl MetricsSnapshot {
     }
 
     /// Renders the machine-readable CSV form (`kind,name,value,max,count,
-    /// sum,mean,p50_ub,p99_ub`; inapplicable cells empty).
+    /// sum,mean,p50_ub,p90_ub,p99_ub`; inapplicable cells empty). Rows are
+    /// name-sorted (the snapshot is) and fields are RFC 4180-escaped, so
+    /// two snapshots of the same fleet diff cleanly.
     #[must_use]
     pub fn render_csv(&self) -> String {
-        let mut out = String::from("kind,name,value,max,count,sum,mean,p50_ub,p99_ub\n");
+        let mut out = String::from("kind,name,value,max,count,sum,mean,p50_ub,p90_ub,p99_ub\n");
         for (name, value) in &self.counters {
-            out.push_str(&format!("counter,{name},{value},,,,,,\n"));
+            out.push_str(&format!("counter,{},{value},,,,,,,\n", csv_field(name)));
         }
         for (name, value, max) in &self.gauges {
-            out.push_str(&format!("gauge,{name},{value},{max},,,,,\n"));
+            out.push_str(&format!("gauge,{},{value},{max},,,,,,\n", csv_field(name)));
         }
         for (name, h) in &self.histograms {
             out.push_str(&format!(
-                "histogram,{name},,,{},{},{},{},{}\n",
+                "histogram,{},,,{},{},{},{},{},{}\n",
+                csv_field(name),
                 h.count,
                 h.sum,
                 h.mean(),
                 h.quantile_upper_bound(0.50),
+                h.quantile_upper_bound(0.90),
                 h.quantile_upper_bound(0.99),
             ));
         }
         out
+    }
+
+    /// Renders the snapshot as key-sorted JSON, the exchange format of the
+    /// fleet tooling (`mcsched-obs-merge`, `mcsched-top`). Histogram
+    /// buckets are stored sparsely (`{"index": count}` for non-empty
+    /// buckets only), and every `u64` keeps full precision (no `f64`
+    /// intermediate). Deterministic: equal snapshots render equal bytes.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        use crate::export::push_json_str;
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            push_json_str(&mut out, name);
+            out.push_str(&format!(": {value}"));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, value, max)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            push_json_str(&mut out, name);
+            out.push_str(&format!(": {{\"value\": {value}, \"max\": {max}}}"));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            push_json_str(&mut out, name);
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"sum\": {}, \"buckets\": {{",
+                h.count, h.sum
+            ));
+            let mut first = true;
+            for (index, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(&format!("\"{index}\": {n}"));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Parses a snapshot previously written by
+    /// [`MetricsSnapshot::render_json`].
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed construct (invalid JSON, a
+    /// missing section, a non-integer value, a bucket index out of range).
+    pub fn parse_json(text: &str) -> Result<Self, String> {
+        let doc = crate::jsonv::JsonValue::parse(text)?;
+        let section = |key: &str| {
+            doc.get(key)
+                .and_then(crate::jsonv::JsonValue::as_object)
+                .ok_or_else(|| format!("missing `{key}` object"))
+        };
+        let uint = |v: &crate::jsonv::JsonValue, what: &str| {
+            v.as_u64().ok_or_else(|| format!("`{what}` is not a u64"))
+        };
+        let mut snapshot = MetricsSnapshot::default();
+        for (name, value) in section("counters")? {
+            snapshot.counters.push((name.clone(), uint(value, name)?));
+        }
+        for (name, body) in section("gauges")? {
+            let field = |key: &str| {
+                body.get(key)
+                    .ok_or_else(|| format!("gauge `{name}` misses `{key}`"))
+                    .and_then(|v| uint(v, key))
+            };
+            snapshot
+                .gauges
+                .push((name.clone(), field("value")?, field("max")?));
+        }
+        for (name, body) in section("histograms")? {
+            let field = |key: &str| {
+                body.get(key)
+                    .ok_or_else(|| format!("histogram `{name}` misses `{key}`"))
+                    .and_then(|v| uint(v, key))
+            };
+            let mut h = HistogramSnapshot {
+                count: field("count")?,
+                sum: field("sum")?,
+                buckets: [0; HISTOGRAM_BUCKETS],
+            };
+            let buckets = body
+                .get("buckets")
+                .and_then(crate::jsonv::JsonValue::as_object)
+                .ok_or_else(|| format!("histogram `{name}` misses `buckets`"))?;
+            for (index, n) in buckets {
+                let index: usize = index
+                    .parse()
+                    .ok()
+                    .filter(|&i| i < HISTOGRAM_BUCKETS)
+                    .ok_or_else(|| format!("histogram `{name}` bucket `{index}` out of range"))?;
+                h.buckets[index] = uint(n, "bucket count")?;
+            }
+            snapshot.histograms.push((name.clone(), h));
+        }
+        Ok(snapshot)
+    }
+
+    /// Unions `other` into `self`, the metric-wise fleet merge: counters
+    /// **sum**, gauges keep the **max** (of both the last value and the
+    /// running max — per-process "current" values are meaningless across a
+    /// fleet), histograms add **bucket-wise** (counts, sums and every
+    /// bucket). Metrics present in only one side carry over unchanged; the
+    /// result stays name-sorted, so merging in any order yields identical
+    /// snapshots.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        let mut counters: BTreeMap<String, u64> = self.counters.drain(..).collect();
+        for (name, value) in &other.counters {
+            *counters.entry(name.clone()).or_insert(0) += value;
+        }
+        self.counters = counters.into_iter().collect();
+
+        let mut gauges: BTreeMap<String, (u64, u64)> =
+            self.gauges.drain(..).map(|(n, v, m)| (n, (v, m))).collect();
+        for (name, value, max) in &other.gauges {
+            let slot = gauges.entry(name.clone()).or_insert((0, 0));
+            slot.0 = slot.0.max(*value);
+            slot.1 = slot.1.max(*max);
+        }
+        self.gauges = gauges.into_iter().map(|(n, (v, m))| (n, v, m)).collect();
+
+        let mut histograms: BTreeMap<String, HistogramSnapshot> =
+            self.histograms.drain(..).collect();
+        for (name, h) in &other.histograms {
+            let slot = histograms
+                .entry(name.clone())
+                .or_insert_with(|| HistogramSnapshot {
+                    count: 0,
+                    sum: 0,
+                    buckets: [0; HISTOGRAM_BUCKETS],
+                });
+            slot.count += h.count;
+            slot.sum = slot.sum.wrapping_add(h.sum);
+            for (dst, src) in slot.buckets.iter_mut().zip(&h.buckets) {
+                *dst += src;
+            }
+        }
+        self.histograms = histograms.into_iter().collect();
     }
 }
 
@@ -463,7 +629,95 @@ mod tests {
         assert!(table.contains("test.registry.b"));
         let csv = snap.render_csv();
         assert!(csv.starts_with("kind,name,"));
-        assert!(csv.contains("counter,test.registry.b,7,,,,,,\n"));
+        assert!(csv.contains("counter,test.registry.b,7,,,,,,,\n"));
+    }
+
+    #[test]
+    fn csv_fields_are_escaped_and_tables_show_three_percentiles() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = MetricsSnapshot {
+            counters: vec![("weird,\"name\"".to_string(), 3)],
+            gauges: vec![],
+            histograms: vec![("h".to_string(), h.snapshot())],
+        };
+        let csv = snap.render_csv();
+        assert!(csv.contains("counter,\"weird,\"\"name\"\"\",3,,,,,,,\n"));
+        // p50 ≤ 63 (rank 50 lands in [32,63]), p90 in [64,127], p99 too.
+        assert!(csv.contains("histogram,h,,,100,5050,50.5,63,127,127\n"));
+        let table = snap.render_table();
+        assert!(table.contains("p50<=63 p90<=127 p99<=127"));
+    }
+
+    #[test]
+    fn json_snapshot_round_trips_exactly() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 5, u64::MAX] {
+            h.record(v);
+        }
+        let snap = MetricsSnapshot {
+            counters: vec![("a".to_string(), u64::MAX), ("b \"x\"".to_string(), 0)],
+            gauges: vec![("g".to_string(), 2, 9)],
+            histograms: vec![("h".to_string(), h.snapshot())],
+        };
+        let json = snap.render_json();
+        let parsed = MetricsSnapshot::parse_json(&json).unwrap();
+        assert_eq!(parsed, snap);
+        // Determinism: rendering the parsed snapshot reproduces the bytes.
+        assert_eq!(parsed.render_json(), json);
+        // Malformed documents are rejected with a reason.
+        assert!(MetricsSnapshot::parse_json("{}").is_err());
+        assert!(MetricsSnapshot::parse_json("{\"counters\":{},\"gauges\":{}}").is_err());
+        assert!(MetricsSnapshot::parse_json(
+            "{\"counters\":{\"c\":-1},\"gauges\":{},\"histograms\":{}}"
+        )
+        .is_err());
+        assert!(MetricsSnapshot::parse_json(
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{\"h\":{\"count\":1,\"sum\":1,\
+             \"buckets\":{\"65\":1}}}}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn merge_sums_counters_maxes_gauges_and_adds_buckets() {
+        let hist = |values: &[u64]| {
+            let h = Histogram::default();
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let mut a = MetricsSnapshot {
+            counters: vec![("c.both".to_string(), 2), ("c.only_a".to_string(), 5)],
+            gauges: vec![("g".to_string(), 7, 9)],
+            histograms: vec![("h".to_string(), hist(&[1, 2]))],
+        };
+        let b = MetricsSnapshot {
+            counters: vec![("c.both".to_string(), 3), ("c.only_b".to_string(), 1)],
+            gauges: vec![("g".to_string(), 8, 8)],
+            histograms: vec![("h".to_string(), hist(&[2, 100]))],
+        };
+        let mut ba = b.clone();
+        ba.merge(&a);
+        a.merge(&b);
+        assert_eq!(a, ba, "merge is order-independent");
+        assert_eq!(
+            a.counters,
+            vec![
+                ("c.both".to_string(), 5),
+                ("c.only_a".to_string(), 5),
+                ("c.only_b".to_string(), 1)
+            ]
+        );
+        assert_eq!(a.gauges, vec![("g".to_string(), 8, 9)]);
+        let (_, h) = &a.histograms[0];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 105);
+        assert_eq!(h.buckets[bucket_index(2)], 2);
+        assert_eq!(h.buckets[bucket_index(100)], 1);
     }
 
     #[test]

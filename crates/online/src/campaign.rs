@@ -53,6 +53,11 @@ pub struct CampaignSpec {
     pub base: OnlineConfig,
     /// Bootstrap configuration of the paired verdicts.
     pub bootstrap: BootstrapConfig,
+    /// Fleet obs directory (`--obs-dir`): the campaign writes a
+    /// `run-0of1.manifest.json` + heartbeat there (refreshed per completed
+    /// cell), so `mcsched-top` can watch an online campaign alongside the
+    /// batch fleet. `None` (the default) records nothing.
+    pub obs_dir: Option<std::path::PathBuf>,
 }
 
 impl CampaignSpec {
@@ -65,7 +70,26 @@ impl CampaignSpec {
             threads: 0,
             base: OnlineConfig::default(),
             bootstrap: BootstrapConfig::seeded(0xB007),
+            obs_dir: None,
         }
+    }
+
+    /// The fleet config digest of this campaign: everything that determines
+    /// its cell grid (source spec, platform, strategies, replications, base
+    /// seed and label), so `mcsched-obs-merge` can refuse to union
+    /// unrelated runs — mirroring the batch harness.
+    fn config_digest(&self, platform: &Platform, source: &Arc<dyn WorkloadSource>) -> String {
+        let mut digest = mcsched_runtime::DigestBuilder::new()
+            .str("online-config")
+            .str(&source.spec())
+            .str(platform.name())
+            .usize(self.replications)
+            .u64(self.base.seed)
+            .str(&self.base.label);
+        for strategy in &self.strategies {
+            digest = digest.str(&strategy.name());
+        }
+        digest.finish().to_hex()
     }
 }
 
@@ -163,10 +187,27 @@ pub fn run_campaign(
     // Strategy-major grid; each cell is independent and position-seeded.
     let reps = spec.replications;
     let cells = spec.strategies.len() * reps;
+    let recorder = spec.obs_dir.as_deref().map(|dir| {
+        Arc::new(mcsched_obs::RunRecorder::new(
+            dir,
+            mcsched_obs::RunManifest {
+                label: format!("online:{}", spec.base.label),
+                shard: (0, 1),
+                config_digest: spec.config_digest(platform, source),
+                salt: mcsched_runtime::CACHE_SALT.to_string(),
+                pid: std::process::id(),
+                start_unix_ms: mcsched_obs::manifest::unix_ms(),
+                phase: mcsched_obs::RunPhase::Running,
+            },
+        ))
+    });
+    let cells_done = Arc::new(std::sync::atomic::AtomicU64::new(0));
     let task_platform = Arc::new(platform.clone());
     let task_source = Arc::clone(source);
     let task_strategies = spec.strategies.clone();
     let task_base = spec.base.clone();
+    let task_recorder = recorder.clone();
+    let task_cells_done = Arc::clone(&cells_done);
     let per_cell = run_indexed(spec.threads, cells, move |i| {
         let (si, rep) = (i / reps, i % reps);
         let mut cfg = task_base.clone();
@@ -175,6 +216,16 @@ pub fn run_campaign(
         cfg.label = format!("{}-r{rep}", task_base.label);
         let mut report = OnlineScheduler::new(&task_platform, cfg)?.run(task_source.as_ref())?;
         report.name = format!("{}/r{rep}", task_strategies[si].name());
+        if let Some(recorder) = &task_recorder {
+            let done = task_cells_done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            recorder.heartbeat(mcsched_obs::Heartbeat {
+                points_done: done,
+                points_total: cells as u64,
+                cells_done: done,
+                detail: report.name.clone(),
+                ..mcsched_obs::Heartbeat::default()
+            });
+        }
         Ok::<OnlineReport, SchedError>(report)
     });
 
@@ -182,10 +233,18 @@ pub fn run_campaign(
     let mut iter = per_cell.into_iter();
     for &strategy in &spec.strategies {
         let reports: Result<Vec<_>, _> = iter.by_ref().take(reps).collect();
-        outcomes.push(StrategyOutcome {
-            strategy,
-            reports: reports?,
-        });
+        match reports {
+            Ok(reports) => outcomes.push(StrategyOutcome { strategy, reports }),
+            Err(e) => {
+                if let Some(recorder) = &recorder {
+                    recorder.finish(mcsched_obs::RunPhase::Failed);
+                }
+                return Err(e);
+            }
+        }
+    }
+    if let Some(recorder) = &recorder {
+        recorder.finish(mcsched_obs::RunPhase::Done);
     }
 
     let mut comparisons = Vec::new();

@@ -1,0 +1,139 @@
+//! `mcsched-obs-merge` — union the per-shard observability exports of a
+//! sharded campaign into one fleet journal + metrics snapshot.
+//!
+//! The obs counterpart of `mcsched-merge` (which unions the cell caches):
+//! N shards run with `--obs-dir`, each exporting `run-<shard>.journal.jsonl`
+//! and `run-<shard>.metrics.json`; one merge produces the fleet view:
+//!
+//! ```sh
+//! mcsched-obs-merge --into fleet/ obs-a/ obs-b/ obs-c/
+//! ```
+//!
+//! writes `fleet/fleet.journal.jsonl` (every shard's journal lines,
+//! concatenate-sorted back into the journal format's canonical order) and
+//! `fleet/fleet.metrics.json` + `fleet/fleet.metrics.txt` (counters
+//! **summed**, gauges **maxed**, histograms added **bucket-wise**, rendered
+//! as JSON and as the aligned table with p50/p90/p99 columns).
+//!
+//! Consistency-checked like the cache merge:
+//!
+//! * every shard must carry the cache salt this binary was compiled with
+//!   and the same fleet config digest — a shard of a different campaign or
+//!   scheduler version is a hard error naming both sides;
+//! * a shard label appearing twice across the sources is a hard error;
+//! * shards not in phase `done` are warned about (their exports may be
+//!   partial) but merged.
+//!
+//! Deterministic: any source-directory order produces byte-identical
+//! outputs (the integration tests pin this).
+//!
+//! Exit status: 0 on success, 1 on any merge error, 2 on usage errors.
+
+use mcsched_obs::fleet::merge_obs_dirs;
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: mcsched-obs-merge --into <dest-dir> <obs-dir>... [--quiet]";
+
+struct Options {
+    into: PathBuf,
+    sources: Vec<PathBuf>,
+    quiet: bool,
+}
+
+impl Options {
+    fn from_env() -> Self {
+        let mut into: Option<PathBuf> = None;
+        let mut sources: Vec<PathBuf> = Vec::new();
+        let mut quiet = false;
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("error: flag `{flag}` expects a value\n{USAGE}");
+                    std::process::exit(2);
+                })
+            };
+            match arg.as_str() {
+                "--into" | "--dest" => into = Some(PathBuf::from(value(&arg))),
+                "--quiet" => quiet = true,
+                "--help" | "-h" => {
+                    println!("{USAGE}");
+                    std::process::exit(0);
+                }
+                flag if flag.starts_with("--") => {
+                    eprintln!("error: unknown flag `{flag}`\n{USAGE}");
+                    std::process::exit(2);
+                }
+                source => sources.push(PathBuf::from(source)),
+            }
+        }
+        let Some(into) = into else {
+            eprintln!("error: `--into <dest-dir>` is required\n{USAGE}");
+            std::process::exit(2);
+        };
+        if sources.is_empty() {
+            eprintln!("error: at least one obs directory is required\n{USAGE}");
+            std::process::exit(2);
+        }
+        Options {
+            into,
+            sources,
+            quiet,
+        }
+    }
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let opts = Options::from_env();
+    for source in &opts.sources {
+        if !source.is_dir() {
+            eprintln!("error: source `{}` is not a directory", source.display());
+            std::process::exit(2);
+        }
+    }
+    let merge = merge_obs_dirs(&opts.sources).unwrap_or_else(|e| fail(&e));
+    // The salt equality across shards is checked by the merge; the merge
+    // binary itself must also match, or the "fleet" it renders describes
+    // different scheduling semantics than the tools reading it.
+    if merge.salt != mcsched_runtime::CACHE_SALT {
+        fail(&format!(
+            "fleet was recorded with cache salt `{}`, this binary is compiled with `{}` — \
+             rebuild matching tools before merging",
+            merge.salt,
+            mcsched_runtime::CACHE_SALT
+        ));
+    }
+    if let Err(e) = std::fs::create_dir_all(&opts.into) {
+        fail(&format!("cannot create {}: {e}", opts.into.display()));
+    }
+    let write = |name: &str, text: &str| {
+        let path = opts.into.join(name);
+        if let Err(e) = std::fs::write(&path, text) {
+            fail(&format!("cannot write {}: {e}", path.display()));
+        }
+    };
+    write("fleet.journal.jsonl", &merge.journal);
+    write("fleet.metrics.json", &merge.metrics.render_json());
+    write("fleet.metrics.txt", &merge.metrics.render_table());
+    for warning in &merge.warnings {
+        eprintln!("warning: {warning}");
+    }
+    if !opts.quiet {
+        println!(
+            "merged {} shard(s) (config {}) into {}: {} journal line(s), {} counter(s), \
+             {} gauge(s), {} histogram(s)",
+            merge.shards,
+            merge.config_digest,
+            opts.into.display(),
+            merge.journal.lines().count(),
+            merge.metrics.counters.len(),
+            merge.metrics.gauges.len(),
+            merge.metrics.histograms.len(),
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! `mcsched-top` — the fleet monitor: aggregate view of every shard of a
+//! sharded campaign from their `run-*.manifest.json` + heartbeat records.
+//!
+//! ```sh
+//! mcsched-top --snapshot obs/              # one deterministic frame
+//! mcsched-top --watch obs-a/ obs-b/       # refresh until the fleet is done
+//! ```
+//!
+//! Each frame shows one progress bar per shard (data points done/total from
+//! the heartbeat), the shard's liveness verdict, fleet-wide cell/cache
+//! totals with a cells/s rate computed from the *recorded* stamps, the
+//! merged counter table when shards exported `run-*.metrics.json`, and any
+//! `.tmp` debris a killed shard left mid-write (reported, never mistaken
+//! for progress).
+//!
+//! Verdicts: a shard whose manifest says `done`/`failed` is final. A
+//! `running` shard is checked for life — its recorded pid gone means
+//! **DEAD** (killed without rewriting the manifest), a heartbeat older than
+//! `--stale-after` means **STALLED**. Finished fleets never consult the
+//! clock or the process table, which is what makes `--snapshot` output for
+//! a finished fleet byte-identical regardless of when or in which directory
+//! order it is rendered — the property the integration tests pin.
+//!
+//! Exit status: 0 on success (even with stalled/dead shards — this is a
+//! monitor, not a gate), 2 on usage errors.
+
+use mcsched_obs::fleet::{render_snapshot, scan_fleet, shard_state, ShardState, SnapshotOptions};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: mcsched-top [--snapshot | --watch] [--interval <secs>] \
+     [--stale-after <secs>] <obs-dir>...";
+
+struct Options {
+    watch: bool,
+    interval_ms: u64,
+    stale_after_ms: u64,
+    dirs: Vec<PathBuf>,
+}
+
+impl Options {
+    fn from_env() -> Self {
+        let mut watch = false;
+        let mut interval_ms = 2_000u64;
+        let mut stale_after_ms = 30_000u64;
+        let mut dirs: Vec<PathBuf> = Vec::new();
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            let mut seconds = |flag: &str| -> u64 {
+                let raw = it.next().unwrap_or_else(|| {
+                    eprintln!("error: flag `{flag}` expects a value\n{USAGE}");
+                    std::process::exit(2);
+                });
+                let secs: f64 = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("error: flag `{flag}` expects seconds, got `{raw}`\n{USAGE}");
+                    std::process::exit(2);
+                });
+                (secs.max(0.0) * 1000.0) as u64
+            };
+            match arg.as_str() {
+                "--snapshot" => watch = false,
+                "--watch" => watch = true,
+                "--interval" => interval_ms = seconds(&arg).max(100),
+                "--stale-after" => stale_after_ms = seconds(&arg),
+                "--help" | "-h" => {
+                    println!("{USAGE}");
+                    std::process::exit(0);
+                }
+                flag if flag.starts_with("--") => {
+                    eprintln!("error: unknown flag `{flag}`\n{USAGE}");
+                    std::process::exit(2);
+                }
+                dir => dirs.push(PathBuf::from(dir)),
+            }
+        }
+        if dirs.is_empty() {
+            eprintln!("error: at least one obs directory is required\n{USAGE}");
+            std::process::exit(2);
+        }
+        Options {
+            watch,
+            interval_ms,
+            stale_after_ms,
+            dirs,
+        }
+    }
+}
+
+fn main() {
+    let opts = Options::from_env();
+    loop {
+        let fleet = scan_fleet(&opts.dirs);
+        let snapshot_opts = SnapshotOptions {
+            now_ms: mcsched_obs::manifest::unix_ms(),
+            stale_after_ms: opts.stale_after_ms,
+        };
+        let frame = render_snapshot(&fleet, &snapshot_opts);
+        if !opts.watch {
+            print!("{frame}");
+            return;
+        }
+        // Watch mode: repaint until no shard can still make progress
+        // (running or stalled-but-alive); dead and finished shards end it.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        let active = fleet.shards.iter().any(|s| {
+            matches!(
+                shard_state(s, snapshot_opts.now_ms, snapshot_opts.stale_after_ms),
+                ShardState::Running | ShardState::Stalled
+            )
+        });
+        if !fleet.shards.is_empty() && !active {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms));
+    }
+}
